@@ -1,0 +1,89 @@
+"""Ablation: dynamic gate vs plain arg-min gate during training.
+
+The "richer gets richer" experiment: train two experts with (a) the plain
+arg-min assignment and (b) the full dynamic gate, both from a biased
+start, and compare the worst partition skew and final team accuracy.
+"""
+
+import numpy as np
+
+from repro.core import (TeamInference, TeamNetTrainer, TrainerConfig,
+                        entropy_matrix, expert_train_step)
+from repro.core.gate import assignment_fractions
+from repro.data import Dataset
+from repro.experiments import ResultTable
+from repro.nn import MLP, SGD
+
+_CENTERS = np.random.default_rng(42).standard_normal((4, 16)) * 3
+
+
+def make_dataset(n=320, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 4
+    images = _CENTERS[labels] + rng.standard_normal((n, 16))
+    return Dataset(images.reshape(n, 1, 1, 16), labels)
+
+
+def make_experts(seed=100):
+    return [MLP(16, 4, depth=1, width=8, rng=np.random.default_rng(seed + i))
+            for i in range(2)]
+
+
+def head_start(experts, ds):
+    opt = SGD(experts[0].parameters(), lr=0.1, momentum=0.9)
+    for _ in range(3):
+        expert_train_step(experts[0], opt, ds.images[:64], ds.labels[:64])
+
+
+def train_argmin_gate(ds, batches=24, seed=0):
+    experts = make_experts()
+    head_start(experts, ds)
+    optimizers = [SGD(e.parameters(), lr=0.1, momentum=0.9)
+                  for e in experts]
+    rng = np.random.default_rng(seed)
+    worst = 0.0
+    for _ in range(batches):
+        idx = rng.permutation(len(ds))[:32]
+        x, y = ds.images[idx], ds.labels[idx]
+        assign = entropy_matrix(experts, x).argmin(axis=1)
+        worst = max(worst, assignment_fractions(assign, 2).max())
+        for i, (e, opt) in enumerate(zip(experts, optimizers)):
+            mask = assign == i
+            if mask.sum():
+                expert_train_step(e, opt, x[mask], y[mask])
+    acc = TeamInference(experts).accuracy(ds.images, ds.labels)
+    return worst, acc
+
+
+def train_dynamic_gate(ds, batches=24, seed=0):
+    experts = make_experts()
+    head_start(experts, ds)
+    trainer = TeamNetTrainer(experts, TrainerConfig(
+        batch_size=32, lr=0.1, gate_max_iterations=12, seed=seed))
+    rng = np.random.default_rng(seed)
+    worst = 0.0
+    for _ in range(batches):
+        idx = rng.permutation(len(ds))[:32]
+        result = trainer.train_batch(ds.images[idx], ds.labels[idx])
+        worst = max(worst, result.gamma_bar.max())
+    acc = TeamInference(experts).accuracy(ds.images, ds.labels)
+    return worst, acc
+
+
+def test_bench_ablation_gate(benchmark):
+    ds = make_dataset()
+
+    def run_both():
+        return train_argmin_gate(ds), train_dynamic_gate(ds)
+
+    (argmin_worst, argmin_acc), (dyn_worst, dyn_acc) = benchmark(run_both)
+    table = ResultTable("Ablation: richer-gets-richer",
+                        ["gate", "worst partition share", "team accuracy"])
+    table.add_row("plain arg-min", argmin_worst, 100 * argmin_acc)
+    table.add_row("dynamic (TeamNet)", dyn_worst, 100 * dyn_acc)
+    print()
+    print(table.render())
+    # The plain argmin gate collapses; the dynamic gate never lets one
+    # expert take (nearly) everything.
+    assert argmin_worst > 0.9
+    assert dyn_worst < 0.85

@@ -1,0 +1,48 @@
+"""Ablation: meta-estimated soft-argmin temperature vs fixed ``b``.
+
+The paper's meta-estimator (eq. 6) adapts ``b`` so the soft assignments
+sit near-integer without flattening gradients.  We compare the gate's
+objective tracking (mean |gamma_bar - target|) under the meta-estimator
+against fixed temperatures.
+"""
+
+import numpy as np
+
+from repro.core.gate import DynamicGate
+from repro.experiments import ResultTable
+from repro.nn import Tensor
+
+
+def run_gate(fixed_b: float | None, batches: int = 15, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    gate = DynamicGate(num_experts=2, seed=seed, max_iterations=25)
+    if fixed_b is not None:
+        gate.meta.forward = lambda gated: Tensor(np.array([float(fixed_b)]))
+    errors = []
+    for _ in range(batches):
+        H = np.stack([rng.uniform(0.2, 0.6, 64),
+                      rng.uniform(0.5, 1.1, 64)], axis=1)
+        result = gate.train_batch(H)
+        target = np.clip(0.5 - gate.gain * (result.gamma - 0.5), 0, 1)
+        target = target / target.sum()
+        errors.append(float(np.abs(result.gamma_bar - target).mean()))
+    return float(np.mean(errors))
+
+
+def test_bench_ablation_softmin(benchmark):
+    configs = {"meta-estimator": None, "b=2": 2.0, "b=10": 10.0,
+               "b=50": 50.0}
+
+    def sweep():
+        return {name: run_gate(b) for name, b in configs.items()}
+
+    results = benchmark(sweep)
+    table = ResultTable("Ablation: soft-argmin temperature",
+                        ["config", "mean |gamma_bar - target|"])
+    for name, err in results.items():
+        table.add_row(name, err)
+    print()
+    print(table.render())
+    # The adaptive temperature must be competitive with the best fixed b.
+    fixed_best = min(v for k, v in results.items() if k != "meta-estimator")
+    assert results["meta-estimator"] <= fixed_best + 0.05

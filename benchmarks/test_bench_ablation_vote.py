@@ -1,0 +1,45 @@
+"""Ablation: arg-min gate vs (weighted) majority vote at inference.
+
+Section V argues that because experts specialize, "considering the
+prediction of 'non-expert' can be detrimental" — i.e. the arg-min gate
+should beat ensemble-style voting.  This bench quantifies that on the
+trained MNIST teams.
+"""
+
+from conftest import BENCH_SCALE
+
+import numpy as np
+
+from repro.core import TeamInference, argmin_select, majority_vote
+from repro.experiments import ResultTable
+
+
+def test_bench_ablation_vote(benchmark, workloads):
+    _, test = workloads.mnist()
+    teams = {k: workloads.teamnet("mnist", k)[0] for k in (2, 4)}
+
+    def evaluate():
+        rows = {}
+        for k, team in teams.items():
+            inference = TeamInference(team.experts)
+            outputs = inference.forward_all(test.images)
+            argmin_preds, _ = argmin_select(outputs)
+            vote_preds = majority_vote(outputs)
+            weighted_preds = majority_vote(outputs, weighted=True)
+            rows[k] = tuple(
+                float((p == test.labels).mean())
+                for p in (argmin_preds, vote_preds, weighted_preds))
+        return rows
+
+    rows = benchmark(evaluate)
+    table = ResultTable(
+        "Ablation: inference combiner accuracy",
+        ["K", "arg-min gate", "majority vote", "weighted vote"])
+    for k, (am, mv, wv) in rows.items():
+        table.add_row(k, 100 * am, 100 * mv, 100 * wv)
+    print()
+    print(table.render())
+    # The paper's argument: argmin must not lose to unweighted voting on
+    # specialized experts (for K=4, half-trained non-experts drag votes).
+    am4, mv4, _ = rows[4]
+    assert am4 >= mv4 - 0.02

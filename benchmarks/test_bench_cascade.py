@@ -1,0 +1,79 @@
+"""Extension bench: TeamNet (horizontal) vs early-exit cascade (vertical).
+
+The two edge-inference philosophies the paper contrasts in related work,
+on the same MNIST workload: K peer experts with arg-min-entropy selection
+versus one network with entropy-thresholded exits escalating device ->
+edge.  Reports accuracy and the analytic expected latency of each on
+Raspberry-Pi-class hardware.
+"""
+
+import numpy as np
+
+from repro.cascade import (CascadeConfig, CascadeTrainer, EarlyExitMLP,
+                           expected_cascade_latency)
+from repro.data import synthetic_mnist, train_test_split
+from repro.edge import (RASPBERRY_PI_3B, WIFI, profile_model,
+                        teamnet_metrics)
+from repro.experiments import ResultTable
+from repro.nn import build_model, downsize, mlp_spec
+
+
+def test_bench_cascade(benchmark):
+    dataset = synthetic_mnist(1600, seed=6)
+    train, test = train_test_split(dataset, 0.2, np.random.default_rng(6))
+
+    def run():
+        # Early-exit cascade: 3 stages, calibrated so ~60% answer at the
+        # device exit.
+        model = EarlyExitMLP(784, 10, stage_widths=(64, 64, 64),
+                             rng=np.random.default_rng(6))
+        trainer = CascadeTrainer(model, CascadeConfig(
+            epochs=8, batch_size=64, lr=2e-3, seed=6))
+        trainer.train(train)
+        thresholds = model.calibrate_thresholds(train.images,
+                                                target_exit_fraction=0.6)
+        decision = model.predict_with_exits(test.images, thresholds)
+        cascade_acc = float((decision.predictions == test.labels).mean())
+        escalation = float((decision.exits > 0).mean())
+        # TeamNet on the same budget.
+        from repro.core import TeamNet, TrainerConfig
+        team = TeamNet.from_reference(
+            mlp_spec(8, width=64), 2,
+            config=TrainerConfig(epochs=8, batch_size=64, seed=6), seed=6)
+        team.fit(train)
+        return cascade_acc, escalation, team.accuracy(test)
+
+    cascade_acc, escalation, team_acc = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    # Analytic deployment-scale latencies on the RPi over WiFi.
+    rng = np.random.default_rng(0)
+    ref = mlp_spec(8, width=2048)
+    expert_spec = downsize(ref, 2)
+    expert_cost = profile_model(build_model(expert_spec, rng),
+                                (expert_spec.in_features,))
+    team_latency = teamnet_metrics(expert_cost, 2, RASPBERRY_PI_3B,
+                                   WIFI).latency_s
+    # Cascade: device runs 1/3 of the deep model; escalation ships a
+    # 2048-float hidden vector and runs the remaining 2/3 remotely.
+    full_cost = profile_model(build_model(ref, rng), (ref.in_features,))
+    local = RASPBERRY_PI_3B.compute_time(full_cost.total_flops / 3,
+                                         full_cost.num_ops // 3)
+    remote = RASPBERRY_PI_3B.compute_time(2 * full_cost.total_flops / 3,
+                                          2 * full_cost.num_ops // 3)
+    cascade_latency = expected_cascade_latency(local, remote, escalation,
+                                               2048 * 4, WIFI)
+
+    table = ResultTable(
+        "TeamNet vs early-exit cascade (MNIST, Raspberry Pi over WiFi)",
+        ["approach", "accuracy (%)", "expected latency (ms)", "notes"])
+    table.add_row("TeamNet 2x MLP-4", 100 * team_acc, team_latency * 1e3,
+                  "all experts always run")
+    table.add_row("Cascade 3-exit", 100 * cascade_acc,
+                  cascade_latency * 1e3,
+                  f"{escalation:.0%} of samples escalate")
+    print()
+    print(table.render())
+
+    assert cascade_acc > 0.6 and team_acc > 0.6
+    assert 0.0 < escalation < 1.0

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 6 (gate convergence on MNIST)."""
+
+from conftest import BENCH_SCALE
+
+import numpy as np
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark, workloads):
+    workloads.teamnet("mnist", 2)
+    workloads.teamnet("mnist", 4)
+    result = benchmark(lambda: fig6.run(BENCH_SCALE))
+    print()
+    print(result.render())
+    for k in (2, 4):
+        series = result.series[f"proportions_k{k}"]
+        # The proportion of data each expert receives converges to 1/K.
+        tail = series[-max(10, len(series) // 8):].mean(axis=0)
+        assert np.abs(tail - 1.0 / k).max() < 0.1, (
+            f"K={k} proportions did not converge to set point: {tail}")

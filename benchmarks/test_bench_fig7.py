@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 7 (CIFAR-10 on Jetson TX2 CPU/GPU)."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark, workloads):
+    workloads.baseline("cifar")
+    workloads.teamnet("cifar", 2)
+    workloads.teamnet("cifar", 4)
+    result = benchmark(lambda: fig7.run(BENCH_SCALE))
+    print()
+    print(result.render())
+
+    cpu = result.tables["fig7a"].column("Inference Time (ms)")
+    # Figure 7(a): monotone speedup; TeamNet roughly halves the baseline.
+    assert cpu[0] > cpu[1] > cpu[2]
+    assert cpu[1] < 0.6 * cpu[0]
+
+    gpu = result.tables["fig7b"].column("Inference Time (ms)")
+    # Figure 7(b): two experts is the fastest point on the GPU.
+    assert gpu[1] == min(gpu)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 8 (gate convergence on CIFAR-10)."""
+
+from conftest import BENCH_SCALE
+
+import numpy as np
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark, workloads):
+    workloads.teamnet("cifar", 2)
+    workloads.teamnet("cifar", 4)
+    result = benchmark(lambda: fig8.run(BENCH_SCALE))
+    print()
+    print(result.render())
+    for k in (2, 4):
+        series = result.series[f"proportions_k{k}"]
+        tail = series[-max(5, len(series) // 4):].mean(axis=0)
+        # CIFAR convergence is the slowest in the paper too (Fig. 8(b):
+        # ~32000 iterations); at bench scale we only run a few hundred,
+        # so the tolerance is looser than fig6's.
+        assert np.abs(tail - 1.0 / k).max() < 0.2, (
+            f"K={k} proportions did not converge to set point: {tail}")

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 9 (expert specialization on CIFAR-10)."""
+
+from conftest import BENCH_SCALE
+
+import numpy as np
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark, workloads):
+    workloads.teamnet("cifar", 2)
+    workloads.teamnet("cifar", 4)
+    result = benchmark(lambda: fig9.run(BENCH_SCALE))
+    print()
+    print(result.render())
+    # Specialization must be meaningfully above uniform for K=2 (the
+    # paper's machines-vs-animals split).
+    share = result.series["certainty_share_k2"]
+    assert fig9.specialization_score(share) > 0.2
+    # Every class is covered by some expert.
+    assert np.allclose(share.sum(axis=0), 1.0)

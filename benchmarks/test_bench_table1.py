@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table I (MNIST on Jetson TX2, both profiles)."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, workloads):
+    for k in (2, 4):
+        workloads.teamnet("mnist", k)
+        workloads.moe("mnist", k)
+    workloads.baseline("mnist")
+    result = benchmark(lambda: table1.run(BENCH_SCALE))
+    print()
+    print(result.render())
+
+    a = result.tables["table1a"]
+    lat = dict(zip(zip(a.column("Approach"), a.column("Nodes")),
+                   a.column("Inference Time (ms)")))
+    # Paper shapes, Table I(a): TeamNet fastest, MPI an order slower.
+    assert lat[("TeamNet", 2)] < lat[("Baseline", 1)]
+    assert lat[("MPI-Matrix", 2)] > 10 * lat[("Baseline", 1)]
+    assert lat[("MPI-Matrix", 4)] > lat[("MPI-Matrix", 2)]
+    assert lat[("SG-MoE-M", 2)] > lat[("SG-MoE-G", 2)]
+
+    b = result.tables["table1b"]
+    lat_gpu = dict(zip(zip(b.column("Approach"), b.column("Nodes")),
+                       b.column("Inference Time (ms)")))
+    # Table I(b): on the GPU the baseline beats every distributed scheme.
+    assert lat_gpu[("Baseline", 1)] < lat_gpu[("TeamNet", 2)]
+    assert lat_gpu[("Baseline", 1)] < lat_gpu[("SG-MoE-G", 2)]

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table II (CIFAR-10 on Jetson TX2, both profiles)."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, workloads):
+    workloads.baseline("cifar")
+    for k in (2, 4):
+        workloads.teamnet("cifar", k)
+        workloads.moe("cifar", k)
+    result = benchmark(lambda: table2.run(BENCH_SCALE))
+    print()
+    print(result.render())
+
+    a = result.tables["table2a"]
+    lat = dict(zip(zip(a.column("Approach"), a.column("Nodes")),
+                   a.column("Inference Time (ms)")))
+    # Table II(a) shapes.
+    assert lat[("TeamNet", 2)] < lat[("Baseline", 1)]
+    assert lat[("TeamNet", 4)] < lat[("TeamNet", 2)]
+    assert lat[("MPI-Branch", 2)] > lat[("Baseline", 1)]
+    assert lat[("MPI-Kernel", 2)] > lat[("MPI-Branch", 2)]
+    assert lat[("MPI-Kernel", 4)] > lat[("MPI-Kernel", 2)]
+
+    b = result.tables["table2b"]
+    lat_gpu = dict(zip(zip(b.column("Approach"), b.column("Nodes")),
+                       b.column("Inference Time (ms)")))
+    # Table II(b): with the big CIFAR model, TeamNet-2 still wins on GPU.
+    assert lat_gpu[("TeamNet", 2)] < lat_gpu[("Baseline", 1)]

@@ -1,0 +1,57 @@
+"""Extension bench: sustained-load throughput of TeamNet vs the baseline.
+
+Beyond the paper's one-shot latency: feed a Poisson request stream into
+the edge cluster's queue and measure sojourn-time percentiles as the
+arrival rate approaches each approach's capacity.  TeamNet's lower
+per-inference latency on CPU-class devices becomes a proportionally
+higher sustainable request rate.
+"""
+
+import numpy as np
+
+from repro.edge import (RASPBERRY_PI_3B, WIFI, baseline_metrics,
+                        capacity_sweep, profile_model, sustainable_rate,
+                        teamnet_metrics)
+from repro.experiments import ResultTable
+from repro.nn import build_model, downsize, mlp_spec
+
+
+def test_bench_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    ref = mlp_spec(8, width=2048)
+    base = baseline_metrics(
+        profile_model(build_model(ref, rng), (ref.in_features,)),
+        RASPBERRY_PI_3B)
+    spec = downsize(ref, 4)
+    team = teamnet_metrics(
+        profile_model(build_model(spec, rng), (spec.in_features,)),
+        4, RASPBERRY_PI_3B, WIFI)
+
+    def sweep():
+        rows = {}
+        for name, latency in (("baseline", base.latency_s),
+                              ("teamnet-4", team.latency_s)):
+            capacity = sustainable_rate(latency)
+            rates = [0.5 * capacity, 0.8 * capacity, 0.95 * capacity]
+            rows[name] = (capacity, capacity_sweep(latency, rates,
+                                                   duration=30.0))
+        return rows
+
+    rows = benchmark(sweep)
+    table = ResultTable(
+        "Sustained load on Raspberry Pi 3B+ (MNIST, Poisson arrivals)",
+        ["approach", "capacity (req/s)", "load", "p95 sojourn (ms)",
+         "drop rate"])
+    for name, (capacity, sweep_rows) in rows.items():
+        for row in sweep_rows:
+            table.add_row(name, capacity, f"{row['rate'] / capacity:.0%}",
+                          row["p95_sojourn_ms"], row["drop_rate"])
+    print()
+    print(table.render())
+
+    base_capacity = rows["baseline"][0]
+    team_capacity = rows["teamnet-4"][0]
+    assert team_capacity > 2 * base_capacity
+    # At matched *relative* load, latencies stay bounded for both.
+    for _, (__, sweep_rows) in rows.items():
+        assert sweep_rows[0]["drop_rate"] == 0.0

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure 9 analysis: what does each expert specialize in?
+
+Trains a 2-expert TeamNet on synthetic CIFAR-10 and reports, per class,
+which expert is the least-uncertain one — then aggregates over the
+machine/animal superclasses.  In the paper, "Expert One is more certain
+of machines such as airplanes, automobiles and trucks, while Expert Two
+is more certain of animals such as cats and dogs."
+
+Run:  python examples/specialization_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import TeamNet, TrainerConfig
+from repro.data import synthetic_cifar, train_test_split
+from repro.experiments.fig9 import (specialization_score,
+                                    superclass_affinity)
+from repro.nn import shake_shake_spec
+
+
+def bar(fraction: float, width: int = 30) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    print("=== Expert specialization on synthetic CIFAR-10 ===\n")
+    rng = np.random.default_rng(2)
+    dataset = synthetic_cifar(800, seed=2)
+    train, test = train_test_split(dataset, 0.2, rng=rng)
+
+    print("[1/2] training 2x SS-14 experts (this is the slow part) ...")
+    team = TeamNet.from_reference(
+        shake_shake_spec(depth=26, width=8), num_experts=2,
+        config=TrainerConfig(epochs=4, batch_size=64, seed=2), seed=2)
+    team.fit(train)
+    print(f"      team accuracy: {team.accuracy(test):.3f}")
+
+    print("\n[2/2] per-class certainty share "
+          "(fraction of the class each expert 'owns'):\n")
+    share = team.certainty_share(test)
+    for class_index, name in enumerate(test.class_names):
+        kind = ("machine" if class_index in test.superclasses["machines"]
+                else "animal ")
+        frac = share[0, class_index]
+        print(f"   {name:>10} [{kind}]  expert1 {bar(frac)} "
+              f"{frac * 100:5.1f}%")
+
+    affinity = superclass_affinity(share, test.superclasses)
+    print("\n   superclass affinity:")
+    for group in ("machines", "animals"):
+        values = ", ".join(f"expert{i + 1} {v * 100:5.1f}%"
+                           for i, v in enumerate(affinity[group]))
+        print(f"      {group:>9}: {values}")
+    score = specialization_score(share)
+    print(f"\n   specialization score: {score:.3f} "
+          f"(0 = uniform, 1 = fully specialized)")
+    if abs(affinity["machines"][0] - affinity["animals"][0]) > 0.2:
+        print("   -> the experts split along the machine/animal boundary, "
+          "as in Figure 9.")
+    else:
+        print("   -> the experts specialized, but not exactly along the "
+              "machine/animal boundary (this varies with seed, as the "
+              "partition is emergent, not supervised).")
+
+
+if __name__ == "__main__":
+    main()

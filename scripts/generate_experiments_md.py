@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: run every paper experiment and record
+measured results next to the paper's numbers.
+
+Run:  python scripts/generate_experiments_md.py [output-path]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (ALL_EXPERIMENTS, ExperimentScale, Workloads,
+                               fig5, fig6, fig7, fig8, fig9, table1, table2)
+
+SCALE = ExperimentScale(
+    mnist_samples=2400, cifar_samples=800,
+    mnist_epochs=12, cifar_epochs=5,
+    mlp_width=64, cnn_width=8,
+    gate_iterations=25, batch_size=64, seed=7,
+)
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Every table and figure from the evaluation section of *TeamNet: A
+Collaborative Inference Framework on the Edge* (ICDCS 2019), regenerated
+by this repository.  See DESIGN.md for the experiment index and the
+environment substitutions (synthetic datasets, simulated devices); the
+comparison below is therefore about **shapes** — orderings, ratios and
+crossovers — not absolute numbers.
+
+How each column is produced:
+
+* **Accuracy** — measured on actually-trained models at training scale
+  (MLP width {mlp_width} / Shake-Shake width {cnn_width}, {mnist_samples}
+  MNIST / {cifar_samples} CIFAR samples).  The paper trains at full
+  dataset scale, so its absolute accuracies are higher; what must match
+  is the *relative* pattern (see each section's paper-vs-measured note).
+* **Latency / memory / CPU / GPU** — analytic edge model at deployment
+  scale (MLP-8 width 2048, SS-26 width 96) with message patterns verified
+  against the real socket/MPI/RPC runtimes
+  (tests/edge/test_consistency.py).
+
+Regenerate with ``python scripts/generate_experiments_md.py`` or
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+PAPER_NOTES = {
+    "fig5": """\
+**Paper (Fig. 5):** on a Raspberry Pi 3B+, inference time, memory and CPU
+all fall as experts are added, accuracy roughly flat.
+**Measured:** the same three monotone trends hold (see table); accuracy
+of the expert teams is within a few points of (here: above) the baseline.
+""",
+    "table1": """\
+**Paper (Table I):** CPU — Baseline 3.4 ms, TeamNet 3.2/3.3 ms,
+MPI-Matrix 108/189 ms, SG-MoE-G 5.9/4.1 ms, SG-MoE-M 6.9/10.3 ms;
+GPU — Baseline 0.3 ms beats TeamNet 1.5/2.6 ms ("the performance gain
+from a smaller model is overwhelmed by the communication cost").
+**Measured:** same ordering on CPU (TeamNet < Baseline << SG-MoE-M <<
+MPI-Matrix, with MPI-Matrix growing with node count), and the same GPU
+inversion (baseline fastest).  One paper-internal inconsistency we do not
+reproduce: its Table I(b) shows SG-MoE-M *faster* than SG-MoE-G on GPU
+while Table I(a)/II show the opposite; our model consistently prices
+SG-MoE-M above SG-MoE-G.
+""",
+    "fig6": """\
+**Paper (Fig. 6):** per-expert assignment proportions converge to the set
+point (0.5 for K=2 at ~12000 iterations; 0.25 for K=4 at ~15000, at full
+dataset scale).
+**Measured:** the proportions converge to 1/K at our (smaller) scale; see
+the charts and the trailing deviations in the notes.
+""",
+    "fig7": """\
+**Paper (Fig. 7):** CIFAR on Jetson CPUs — TeamNet "nearly halves"
+SS-26's 378 ms (179.5 ms at K=2, 84.8 ms at K=4); on Jetson GPUs the
+fastest point is K=2 (11.4 ms vs 14.3 baseline and 13.1 at K=4).
+**Measured:** both shapes hold, including the K=2 GPU sweet spot.
+""",
+    "table2": """\
+**Paper (Table II):** CPU — Baseline 378.2 ms, TeamNet 179.5/84.8 ms,
+MPI-Kernel 2684/6722 ms, MPI-Branch 1227.8 ms, SG-MoE-G 157.3/67.8 ms;
+SG-MoE accuracy 4-6 points below TeamNet.
+**Measured:** same latency ordering (TeamNet < Baseline << MPI-Branch <
+MPI-Kernel, MPI-Kernel degrading with more nodes; SG-MoE-G competitive
+with TeamNet on latency).  **Known deviation:** at our reduced CIFAR
+scale (800 synthetic images, ~5 epochs, width-8 Shake-Shake) the CNN
+experts are under-trained, their predictive entropies are poorly
+calibrated, and the arg-min gate picks the wrong expert often enough
+that SG-MoE's *dense mixture* scores higher accuracy than TeamNet —
+the opposite of the paper's full-scale result.  On MNIST, where training
+converges at our scale, the paper's accuracy ordering (TeamNet >= MoE,
+~= baseline) does reproduce (Table I); the CIFAR specialization structure
+itself also reproduces (fig9).  Entropy-calibration sensitivity is a real
+limitation of arg-min gating worth knowing about.
+""",
+    "fig8": """\
+**Paper (Fig. 8):** CIFAR proportions start near the set point "by luck",
+wander while the experts are ignorant, and converge (~32000 iterations
+for K=4 at paper scale).
+**Measured:** convergence to 1/K at our scale; K=4 is visibly slower
+than K=2, as in the paper.
+""",
+    "fig9": """\
+**Paper (Fig. 9):** with K=2, Expert One owns the machine classes
+(airplane, automobile, ship, truck) and Expert Two the animals; with K=4
+the machine/animal boundary persists with two experts per superclass.
+**Measured:** the K=2 run splits cleanly along the machine/animal
+boundary of the synthetic dataset (see the superclass affinity table and
+heatmap); K=4 shows the same boundary with class-level specialization
+inside each superclass.
+""",
+}
+
+
+ABLATION_FOOTER = """
+## Ablations and extension benches
+
+Beyond the paper's artifacts, ``pytest benchmarks/ --benchmark-only -s``
+also regenerates (full printed tables in ``bench_output.txt``):
+
+| bench | question | headline result |
+|---|---|---|
+| `ablation_gain` | how fast does each controller gain `a` undo a biased start? | any `0 < a < 1` shrinks the bias (Appendix A); larger `a` corrects faster early |
+| `ablation_softmin` | meta-estimated soft-argmin temperature vs fixed `b`? | the meta-estimator matches the best fixed temperature without tuning |
+| `ablation_vote` | arg-min gate vs (weighted) majority vote at inference? | arg-min >= voting on specialized experts, as Section V argues |
+| `ablation_gate` | what happens without the dynamic gate? | plain arg-min training collapses (one expert takes ~100% of the data); the dynamic gate caps the worst share near the controller target |
+| `ablation_partitioning` | TeamNet vs SG-MoE vs Jacobs-1991 adaptive MoE? | all learn; TeamNet is competitive while needing no gate network at inference |
+| `ablation_weighted` | non-uniform partition targets (future work)? | the gate tracks a 70/30 target at gain `a<=0.3` (gain sensitivity documented in DESIGN.md) |
+| `throughput` | sustained Poisson load on an RPi fleet? | TeamNet-4's capacity is >2x the deep baseline's (lower per-inference latency = more requests/s) |
+| `cascade` | TeamNet vs an early-exit (DDNN-style) cascade? | both philosophies work; the cascade trades average latency against escalation traffic, TeamNet against always-on peers |
+"""
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md")
+    Workloads.shared(SCALE)  # one cache for every driver
+    sections = [HEADER.format(mlp_width=SCALE.mlp_width,
+                              cnn_width=SCALE.cnn_width,
+                              mnist_samples=SCALE.mnist_samples,
+                              cifar_samples=SCALE.cifar_samples)]
+    for name, driver in ALL_EXPERIMENTS.items():
+        start = time.time()
+        print(f"[{name}] running ...", flush=True)
+        result = driver(SCALE)
+        elapsed = time.time() - start
+        sections.append(f"\n## {name}\n")
+        sections.append(PAPER_NOTES.get(name, ""))
+        sections.append("\n```\n" + result.render() + "\n```\n")
+        sections.append(f"_(regenerated in {elapsed:.0f}s)_\n")
+        print(f"[{name}] done in {elapsed:.0f}s", flush=True)
+    sections.append(ABLATION_FOOTER)
+    out_path.write_text("\n".join(sections))
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""TeamNet: A Collaborative Inference Framework on the Edge.
+
+A complete reproduction of Fang, Jin & Zheng (ICDCS 2019), built from
+scratch on numpy: the competitive/selective training algorithm, the
+arg-min-gate distributed inference runtime over TCP sockets, the MPI and
+Sparsely-Gated MoE baselines, and an edge-device simulation that
+regenerates every table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import TeamNet
+    from repro.data import synthetic_mnist, train_test_split
+    from repro.nn import mlp_spec
+
+    train, test = train_test_split(synthetic_mnist(2000))
+    team = TeamNet.from_reference(mlp_spec(depth=8), num_experts=4)
+    team.fit(train)
+    print(team.accuracy(test))
+"""
+
+from . import cascade, comm, core, data, distributed, edge, experiments, moe, nn
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "data", "core", "moe", "cascade", "comm", "distributed",
+           "edge", "experiments", "__version__"]

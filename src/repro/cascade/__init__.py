@@ -1,0 +1,14 @@
+"""``repro.cascade`` — the early-exit (DDNN/BranchyNet) baseline family.
+
+Vertical partitioning with entropy-thresholded exits and device-to-edge
+escalation, complementing the paper's horizontal TeamNet partitioning.
+"""
+
+from .model import EarlyExitMLP, ExitDecision
+from .runtime import (CascadeDevice, expected_cascade_latency,
+                      serve_escalation_tier)
+from .trainer import CascadeConfig, CascadeTrainer
+
+__all__ = ["EarlyExitMLP", "ExitDecision", "CascadeTrainer",
+           "CascadeConfig", "CascadeDevice", "serve_escalation_tier",
+           "expected_cascade_latency"]

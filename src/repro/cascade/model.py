@@ -1,0 +1,164 @@
+"""Early-exit networks (the DDNN/BranchyNet family of related work).
+
+The paper's related work discusses Distributed Deep Neural Networks
+(Teerapittayanon et al., ICDCS 2017): a network with *exit points* — "an
+output is classified locally; if the classification could not be made due
+to low confidence, the task is escalated to a higher exit point ... until
+the last exit".  This module implements that baseline so TeamNet can be
+compared against the other major edge-inference philosophy:
+
+* TeamNet: *horizontal* partition — K peer experts, arg-min entropy;
+* DDNN:    *vertical* partition — one model cut into stages, escalate on
+  low confidence (we use predictive entropy as the confidence measure,
+  the same statistic TeamNet gates on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.entropy import predictive_entropy
+from ..nn import Linear, Module, ReLU, Sequential, Tensor, no_grad
+from ..nn import functional as F
+
+__all__ = ["EarlyExitMLP", "ExitDecision"]
+
+
+class ExitDecision:
+    """Result of entropy-thresholded inference: which exit answered."""
+
+    __slots__ = ("predictions", "exits", "entropies")
+
+    def __init__(self, predictions: np.ndarray, exits: np.ndarray,
+                 entropies: np.ndarray):
+        self.predictions = predictions
+        self.exits = exits
+        self.entropies = entropies
+
+    def exit_fractions(self, num_exits: int) -> np.ndarray:
+        """Fraction of samples answered at each exit."""
+        counts = np.bincount(self.exits, minlength=num_exits)
+        return counts / max(1, len(self.exits))
+
+
+class EarlyExitMLP(Module):
+    """An MLP backbone with an exit head after every stage.
+
+    ``stage_widths`` defines the backbone: stage i maps the running hidden
+    width through ``stage_widths[i]`` with a Linear+ReLU; each stage has
+    its own Linear exit head to the classes.  The final exit is the full
+    network's output.
+    """
+
+    def __init__(self, in_features: int, num_classes: int,
+                 stage_widths: tuple[int, ...] = (64, 64, 64),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if len(stage_widths) < 2:
+            raise ValueError("an early-exit net needs >= 2 stages")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_classes = num_classes
+        self.num_exits = len(stage_widths)
+        previous = in_features
+        stages: list[Module] = []
+        heads: list[Module] = []
+        for width in stage_widths:
+            stages.append(Sequential(Linear(previous, width, rng=rng),
+                                     ReLU()))
+            heads.append(Linear(width, num_classes, rng=rng))
+            previous = width
+        for i, (stage, head) in enumerate(zip(stages, heads)):
+            setattr(self, f"stage{i}", stage)
+            setattr(self, f"head{i}", head)
+        self._stages = stages
+        self._heads = heads
+
+    # ----------------------------------------------------------------- full
+    def forward_all(self, x: Tensor) -> list[Tensor]:
+        """Logits from every exit (used for joint training)."""
+        hidden = x.flatten(start_dim=1)
+        outputs = []
+        for stage, head in zip(self._stages, self._heads):
+            hidden = stage(hidden)
+            outputs.append(head(hidden))
+        return outputs
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Final-exit logits (the deep model's answer)."""
+        return self.forward_all(x)[-1]
+
+    # --------------------------------------------------------------- exiting
+    def forward_stage(self, x_or_hidden, stage_index: int
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run one stage in eval mode: returns (hidden, probs, entropy).
+
+        ``stage_index == 0`` expects raw input; later stages expect the
+        previous stage's hidden activations — this is the unit the
+        distributed device/edge/cloud runtime ships between tiers.
+        """
+        data = np.asarray(x_or_hidden)
+        if stage_index == 0:
+            data = data.reshape(len(data), -1)
+        with no_grad():
+            hidden = self._stages[stage_index](Tensor(data))
+            logits = self._heads[stage_index](hidden)
+            probs = F.softmax(logits, axis=-1).data
+        return hidden.data, probs, predictive_entropy(logits)
+
+    def predict_with_exits(self, x: np.ndarray,
+                           thresholds) -> ExitDecision:
+        """Entropy-thresholded inference.
+
+        A sample exits at the first head whose predictive entropy is below
+        its threshold; remaining samples escalate.  ``thresholds`` has one
+        value per non-final exit (the final exit always answers).
+        """
+        thresholds = list(thresholds)
+        if len(thresholds) != self.num_exits - 1:
+            raise ValueError(f"need {self.num_exits - 1} thresholds")
+        x = np.asarray(x)
+        n = len(x)
+        predictions = np.full(n, -1, dtype=np.int64)
+        exits = np.full(n, self.num_exits - 1, dtype=np.int64)
+        entropies = np.zeros(n)
+        active = np.arange(n)
+        hidden = x.reshape(n, -1)
+        for index in range(self.num_exits):
+            hidden, probs, entropy = self.forward_stage(hidden, index)
+            if index < self.num_exits - 1:
+                confident = entropy < thresholds[index]
+            else:
+                confident = np.ones(len(active), dtype=bool)
+            done = active[confident]
+            predictions[done] = probs[confident].argmax(axis=1)
+            exits[done] = index
+            entropies[done] = entropy[confident]
+            active = active[~confident]
+            hidden = hidden[~confident]
+            if len(active) == 0:
+                break
+        return ExitDecision(predictions, exits, entropies)
+
+    def calibrate_thresholds(self, x: np.ndarray,
+                             target_exit_fraction: float = 0.5
+                             ) -> list[float]:
+        """Pick per-exit entropy thresholds so that roughly
+        ``target_exit_fraction`` of the *remaining* samples exit at each
+        non-final head (quantile calibration on held-out data)."""
+        if not 0.0 < target_exit_fraction < 1.0:
+            raise ValueError("target_exit_fraction must be in (0, 1)")
+        x = np.asarray(x)
+        hidden = x.reshape(len(x), -1)
+        thresholds = []
+        for index in range(self.num_exits - 1):
+            hidden, _, entropy = self.forward_stage(hidden, index)
+            cut = float(np.quantile(entropy, target_exit_fraction))
+            thresholds.append(cut)
+            keep = entropy >= cut
+            hidden = hidden[keep]
+            if len(hidden) == 0:
+                # Everything exited; later thresholds are moot but must
+                # exist — make them permissive.
+                thresholds.extend([np.inf] * (self.num_exits - 2 - index))
+                break
+        return thresholds

@@ -1,0 +1,155 @@
+"""Distributed early-exit inference: device exit + remote escalation.
+
+The DDNN deployment the paper's related work describes: the shallow
+portion runs on the end device and answers locally when confident; the
+rest of the network lives on a stronger tier (edge/cloud) and only
+low-confidence samples are escalated — trading accuracy on the tail for
+a large cut in *average* communication.
+
+:class:`CascadeDevice` holds the first ``device_exits`` stages; the
+remaining stages are served over RPC by :func:`serve_escalation_tier`.
+The escalation payload is the *hidden activation*, as in DDNN (usually
+smaller than the input).  The analytic expected-latency model mirrors
+:mod:`repro.edge.metrics`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.rpc import RpcClient, RpcServer
+from ..core.entropy import predictive_entropy
+from ..edge.device import DeviceProfile
+from ..edge.network import NetworkProfile
+from .model import EarlyExitMLP, ExitDecision
+
+__all__ = ["serve_escalation_tier", "CascadeDevice",
+           "expected_cascade_latency"]
+
+
+def serve_escalation_tier(model: EarlyExitMLP, first_stage: int,
+                          host: str = "127.0.0.1", port: int = 0
+                          ) -> RpcServer:
+    """Serve stages ``first_stage..`` of the cascade over RPC.
+
+    The handler receives hidden activations, runs the remaining stages
+    with entropy-thresholded exits (thresholds shipped per request), and
+    returns (predictions, exit indices relative to the whole model).
+    """
+    server = RpcServer(host, port)
+    num_exits = model.num_exits
+
+    def _handler(meta, arrays):
+        hidden = arrays["hidden"]
+        thresholds = list(arrays.get("thresholds", np.empty(0)))
+        n = len(hidden)
+        predictions = np.full(n, -1, dtype=np.int64)
+        exits = np.full(n, num_exits - 1, dtype=np.int64)
+        active = np.arange(n)
+        for index in range(first_stage, num_exits):
+            hidden, probs, entropy = model.forward_stage(hidden, index)
+            local_threshold_index = index - first_stage
+            if index < num_exits - 1 and \
+                    local_threshold_index < len(thresholds):
+                confident = entropy < thresholds[local_threshold_index]
+            elif index < num_exits - 1:
+                confident = np.zeros(len(active), dtype=bool)
+            else:
+                confident = np.ones(len(active), dtype=bool)
+            done = active[confident]
+            predictions[done] = probs[confident].argmax(axis=1)
+            exits[done] = index
+            active = active[~confident]
+            hidden = hidden[~confident]
+            if len(active) == 0:
+                break
+        return {}, {"predictions": predictions, "exits": exits}
+
+    server.register("escalate", _handler)
+    server.start()
+    return server
+
+
+class CascadeDevice:
+    """The end-device tier: local exits, escalate the unconfident rest."""
+
+    def __init__(self, model: EarlyExitMLP, device_exits: int,
+                 remote_address: tuple[str, int] | None,
+                 thresholds: list[float]):
+        if not 1 <= device_exits <= model.num_exits:
+            raise ValueError("device_exits out of range")
+        if len(thresholds) != model.num_exits - 1:
+            raise ValueError(f"need {model.num_exits - 1} thresholds")
+        self.model = model
+        self.device_exits = device_exits
+        self.thresholds = list(thresholds)
+        self._client = (RpcClient(*remote_address)
+                        if remote_address is not None else None)
+        self.escalated = 0
+        self.answered_locally = 0
+
+    def infer(self, x: np.ndarray) -> ExitDecision:
+        """Answer locally where confident; escalate the rest over RPC."""
+        x = np.asarray(x)
+        n = len(x)
+        predictions = np.full(n, -1, dtype=np.int64)
+        exits = np.full(n, self.model.num_exits - 1, dtype=np.int64)
+        entropies = np.zeros(n)
+        active = np.arange(n)
+        hidden = x.reshape(n, -1)
+        last_local = self.device_exits - 1
+        for index in range(self.device_exits):
+            hidden, probs, entropy = self.model.forward_stage(hidden, index)
+            is_final_overall = index == self.model.num_exits - 1
+            if not is_final_overall:
+                confident = entropy < self.thresholds[index]
+            else:
+                confident = np.ones(len(active), dtype=bool)
+            if index == last_local and not is_final_overall \
+                    and self._client is None:
+                # No remote tier: the last local head must answer.
+                confident = np.ones(len(active), dtype=bool)
+            done = active[confident]
+            predictions[done] = probs[confident].argmax(axis=1)
+            exits[done] = index
+            entropies[done] = entropy[confident]
+            active = active[~confident]
+            hidden = hidden[~confident]
+            if len(active) == 0:
+                break
+        self.answered_locally += n - len(active)
+        if len(active) > 0 and self._client is not None:
+            self.escalated += len(active)
+            remote_thresholds = np.asarray(
+                self.thresholds[self.device_exits:], dtype=float)
+            _, arrays = self._client.call(
+                "escalate",
+                arrays={"hidden": hidden,
+                        "thresholds": remote_thresholds})
+            predictions[active] = arrays["predictions"]
+            exits[active] = arrays["exits"]
+        return ExitDecision(predictions, exits, entropies)
+
+    @property
+    def escalation_rate(self) -> float:
+        total = self.escalated + self.answered_locally
+        return self.escalated / total if total else 0.0
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+
+
+def expected_cascade_latency(local_compute_s: float, remote_compute_s: float,
+                             escalation_rate: float, hidden_bytes: int,
+                             net: NetworkProfile) -> float:
+    """Expected per-inference latency of the two-tier cascade.
+
+    latency = local + p_escalate * (round trip carrying the hidden
+    activation + remote compute).
+    """
+    if not 0.0 <= escalation_rate <= 1.0:
+        raise ValueError("escalation_rate must be in [0, 1]")
+    round_trip = net.rpc_round_trip(hidden_bytes, 64)
+    return local_compute_s + escalation_rate * (round_trip
+                                                + remote_compute_s)

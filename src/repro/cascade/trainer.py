@@ -1,0 +1,85 @@
+"""Joint training for early-exit networks.
+
+Following BranchyNet, every exit head contributes a weighted
+cross-entropy term; training all exits jointly regularizes the early
+layers and makes the shallow heads usable classifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import DataLoader, Dataset
+from ..nn import Adam, Tensor, clip_grad_norm, cross_entropy
+from .model import EarlyExitMLP
+
+__all__ = ["CascadeConfig", "CascadeTrainer"]
+
+
+@dataclass
+class CascadeConfig:
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 1e-3
+    grad_clip: float = 5.0
+    exit_weights: tuple[float, ...] | None = None  # default: uniform
+    seed: int = 0
+
+
+class CascadeTrainer:
+    """Trains all exits jointly with weighted cross-entropy."""
+
+    def __init__(self, model: EarlyExitMLP,
+                 config: CascadeConfig | None = None):
+        self.model = model
+        self.config = config or CascadeConfig()
+        if self.config.exit_weights is not None and \
+                len(self.config.exit_weights) != model.num_exits:
+            raise ValueError("need one exit weight per exit")
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.losses: list[float] = []
+
+    def _weights(self) -> list[float]:
+        if self.config.exit_weights is not None:
+            return list(self.config.exit_weights)
+        return [1.0] * self.model.num_exits
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        self.model.train()
+        outputs = self.model.forward_all(Tensor(np.asarray(x)))
+        weights = self._weights()
+        loss = None
+        for weight, logits in zip(weights, outputs):
+            term = cross_entropy(logits, y) * weight
+            loss = term if loss is None else loss + term
+        loss = loss * (1.0 / sum(weights))
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.config.grad_clip > 0:
+            clip_grad_norm(self.optimizer.params, self.config.grad_clip)
+        self.optimizer.step()
+        value = float(loss.item())
+        self.losses.append(value)
+        return value
+
+    def train(self, dataset: Dataset, epochs: int | None = None
+              ) -> list[float]:
+        epochs = epochs if epochs is not None else self.config.epochs
+        loader = DataLoader(dataset, self.config.batch_size, shuffle=True,
+                            rng=self.rng)
+        for _ in range(epochs):
+            for x, y in loader:
+                self.train_batch(x, y)
+        return self.losses
+
+    def exit_accuracies(self, dataset: Dataset) -> list[float]:
+        """Standalone accuracy of each exit head (no thresholding)."""
+        self.model.eval()
+        from ..nn import no_grad
+        with no_grad():
+            outputs = self.model.forward_all(Tensor(dataset.images))
+        return [float((o.data.argmax(axis=1) == dataset.labels).mean())
+                for o in outputs]

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``train``      — train a TeamNet on a synthetic dataset and save it;
+* ``evaluate``   — load a saved team and report team/expert accuracy;
+* ``serve``      — deploy a saved team over localhost sockets and run a
+  batch of live inferences through the master/worker protocol;
+* ``experiment`` — run one of the paper's table/figure drivers;
+* ``simulate``   — price an approach on a device/network profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import TeamNet, TrainerConfig
+from .data import synthetic_cifar, synthetic_mnist, train_test_split
+from .distributed import deploy_local_team
+from .edge import (DEVICES, WIFI, baseline_metrics, profile_model,
+                   teamnet_metrics)
+from .experiments import ALL_EXPERIMENTS, DEFAULT, SMALL, ExperimentScale
+from .nn import build_model, downsize, mlp_spec, shake_shake_spec
+
+__all__ = ["main", "build_parser"]
+
+
+def _dataset(name: str, samples: int, seed: int):
+    if name == "mnist":
+        return synthetic_mnist(samples, seed=seed)
+    if name == "cifar":
+        return synthetic_cifar(samples, seed=seed)
+    raise SystemExit(f"unknown dataset {name!r} (use mnist or cifar)")
+
+
+def _reference(name: str, width: int | None):
+    if name == "mnist":
+        return mlp_spec(8, width=width or 64)
+    return shake_shake_spec(26, width=width or 8)
+
+
+def cmd_train(args) -> int:
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    train, test = train_test_split(dataset, 0.2,
+                                   np.random.default_rng(args.seed))
+    reference = _reference(args.dataset, args.width)
+    config = TrainerConfig(epochs=args.epochs, batch_size=args.batch_size,
+                           seed=args.seed)
+    team = TeamNet.from_reference(reference, args.experts, config=config,
+                                  seed=args.seed)
+    print(f"training {args.experts}x {team.expert_spec.name} on "
+          f"{len(train)} samples for {args.epochs} epochs ...")
+    monitor = team.fit(train)
+    print(f"team accuracy:    {team.accuracy(test):.3f}")
+    print(f"expert accuracy:  "
+          f"{[round(a, 3) for a in team.expert_accuracy(test)]}")
+    print(f"final partitions: "
+          f"{monitor.history()[-10:].mean(axis=0).round(3)}")
+    team.save(args.out)
+    print(f"saved team to {args.out}/")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    team = TeamNet.load(args.team)
+    dataset = _dataset(args.dataset, args.samples, args.seed)
+    print(f"loaded {team.num_experts}x {team.expert_spec.name} "
+          f"from {args.team}")
+    print(f"team accuracy:   {team.accuracy(dataset):.3f}")
+    print(f"expert accuracy: "
+          f"{[round(a, 3) for a in team.expert_accuracy(dataset)]}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    team = TeamNet.load(args.team)
+    dataset = _dataset(args.dataset, args.requests, args.seed)
+    master, workers = deploy_local_team(team.experts)
+    try:
+        for worker in workers:
+            print(f"worker listening on {worker.address}")
+        correct = 0
+        for i in range(args.requests):
+            x = dataset.images[i:i + 1]
+            preds, winner, _ = master.infer(x)
+            correct += int(preds[0] == dataset.labels[i])
+            print(f"request {i}: prediction={preds[0]} "
+                  f"(expert {winner[0]}), label={dataset.labels[i]}")
+        print(f"accuracy over {args.requests} live requests: "
+              f"{correct / args.requests:.3f}")
+    finally:
+        master.close()
+        for worker in workers:
+            worker.stop()
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    driver = ALL_EXPERIMENTS.get(args.id)
+    if driver is None:
+        raise SystemExit(f"unknown experiment {args.id!r}; choose from "
+                         f"{sorted(ALL_EXPERIMENTS)}")
+    scale = SMALL if args.scale == "small" else DEFAULT
+    result = driver(scale)
+    print(result.render())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    device = DEVICES.get(args.device)
+    if device is None:
+        raise SystemExit(f"unknown device {args.device!r}; choose from "
+                         f"{sorted(DEVICES)}")
+    reference = (mlp_spec(8, width=2048) if args.dataset == "mnist"
+                 else shake_shake_spec(26, width=96))
+    rng = np.random.default_rng(0)
+    in_shape = ((reference.in_features,) if reference.family == "mlp"
+                else reference.in_shape)
+    base_cost = profile_model(build_model(reference, rng), in_shape)
+    base = baseline_metrics(base_cost, device)
+    print(f"{reference.name} baseline on {device.name}: "
+          f"{base.latency_ms:.2f} ms, mem {base.memory_fraction:.1%}, "
+          f"cpu {base.cpu_fraction:.1%}")
+    for k in args.experts:
+        spec = downsize(reference, k)
+        shape = (spec.in_features,) if spec.family == "mlp" else spec.in_shape
+        cost = profile_model(build_model(spec, rng), shape)
+        metrics = teamnet_metrics(cost, k, device, WIFI)
+        print(f"TeamNet {k}x {spec.name}: {metrics.latency_ms:.2f} ms, "
+              f"mem {metrics.memory_fraction:.1%}, "
+              f"cpu {metrics.cpu_fraction:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TeamNet (ICDCS 2019) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train and save a TeamNet")
+    train.add_argument("--dataset", choices=("mnist", "cifar"),
+                       default="mnist")
+    train.add_argument("--experts", type=int, default=2)
+    train.add_argument("--epochs", type=int, default=8)
+    train.add_argument("--samples", type=int, default=1600)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--width", type=int, default=None)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", type=Path, required=True)
+    train.set_defaults(func=cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved team")
+    evaluate.add_argument("--team", type=Path, required=True)
+    evaluate.add_argument("--dataset", choices=("mnist", "cifar"),
+                          default="mnist")
+    evaluate.add_argument("--samples", type=int, default=500)
+    evaluate.add_argument("--seed", type=int, default=99)
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    serve = sub.add_parser("serve", help="serve a team over sockets and "
+                                         "run live requests")
+    serve.add_argument("--team", type=Path, required=True)
+    serve.add_argument("--dataset", choices=("mnist", "cifar"),
+                       default="mnist")
+    serve.add_argument("--requests", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.set_defaults(func=cmd_serve)
+
+    experiment = sub.add_parser("experiment",
+                                help="run a paper table/figure driver")
+    experiment.add_argument("--id", required=True)
+    experiment.add_argument("--scale", choices=("small", "default"),
+                            default="small")
+    experiment.set_defaults(func=cmd_experiment)
+
+    simulate = sub.add_parser("simulate",
+                              help="price approaches on a device profile")
+    simulate.add_argument("--dataset", choices=("mnist", "cifar"),
+                          default="mnist")
+    simulate.add_argument("--device", default="jetson-tx2-cpu")
+    simulate.add_argument("--experts", type=int, nargs="+", default=[2, 4])
+    simulate.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse ``argv`` and dispatch to the chosen subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""``repro.comm`` — communication substrates.
+
+Framed TCP transport (the paper's socket layer), a pickle-free wire
+protocol for numpy arrays, MPI-style collectives and a gRPC-style RPC
+system.  Everything meters messages/bytes so the edge simulator can replay
+real traffic against a WiFi model.
+"""
+
+from . import protocol
+from .mpi import Communicator, LocalGroup, run_group
+from .protocol import Message, ProtocolError, decode, encode
+from .rpc import RemoteError, RpcClient, RpcServer
+from .transport import (FrameError, Listener, MeteredSocket, TransportStats,
+                        connect, recv_frame, send_frame)
+
+__all__ = [
+    "protocol", "Message", "ProtocolError", "encode", "decode",
+    "Communicator", "LocalGroup", "run_group", "RpcServer", "RpcClient",
+    "RemoteError", "Listener", "MeteredSocket", "TransportStats", "connect",
+    "send_frame", "recv_frame", "FrameError",
+]

@@ -1,0 +1,266 @@
+"""An MPI-style communicator over TCP sockets.
+
+Implements the collectives the paper's MPI baselines need (send/recv,
+bcast, scatter, gather, allgather, allreduce, barrier) over a full mesh of
+framed TCP connections.  The *message pattern* matches textbook MPI
+implementations — e.g. ``allgather`` is K*(K-1) point-to-point messages —
+because the paper's claim ("MPI requires frequent communication among
+Jetson devices per each matrix multiplication") is precisely about message
+counts over a slow wireless link.  Every endpoint meters its traffic; the
+edge simulator replays those counters against a WiFi model.
+
+Ranks run as threads in one process (the offline stand-in for one process
+per device); :func:`run_group` spawns a function once per rank with a
+:class:`Communicator` handle.
+"""
+
+from __future__ import annotations
+
+import threading
+from queue import Queue
+
+import numpy as np
+
+from . import protocol
+from .transport import Listener, MeteredSocket, TransportStats, connect
+
+__all__ = ["Communicator", "LocalGroup", "run_group"]
+
+
+class Communicator:
+    """One rank's endpoint in a fully-connected process group."""
+
+    def __init__(self, rank: int, size: int,
+                 peers: dict[int, MeteredSocket]):
+        if size < 1:
+            raise ValueError("group size must be >= 1")
+        self.rank = rank
+        self.size = size
+        self._peers = peers
+        self._queues: dict[int, dict[str, Queue]] = {
+            peer: {} for peer in peers}
+        self._queue_lock = threading.Lock()
+        self._collective_seq = 0
+        self._closed = False
+        self._readers = []
+        for peer, sock in peers.items():
+            reader = threading.Thread(target=self._read_loop,
+                                      args=(peer, sock), daemon=True)
+            reader.start()
+            self._readers.append(reader)
+
+    # ----------------------------------------------------------------- stats
+    @property
+    def stats(self) -> TransportStats:
+        """Aggregate traffic counters over all peer links."""
+        total = TransportStats()
+        for sock in self._peers.values():
+            total.merge(sock.stats)
+        return total
+
+    def reset_stats(self) -> None:
+        for sock in self._peers.values():
+            sock.stats.reset()
+
+    # ------------------------------------------------------------ point2point
+    def send(self, array: np.ndarray, dest: int, tag: str = "p2p") -> None:
+        """Send one array to ``dest``."""
+        if dest == self.rank:
+            raise ValueError("cannot send to self")
+        blob = protocol.encode("mpi", {"tag": tag}, {"data": np.asarray(array)})
+        self._peers[dest].send(blob)
+
+    def recv(self, source: int, tag: str = "p2p",
+             timeout: float | None = 30.0) -> np.ndarray:
+        """Receive one array from ``source`` (blocking)."""
+        if source == self.rank:
+            raise ValueError("cannot recv from self")
+        queue = self._queue_for(source, tag)
+        msg = queue.get(timeout=timeout)
+        if isinstance(msg, Exception):
+            raise msg
+        return msg
+
+    def _queue_for(self, peer: int, tag: str) -> Queue:
+        with self._queue_lock:
+            tags = self._queues[peer]
+            if tag not in tags:
+                tags[tag] = Queue()
+            return tags[tag]
+
+    def _read_loop(self, peer: int, sock: MeteredSocket) -> None:
+        try:
+            while True:
+                msg = protocol.decode(sock.recv())
+                tag = msg.meta.get("tag", "p2p")
+                self._queue_for(peer, tag).put(msg.arrays["data"])
+        except (ConnectionError, OSError) as exc:
+            if not self._closed:
+                # Propagate the failure to any blocked receiver.
+                with self._queue_lock:
+                    tags = list(self._queues[peer].values())
+                for queue in tags:
+                    queue.put(ConnectionError(f"link to rank {peer} died: {exc}"))
+
+    # ------------------------------------------------------------ collectives
+    def _next_tag(self) -> str:
+        # All ranks execute the same collective sequence, so a local counter
+        # yields matching tags group-wide (standard MPI program order rule).
+        self._collective_seq += 1
+        return f"_coll{self._collective_seq}"
+
+    def bcast(self, array: np.ndarray | None, root: int = 0) -> np.ndarray:
+        """Broadcast ``array`` from ``root`` to every rank."""
+        tag = self._next_tag()
+        if self.rank == root:
+            array = np.asarray(array)
+            for peer in self._peers:
+                self.send(array, peer, tag)
+            return array
+        return self.recv(root, tag)
+
+    def scatter(self, chunks: list[np.ndarray] | None,
+                root: int = 0) -> np.ndarray:
+        """Distribute one chunk per rank from ``root``."""
+        tag = self._next_tag()
+        if self.rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise ValueError(f"scatter needs {self.size} chunks")
+            for peer in self._peers:
+                self.send(np.asarray(chunks[peer]), peer, tag)
+            return np.asarray(chunks[self.rank])
+        return self.recv(root, tag)
+
+    def gather(self, array: np.ndarray, root: int = 0
+               ) -> list[np.ndarray] | None:
+        """Collect one array per rank at ``root`` (rank order)."""
+        tag = self._next_tag()
+        if self.rank == root:
+            parts: list[np.ndarray | None] = [None] * self.size
+            parts[self.rank] = np.asarray(array)
+            for peer in self._peers:
+                parts[peer] = self.recv(peer, tag)
+            return parts  # type: ignore[return-value]
+        self.send(np.asarray(array), root, tag)
+        return None
+
+    def allgather(self, array: np.ndarray) -> list[np.ndarray]:
+        """Every rank ends with every rank's array (full-mesh exchange)."""
+        tag = self._next_tag()
+        array = np.asarray(array)
+        for peer in self._peers:
+            self.send(array, peer, tag)
+        parts: list[np.ndarray | None] = [None] * self.size
+        parts[self.rank] = array
+        for peer in self._peers:
+            parts[peer] = self.recv(peer, tag)
+        return parts  # type: ignore[return-value]
+
+    _REDUCERS = {"sum": np.sum, "max": np.max, "min": np.min,
+                 "mean": np.mean}
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> np.ndarray:
+        """Elementwise reduction across ranks, result on every rank.
+
+        The op is validated *before* any communication so an invalid call
+        fails locally instead of desynchronizing the group's collective
+        sequence.
+        """
+        reducer = self._REDUCERS.get(op)
+        if reducer is None:
+            raise ValueError(f"unknown allreduce op {op!r}")
+        parts = self.allgather(array)
+        return reducer(np.stack(parts), axis=0)
+
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+        self.allgather(np.zeros(1, dtype=np.uint8))
+
+    def close(self) -> None:
+        self._closed = True
+        for sock in self._peers.values():
+            sock.close()
+
+
+class LocalGroup:
+    """Builds a fully-connected group of communicators on localhost.
+
+    Each rank owns a listener; rank i connects to every rank j < i, and the
+    accept side identifies the dialer from its hello frame.  Intended usage
+    is via :func:`run_group` or as a context manager handing back one
+    communicator per rank (each to be driven from its own thread).
+    """
+
+    def __init__(self, size: int):
+        if size < 2:
+            raise ValueError("a group needs >= 2 ranks")
+        self.size = size
+        listeners = [Listener() for _ in range(size)]
+        sockets: list[dict[int, MeteredSocket]] = [{} for _ in range(size)]
+        lock = threading.Lock()
+
+        def _accept_all(rank: int) -> None:
+            # Rank r accepts connections from all higher ranks.
+            for _ in range(size - rank - 1):
+                sock = listeners[rank].accept(timeout=10.0)
+                hello = protocol.decode(sock.recv())
+                dialer = int(hello.meta["rank"])
+                with lock:
+                    sockets[rank][dialer] = sock
+
+        acceptors = [threading.Thread(target=_accept_all, args=(r,),
+                                      daemon=True) for r in range(size)]
+        for t in acceptors:
+            t.start()
+        for rank in range(size):
+            for lower in range(rank):
+                sock = connect(*listeners[lower].address)
+                sock.send(protocol.encode("hello", {"rank": rank}))
+                with lock:
+                    sockets[rank][lower] = sock
+        for t in acceptors:
+            t.join(timeout=10.0)
+        for listener in listeners:
+            listener.close()
+        self.communicators = [Communicator(r, size, sockets[r])
+                              for r in range(size)]
+
+    def __enter__(self):
+        return self.communicators
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def close(self) -> None:
+        for comm in self.communicators:
+            comm.close()
+
+
+def run_group(size: int, fn, *args, timeout: float = 60.0):
+    """Run ``fn(comm, *args)`` once per rank in parallel threads.
+
+    Returns the list of per-rank return values; re-raises the first rank
+    exception (after joining all threads) so failures surface in tests.
+    """
+    group = LocalGroup(size)
+    results: list = [None] * size
+    errors: list = [None] * size
+
+    def _target(rank: int) -> None:
+        try:
+            results[rank] = fn(group.communicators[rank], *args)
+        except Exception as exc:  # noqa: BLE001 - surfaced to caller below
+            errors[rank] = exc
+
+    threads = [threading.Thread(target=_target, args=(r,), daemon=True)
+               for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    group.close()
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

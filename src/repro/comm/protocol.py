@@ -1,0 +1,102 @@
+"""Wire protocol: self-describing messages carrying numpy arrays.
+
+Format (all lengths big-endian):
+
+    [4-byte header length][JSON header][array payload bytes...]
+
+The JSON header carries the message ``kind``, arbitrary JSON-safe ``meta``
+fields, and a manifest of the appended arrays (name, dtype, shape, offset).
+No pickle anywhere: the decoder only materializes declared dtypes/shapes,
+so a malicious peer cannot execute code through the deserializer.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+__all__ = ["Message", "encode", "decode", "ProtocolError"]
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """Raised for malformed or inconsistent messages."""
+
+
+class Message:
+    """A decoded protocol message."""
+
+    __slots__ = ("kind", "meta", "arrays")
+
+    def __init__(self, kind: str, meta: dict | None = None,
+                 arrays: dict[str, np.ndarray] | None = None):
+        self.kind = kind
+        self.meta = meta or {}
+        self.arrays = arrays or {}
+
+    def __repr__(self) -> str:
+        names = ", ".join(self.arrays)
+        return f"Message(kind={self.kind!r}, meta={self.meta}, arrays=[{names}])"
+
+
+def encode(kind: str, meta: dict | None = None,
+           arrays: dict[str, np.ndarray] | None = None) -> bytes:
+    """Serialize a message to bytes."""
+    meta = meta or {}
+    arrays = arrays or {}
+    manifest = []
+    chunks = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.asarray(array)
+        # ascontiguousarray promotes 0-d arrays to 1-d; keep the true shape.
+        shape = list(array.shape)
+        array = np.ascontiguousarray(array)
+        raw = array.tobytes()
+        manifest.append({
+            "name": name,
+            "dtype": str(array.dtype),
+            "shape": shape,
+            "offset": offset,
+            "nbytes": len(raw),
+        })
+        chunks.append(raw)
+        offset += len(raw)
+    header = json.dumps({"kind": kind, "meta": meta,
+                         "arrays": manifest}).encode("utf-8")
+    return _LEN.pack(len(header)) + header + b"".join(chunks)
+
+
+def decode(blob: bytes) -> Message:
+    """Parse bytes produced by :func:`encode`."""
+    if len(blob) < _LEN.size:
+        raise ProtocolError("message too short for header length")
+    (header_len,) = _LEN.unpack_from(blob, 0)
+    header_end = _LEN.size + header_len
+    if len(blob) < header_end:
+        raise ProtocolError("truncated header")
+    try:
+        header = json.loads(blob[_LEN.size:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad header: {exc}") from exc
+    if not isinstance(header, dict) or "kind" not in header:
+        raise ProtocolError("header missing 'kind'")
+    payload = blob[header_end:]
+    arrays = {}
+    for entry in header.get("arrays", []):
+        start = entry["offset"]
+        end = start + entry["nbytes"]
+        if end > len(payload):
+            raise ProtocolError(f"array {entry['name']!r} out of bounds")
+        dtype = np.dtype(entry["dtype"])
+        expected = int(np.prod(entry["shape"])) * dtype.itemsize
+        if expected != entry["nbytes"]:
+            raise ProtocolError(
+                f"array {entry['name']!r}: manifest nbytes {entry['nbytes']} "
+                f"inconsistent with shape/dtype ({expected})")
+        arrays[entry["name"]] = np.frombuffer(
+            payload[start:end], dtype=dtype).reshape(entry["shape"]).copy()
+    return Message(header["kind"], header.get("meta", {}), arrays)

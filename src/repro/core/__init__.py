@@ -1,0 +1,28 @@
+"""``repro.core`` — the TeamNet contribution.
+
+Competitive/selective training (Algorithms 1-3), the dynamic gate with
+soft-argmin + meta-estimator, arg-min-gate inference, and the high-level
+:class:`TeamNet` API.
+"""
+
+from .entropy import (abs_deviation, entropy_from_probs, entropy_matrix,
+                      mean_entropy, predictive_entropy,
+                      relative_mean_abs_deviation)
+from .gate import (DynamicGate, GateNetwork, GateResult, MetaEstimator,
+                   assignment_fractions, hard_assignments, kronecker_approx,
+                   soft_argmin)
+from .inference import (ExpertOutput, TeamInference, argmin_select,
+                        expert_forward, majority_vote)
+from .monitor import ConvergenceMonitor
+from .team import TeamNet
+from .trainer import TeamNetTrainer, TrainerConfig, expert_train_step
+
+__all__ = [
+    "predictive_entropy", "entropy_from_probs", "entropy_matrix",
+    "mean_entropy", "abs_deviation", "relative_mean_abs_deviation",
+    "soft_argmin", "kronecker_approx", "GateNetwork", "MetaEstimator",
+    "DynamicGate", "GateResult", "hard_assignments", "assignment_fractions",
+    "ConvergenceMonitor", "TeamNetTrainer", "TrainerConfig",
+    "expert_train_step", "ExpertOutput", "expert_forward", "argmin_select",
+    "majority_vote", "TeamInference", "TeamNet",
+]

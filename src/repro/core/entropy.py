@@ -1,0 +1,87 @@
+"""Predictive entropy and the batch diversity statistics of Section IV.
+
+Defines (following the paper's notation):
+
+* ``H(y|x, theta_i)`` — predictive entropy of expert i on input x (Sec. IV-A);
+* ``E(x)`` — mean entropy across experts;
+* ``D(x)`` — mean absolute deviation of the entropies from ``E(x)``;
+* ``Delta`` — the batch-average of ``D(x)/E(x)`` ("how diverse the
+  uncertainty of different expert models is", Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, Tensor, no_grad
+from ..nn import functional as F
+
+__all__ = [
+    "predictive_entropy", "entropy_from_probs", "entropy_matrix",
+    "mean_entropy", "abs_deviation", "relative_mean_abs_deviation",
+]
+
+_EPS = 1e-12
+
+
+def predictive_entropy(logits) -> np.ndarray:
+    """Entropy of the softmax distribution for each row of ``logits``.
+
+    Accepts a Tensor or ndarray of shape (N, C); returns an ndarray (N,).
+    Computed via log-softmax for numerical stability.
+    """
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    shifted = data - data.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_p = shifted - log_z
+    p = np.exp(log_p)
+    return -(p * log_p).sum(axis=-1)
+
+
+def entropy_from_probs(probs: np.ndarray) -> np.ndarray:
+    """Entropy of explicit probability rows (N, C)."""
+    probs = np.asarray(probs)
+    return -(probs * np.log(probs + _EPS)).sum(axis=-1)
+
+
+def entropy_matrix(experts: list[Module], x: np.ndarray) -> np.ndarray:
+    """The matrix **H** of Algorithm 2: shape (N, K), entry (n, i) is the
+    predictive entropy of Expert i on sample n.
+
+    Experts are evaluated in eval mode under ``no_grad`` (the gate treats
+    expert uncertainties as constants).
+    """
+    xs = Tensor(np.asarray(x))
+    columns = []
+    with no_grad():
+        for expert in experts:
+            was_training = expert.training
+            expert.eval()
+            logits = expert(xs)
+            if was_training:
+                expert.train()
+            columns.append(predictive_entropy(logits))
+    return np.stack(columns, axis=1)
+
+
+def mean_entropy(H: np.ndarray) -> np.ndarray:
+    """``E(x)`` per sample: mean entropy over the K experts. Shape (N,)."""
+    return np.asarray(H).mean(axis=1)
+
+
+def abs_deviation(H: np.ndarray) -> np.ndarray:
+    """``D(x)`` per sample: mean |H_i - E(x)| over experts. Shape (N,)."""
+    H = np.asarray(H)
+    e = H.mean(axis=1, keepdims=True)
+    return np.abs(H - e).mean(axis=1)
+
+
+def relative_mean_abs_deviation(H: np.ndarray) -> float:
+    """``Delta``: batch average of D(x)/E(x) (Sec. IV-B).
+
+    A small floor on E(x) guards against all-zero entropy rows (an expert
+    that is perfectly certain of everything).
+    """
+    H = np.asarray(H)
+    e = np.maximum(mean_entropy(H), _EPS)
+    return float((abs_deviation(H) / e).mean())

@@ -1,0 +1,358 @@
+"""The dynamic gate of Section IV-B (Algorithm 2) and its building blocks.
+
+Pieces, in paper order:
+
+* :func:`soft_argmin` — eq. (5): differentiable relaxation of ``arg min``;
+* :class:`MetaEstimator` — eq. (6): a small network that tunes the softness
+  ``b`` so the expected distance of the soft assignment to its nearest
+  integer stays near ``epsilon`` (neither an over-steep nor an over-gentle
+  slope);
+* :func:`kronecker_approx` — eq. (7): ``tanh(c * relu(0.5 - |g - i|))``;
+* :class:`GateNetwork` — the MLP ``W(z, Theta)`` that parameterizes the
+  control variables ``delta = 1 + Delta * W(z, Theta)``;
+* :class:`DynamicGate` — Algorithm 2 (``GATE_TRAIN``): descend ``Theta``
+  until the batch objective ``J`` of eq. (4) falls below ``epsilon``, then
+  return the hard assignments ``arg min_i delta_i * H(x, i)``.
+
+Expert indices are 0-based here (the paper uses 1-based); this only shifts
+the integer grid of eq. (5)-(7) and changes nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import Adam, Linear, Module, ReLU, Sequential, Tanh, Tensor
+from ..nn import functional as F
+from .entropy import relative_mean_abs_deviation
+
+__all__ = ["soft_argmin", "kronecker_approx", "GateNetwork", "MetaEstimator",
+           "GateResult", "DynamicGate", "hard_assignments",
+           "assignment_fractions"]
+
+
+def soft_argmin(values: Tensor, b: Tensor | float) -> Tensor:
+    """Differentiable argmin over the last axis (eq. 5).
+
+    ``soft_argmin(x)_n = sum_i softmax(-b * x_n)_i * i`` — a continuous
+    index in [0, K-1] that approaches the hard argmin as ``b`` grows.
+    """
+    if not isinstance(values, Tensor):
+        values = Tensor(values)
+    k = values.shape[-1]
+    scaled = values * (-1.0) * b
+    weights = F.softmax(scaled, axis=-1)
+    index = np.arange(k, dtype=float)
+    return (weights * Tensor(index)).sum(axis=-1)
+
+
+def kronecker_approx(soft_index: Tensor, i: int, c: float = 10.0) -> Tensor:
+    """Differentiable Kronecker delta ``1[g == i]`` (eq. 7).
+
+    ``tanh(c * relu(0.5 - |g - i|))``: shifting centers the bump at ``i``,
+    the ReLU ramps within +-0.5 of it, and tanh with ``c = 10`` flattens the
+    bump toward an indicator while keeping gradients alive.
+    """
+    dist = (soft_index - float(i)).abs()
+    return ((0.5 - dist).relu() * c).tanh()
+
+
+def hard_assignments(H: np.ndarray, delta: np.ndarray) -> np.ndarray:
+    """``arg min_i delta_i * H(x, i)`` for each row of H (eq. 1)."""
+    return np.argmin(np.asarray(H) * np.asarray(delta)[None, :], axis=1)
+
+
+def assignment_fractions(assignments: np.ndarray, num_experts: int
+                         ) -> np.ndarray:
+    """Fraction of the batch assigned to each expert (eq. 2/3 numerators)."""
+    counts = np.bincount(np.asarray(assignments), minlength=num_experts)
+    return counts / max(1, len(assignments))
+
+
+class GateNetwork(Module):
+    """The MLP ``W(z, Theta)`` of Section IV-B.
+
+    Input: the latent vector ``z ~ U(-1, 1)^N``; output: K values used as
+    ``delta = 1 + Delta * W(z, Theta)``.  tanh keeps outputs in (-1, 1) so
+    ``delta`` stays positive whenever ``Delta < 1``.
+    """
+
+    def __init__(self, latent_dim: int, num_experts: int, hidden: int = 16,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.latent_dim = latent_dim
+        self.num_experts = num_experts
+        out = Linear(hidden, num_experts, rng=rng)
+        # Zero-init the output layer so delta starts at exactly 1 (a pure
+        # arg-min gate); corrections grow from there by gradient descent.
+        # The output is deliberately unbounded: when one expert is far more
+        # certain than the rest, delta must scale arbitrarily to flip
+        # assignments (Sec. IV-B gives no bound on W).
+        out.weight.data[:] = 0.0
+        out.bias.data[:] = 0.0
+        self.net = Sequential(
+            Linear(latent_dim, hidden, rng=rng), Tanh(), out,
+        )
+
+    def forward(self, z: Tensor) -> Tensor:
+        return self.net(z)
+
+
+class MetaEstimator(Module):
+    """Estimates the soft-argmin temperature ``b`` (eq. 6).
+
+    A one-hidden-layer network maps batch statistics of the gated entropies
+    to a positive scalar ``b`` (softplus output, scaled into a sane range).
+    Its training objective (:meth:`loss`) is the paper's eq. (6): drive the
+    mean distance between the soft assignment and its nearest integer to a
+    small ``epsilon``.
+    """
+
+    def __init__(self, hidden: int = 8, b_min: float = 2.0,
+                 b_max: float = 50.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.b_min = b_min
+        self.b_max = b_max
+        self.net = Sequential(
+            Linear(3, hidden, rng=rng), Tanh(),
+            Linear(hidden, 1, rng=rng),
+        )
+
+    @staticmethod
+    def _features(gated: np.ndarray) -> np.ndarray:
+        """Summary statistics of the delta-weighted entropy matrix."""
+        gated = np.asarray(gated)
+        spread = gated.max(axis=1) - gated.min(axis=1)
+        return np.array([gated.mean(), gated.std(), spread.mean()])
+
+    def forward(self, gated: np.ndarray) -> Tensor:
+        feats = Tensor(self._features(gated)[None, :])
+        raw = self.net(feats).reshape(1)
+        # Softplus, then clamp into [b_min, b_max] smoothly via scaling.
+        positive = (raw.exp() + 1.0).log()
+        return (positive * (self.b_max / 10.0) + self.b_min).clip(
+            self.b_min, self.b_max)
+
+    def loss(self, soft_index: Tensor, epsilon: float,
+             num_experts: int) -> Tensor:
+        """Eq. (6): | mean_x min_i |G(x) - i| - epsilon |."""
+        candidates = [(soft_index - float(i)).abs()
+                      for i in range(num_experts)]
+        dist = F.stack(candidates, axis=-1).min(axis=-1)
+        return (dist.mean() - epsilon).abs()
+
+
+@dataclass
+class GateResult:
+    """Output of one ``GATE_TRAIN`` call (Algorithm 2)."""
+
+    assignments: np.ndarray        # hard expert index per sample
+    delta: np.ndarray              # final control variables (K,)
+    gamma: np.ndarray              # arg-min gate fractions (eq. 2)
+    gamma_bar: np.ndarray          # dynamic gate fractions (eq. 3)
+    objective: float               # final J (eq. 4)
+    iterations: int                # gradient steps taken
+    b: float                       # soft-argmin temperature used
+    delta_spread: float = 0.0      # the batch diversity statistic Delta
+
+
+class DynamicGate:
+    """Algorithm 2: find the gate ``G-bar`` for one batch.
+
+    Parameters mirror the paper: ``gain`` is the proportional-controller
+    gain ``a`` in eq. (4) (0 < a < 1); ``epsilon`` is both the convergence
+    threshold on J and the target of the meta-estimator's eq. (6); ``eta``
+    is the learning rate for Theta.
+    """
+
+    def __init__(self, num_experts: int, latent_dim: int = 8,
+                 gain: float = 0.5, epsilon: float = 0.05, eta: float = 0.05,
+                 max_iterations: int = 60, c: float = 10.0,
+                 meta_lr: float = 0.02, seed: int | None = None,
+                 set_points: np.ndarray | None = None):
+        if not 0.0 < gain < 1.0:
+            raise ValueError("gain a must satisfy 0 < a < 1 (Sec. IV-B)")
+        if num_experts < 2:
+            raise ValueError("the gate needs at least 2 experts")
+        self.num_experts = num_experts
+        self.latent_dim = latent_dim
+        self.gain = gain
+        self.epsilon = epsilon
+        self.eta = eta
+        self.max_iterations = max_iterations
+        self.c = c
+        # The paper's objective targets equal shares (1/K).  Its stated
+        # future work — adapting to imbalanced data or heterogeneous
+        # devices — only changes the set point, so we accept an arbitrary
+        # target simplex vector p and drive gamma_bar_i toward
+        # p_i - a * (gamma_i - p_i).
+        if set_points is None:
+            self.set_points = np.full(num_experts, 1.0 / num_experts)
+        else:
+            set_points = np.asarray(set_points, dtype=float)
+            if set_points.shape != (num_experts,):
+                raise ValueError(
+                    f"set_points must have shape ({num_experts},)")
+            if (set_points <= 0).any():
+                raise ValueError("set_points must be strictly positive")
+            self.set_points = set_points / set_points.sum()
+        self.rng = np.random.default_rng(seed)
+        # Theta is re-initialized per batch (Algorithm 2 solves a fresh
+        # optimization for every beta); starting from the zero-init output
+        # layer makes every batch begin at delta = 1, i.e. the arg-min gate,
+        # and descend toward the corrected split.  The meta-estimator is
+        # persistent: the mapping "entropy statistics -> good b" transfers
+        # across batches.
+        self.network = GateNetwork(latent_dim, num_experts, rng=self.rng)
+        self.meta = MetaEstimator(rng=self.rng)
+        self._theta_opt = Adam(self.network.parameters(), lr=eta)
+        self._meta_opt = Adam(self.meta.parameters(), lr=meta_lr)
+
+    def _reset_theta(self) -> None:
+        self.network = GateNetwork(self.latent_dim, self.num_experts,
+                                   rng=self.rng)
+        self._theta_opt = Adam(self.network.parameters(), lr=self.eta)
+
+    def _refine_delta(self, H: np.ndarray, delta: np.ndarray,
+                      target: np.ndarray, best_j: float,
+                      steps: int = 25) -> tuple[np.ndarray, float]:
+        """Multiplicative projection of delta onto the eq. (4) target.
+
+        Engineering addition on top of Algorithm 2 (documented in
+        DESIGN.md): the soft-argmin gradient solver can stall for K > 2
+        because a sample torn between experts 0 and K-1 contributes soft
+        mass to the middle indices.  Since gamma-bar depends on delta only
+        through hard arg-mins, a few Sinkhorn-style multiplicative updates
+        on the hard counts reliably finish the job: overloaded experts get
+        their delta (hence their gated uncertainty) scaled up, starving
+        them of samples.  The best delta seen anywhere is kept.
+        """
+        k = len(delta)
+        best = delta.copy()
+        current = delta.copy()
+        for _ in range(steps):
+            fractions = assignment_fractions(hard_assignments(H, current), k)
+            j = float(np.abs(fractions - target).mean())
+            if j < best_j:
+                best_j = j
+                best = current.copy()
+            if best_j <= self.epsilon:
+                break
+            current = current * ((fractions + 0.05)
+                                 / (target + 0.05)) ** 0.25
+            current = np.clip(current / current.mean(), 0.02, None)
+        return best, best_j
+
+    @staticmethod
+    def _quota_assignments(H: np.ndarray, delta: np.ndarray,
+                           target: np.ndarray) -> np.ndarray:
+        """Exact projection onto the eq. (4) target split.
+
+        Used when neither the gradient solver nor the multiplicative
+        refinement reaches J <= epsilon (which happens when expert
+        uncertainties are nearly tied and the arg-min boundary is razor
+        thin).  Experts get integer quotas proportional to the target;
+        samples are assigned greedily, most-confident first, each to its
+        lowest gated uncertainty among experts with remaining quota —
+        the assignment eq. (4)'s ideal delta would induce.
+        """
+        n, k = H.shape
+        gated = H * delta[None, :]
+        quotas = np.floor(target * n).astype(int)
+        # Distribute the rounding remainder to the largest fractional parts.
+        remainder = n - quotas.sum()
+        if remainder > 0:
+            extra = np.argsort(-(target * n - quotas))[:remainder]
+            quotas[extra] += 1
+        assignments = np.empty(n, dtype=int)
+        order = np.argsort(gated.min(axis=1))
+        for idx in order:
+            for expert in np.argsort(gated[idx]):
+                if quotas[expert] > 0:
+                    assignments[idx] = expert
+                    quotas[expert] -= 1
+                    break
+        return assignments
+
+    # ------------------------------------------------------------------ API
+    def train_batch(self, H: np.ndarray) -> GateResult:
+        """Run GATE_TRAIN on the entropy matrix ``H`` (N, K)."""
+        H = np.asarray(H, dtype=float)
+        if H.ndim != 2 or H.shape[1] != self.num_experts:
+            raise ValueError(f"H must be (N, {self.num_experts}), got {H.shape}")
+        n = H.shape[0]
+        k = self.num_experts
+        delta_stat = relative_mean_abs_deviation(H)
+        # gamma_i: fractions under the plain arg-min gate (eq. 2).
+        gamma = assignment_fractions(np.argmin(H, axis=1), k)
+        target = self.set_points - self.gain * (gamma - self.set_points)
+        # Eq. (4)'s raw target can leave [0, 1] under extreme bias
+        # (gamma_i = 1 gives a negative target); project back onto the
+        # simplex so the objective stays attainable.
+        target = np.clip(target, 0.0, 1.0)
+        target = target / target.sum()
+        # z is drawn once per batch (Algorithm 2, line 3); Theta restarts
+        # from the arg-min gate (see __init__).
+        self._reset_theta()
+        z = Tensor(self.rng.uniform(-1.0, 1.0, size=(1, self.latent_dim)))
+        h_const = Tensor(H)
+
+        b_value = float(self.meta(H).item())
+        objective = float("inf")
+        iterations = 0
+        best_j = float("inf")
+        best_delta = np.ones(k)
+        for iterations in range(1, self.max_iterations + 1):
+            phi = self.network(z).reshape(k)
+            # Positivity floor: a non-positive delta would invert the
+            # uncertainty ordering instead of reweighting it.
+            delta = (phi * delta_stat + 1.0).clip(0.02, None)
+            gated = h_const * delta
+            # Meta-estimator step: tune b on the current gated entropies.
+            b_tensor = self.meta(gated.data)
+            soft_idx = soft_argmin(gated, b_tensor)
+            meta_loss = self.meta.loss(soft_idx, self.epsilon, k)
+            self._meta_opt.zero_grad()
+            meta_loss.backward()
+            self._meta_opt.step()
+            b_value = float(b_tensor.item())
+            # Theta step on J (eq. 4) with b frozen.  The ramp anneals the
+            # softness: early iterations favour smooth, informative
+            # gradients; later ones align the soft split with the hard
+            # arg-min that training will actually apply.
+            ramp = 0.4 + 0.6 * iterations / self.max_iterations
+            soft_idx = soft_argmin(gated, b_value * ramp)
+            gamma_bar_terms = [kronecker_approx(soft_idx, i, self.c).mean()
+                               for i in range(k)]
+            gamma_bar = F.stack(gamma_bar_terms)
+            j = (gamma_bar - Tensor(target)).abs().mean()
+            # Score this delta by the *hard* assignment miss (what training
+            # will actually use), and keep the best seen this batch.
+            hard_j = float(np.abs(
+                assignment_fractions(hard_assignments(H, delta.data), k)
+                - target).mean())
+            objective = float(j.item())
+            if hard_j < best_j:
+                best_j = hard_j
+                best_delta = delta.data.copy()
+            if objective <= self.epsilon or best_j <= self.epsilon:
+                break
+            self._theta_opt.zero_grad()
+            j.backward()
+            self._theta_opt.step()
+
+        best_delta, best_j = self._refine_delta(H, best_delta, target, best_j)
+        if best_j <= self.epsilon:
+            assignments = hard_assignments(H, best_delta)
+        else:
+            assignments = self._quota_assignments(H, best_delta, target)
+        delta_np = best_delta
+        gamma_bar_hard = assignment_fractions(assignments, k)
+        return GateResult(assignments=assignments, delta=delta_np,
+                          gamma=gamma, gamma_bar=gamma_bar_hard,
+                          objective=objective, iterations=iterations,
+                          b=b_value, delta_spread=delta_stat)

@@ -1,0 +1,105 @@
+"""TeamNet inference (Section V).
+
+Each expert predicts and reports its predictive entropy; the ``arg min``
+gate selects, per sample, the prediction of the least-uncertain expert
+(Figure 4).  A (weighted) majority vote combiner is also provided — the
+paper discusses and rejects it ("considering the prediction of 'non-expert'
+can be detrimental"), and our ablation bench quantifies that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Module, Tensor, no_grad
+from ..nn import functional as F
+from .entropy import predictive_entropy
+
+__all__ = ["ExpertOutput", "argmin_select", "majority_vote",
+           "expert_forward", "TeamInference"]
+
+
+@dataclass
+class ExpertOutput:
+    """One expert's inference result on a batch."""
+
+    probs: np.ndarray      # (N, C) softmax probabilities
+    entropy: np.ndarray    # (N,) predictive entropy
+
+    @property
+    def predictions(self) -> np.ndarray:
+        return self.probs.argmax(axis=1)
+
+
+def expert_forward(expert: Module, x: np.ndarray) -> ExpertOutput:
+    """Run one expert in eval mode and compute (probs, entropy)."""
+    was_training = expert.training
+    expert.eval()
+    with no_grad():
+        logits = expert(Tensor(np.asarray(x)))
+        probs = F.softmax(logits, axis=-1).data
+    if was_training:
+        expert.train()
+    return ExpertOutput(probs=probs, entropy=predictive_entropy(logits))
+
+
+def argmin_select(outputs: list[ExpertOutput]) -> tuple[np.ndarray, np.ndarray]:
+    """The arg-min gate of Figure 4.
+
+    Returns ``(predictions, winner)``: per-sample class prediction from the
+    least-uncertain expert, and the index of that expert.
+    """
+    if not outputs:
+        raise ValueError("no expert outputs to select from")
+    entropies = np.stack([o.entropy for o in outputs], axis=1)  # (N, K)
+    winner = entropies.argmin(axis=1)
+    preds = np.stack([o.predictions for o in outputs], axis=1)  # (N, K)
+    n = preds.shape[0]
+    return preds[np.arange(n), winner], winner
+
+
+def majority_vote(outputs: list[ExpertOutput],
+                  weighted: bool = False) -> np.ndarray:
+    """Ensemble-style combiner (Sec. V's rejected alternative).
+
+    Unweighted: one vote per expert.  Weighted: votes weighted by
+    ``1/(entropy + eps)`` so confident experts count more.
+    """
+    if not outputs:
+        raise ValueError("no expert outputs to vote over")
+    num_classes = outputs[0].probs.shape[1]
+    n = outputs[0].probs.shape[0]
+    tally = np.zeros((n, num_classes))
+    for out in outputs:
+        weight = 1.0 / (out.entropy + 1e-6) if weighted else np.ones(n)
+        tally[np.arange(n), out.predictions] += weight
+    return tally.argmax(axis=1)
+
+
+class TeamInference:
+    """Single-process inference over a team of experts (Figure 4).
+
+    This is the *functional* reference implementation: the distributed
+    socket runtime (:mod:`repro.distributed.teamnet_runtime`) must produce
+    byte-identical selections (asserted in the integration tests).
+    """
+
+    def __init__(self, experts: list[Module]):
+        if not experts:
+            raise ValueError("need at least one expert")
+        self.experts = experts
+
+    def forward_all(self, x: np.ndarray) -> list[ExpertOutput]:
+        return [expert_forward(e, x) for e in self.experts]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        preds, _ = argmin_select(self.forward_all(x))
+        return preds
+
+    def predict_with_winner(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return argmin_select(self.forward_all(x))
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())

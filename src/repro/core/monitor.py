@@ -1,0 +1,104 @@
+"""Convergence monitoring for TeamNet training.
+
+The paper's Figures 6 and 8 plot, at every training iteration, the
+proportion of the batch assigned to each expert, and show convergence to the
+set point ``1/K``.  :class:`ConvergenceMonitor` records exactly that series
+and answers "has it converged?" queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ConvergenceMonitor"]
+
+
+class ConvergenceMonitor:
+    """Records per-iteration expert assignment proportions.
+
+    ``set_points`` supports the non-uniform targets of the capacity /
+    imbalance-aware extension; by default the target is the paper's 1/K.
+    """
+
+    def __init__(self, num_experts: int,
+                 set_points: np.ndarray | None = None):
+        self.num_experts = num_experts
+        if set_points is None:
+            self.set_points = np.full(num_experts, 1.0 / num_experts)
+        else:
+            self.set_points = np.asarray(set_points, dtype=float)
+            if self.set_points.shape != (num_experts,):
+                raise ValueError(
+                    f"set_points must have shape ({num_experts},)")
+        self._history: list[np.ndarray] = []
+        self._objectives: list[float] = []
+
+    @property
+    def set_point(self) -> float:
+        """The scalar target proportion 1/K (uniform targets only)."""
+        return 1.0 / self.num_experts
+
+    def record(self, proportions: np.ndarray, objective: float = 0.0) -> None:
+        proportions = np.asarray(proportions, dtype=float)
+        if proportions.shape != (self.num_experts,):
+            raise ValueError(
+                f"expected {self.num_experts} proportions, got "
+                f"{proportions.shape}")
+        self._history.append(proportions.copy())
+        self._objectives.append(float(objective))
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def history(self) -> np.ndarray:
+        """(iterations, K) array of recorded proportions."""
+        if not self._history:
+            return np.empty((0, self.num_experts))
+        return np.stack(self._history)
+
+    def objectives(self) -> np.ndarray:
+        return np.asarray(self._objectives)
+
+    def smoothed(self, window: int = 25) -> np.ndarray:
+        """Moving average of the proportion series (for plotting)."""
+        hist = self.history()
+        if len(hist) == 0 or window <= 1:
+            return hist
+        kernel = np.ones(min(window, len(hist))) / min(window, len(hist))
+        return np.stack([np.convolve(hist[:, i], kernel, mode="valid")
+                         for i in range(self.num_experts)], axis=1)
+
+    def max_deviation(self, window: int = 25) -> float:
+        """Largest |proportion - 1/K| in the trailing ``window`` records."""
+        hist = self.history()
+        if len(hist) == 0:
+            return float("inf")
+        tail = hist[-window:]
+        return float(np.abs(tail.mean(axis=0) - self.set_points).max())
+
+    def converged(self, tolerance: float = 0.05, window: int = 25) -> bool:
+        """True when the trailing-window mean proportions are all within
+        ``tolerance`` of the set point 1/K."""
+        if len(self._history) < window:
+            return False
+        return self.max_deviation(window) <= tolerance
+
+    def convergence_iteration(self, tolerance: float = 0.05,
+                              window: int = 25) -> int | None:
+        """First iteration from which the monitor stays converged.
+
+        Returns ``None`` if the series never converges.  This is the
+        quantity the paper reads off Figures 6 and 8 ("converges at about
+        the 12000th iteration").
+        """
+        hist = self.history()
+        if len(hist) < window:
+            return None
+        means = np.stack([hist[max(0, i - window):i].mean(axis=0)
+                          for i in range(window, len(hist) + 1)])
+        ok = np.abs(means - self.set_points).max(axis=1) <= tolerance
+        # Find the first index after which every window is within tolerance.
+        for idx in range(len(ok)):
+            if ok[idx:].all():
+                return idx + window
+        return None

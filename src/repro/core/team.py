@@ -1,0 +1,129 @@
+"""The high-level :class:`TeamNet` API (Section III's "black box").
+
+    >>> team = TeamNet.from_reference(mlp_spec(depth=8), num_experts=4)
+    >>> team.fit(train_dataset)
+    >>> team.predict(test_images)
+
+``from_reference`` applies the paper's downsizing rule (MLP-8 + K=4 ->
+4x MLP-2); ``fit`` runs Algorithm 1; ``predict`` is the arg-min-gate
+inference of Figure 4.  ``save``/``load`` round-trip the whole team so the
+experts can be deployed to edge devices.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..data import Dataset
+from ..nn import (ArchitectureSpec, Module, build_model, downsize,
+                  load_model, save_model)
+from .inference import TeamInference, argmin_select, expert_forward
+from .monitor import ConvergenceMonitor
+from .trainer import TeamNetTrainer, TrainerConfig
+
+__all__ = ["TeamNet"]
+
+
+class TeamNet:
+    """A team of specialized experts produced by competitive learning."""
+
+    def __init__(self, experts: list[Module], expert_spec: ArchitectureSpec,
+                 config: TrainerConfig | None = None):
+        if len(experts) < 2:
+            raise ValueError("TeamNet needs at least 2 experts")
+        self.experts = experts
+        self.expert_spec = expert_spec
+        self.config = config or TrainerConfig()
+        self.trainer: TeamNetTrainer | None = None
+        self._inference = TeamInference(experts)
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def from_reference(cls, reference: ArchitectureSpec, num_experts: int,
+                       config: TrainerConfig | None = None,
+                       seed: int = 0) -> "TeamNet":
+        """Build K experts with the downsized architecture of ``reference``.
+
+        Each expert gets an independently-seeded random initialization
+        ("All expert networks are initialized with random weights").
+        """
+        expert_spec = downsize(reference, num_experts)
+        experts = [build_model(expert_spec, np.random.default_rng(seed + i))
+                   for i in range(num_experts)]
+        return cls(experts, expert_spec, config)
+
+    # ------------------------------------------------------------- training
+    @property
+    def num_experts(self) -> int:
+        return len(self.experts)
+
+    def fit(self, dataset: Dataset, epochs: int | None = None,
+            batch_size: int | None = None, callback=None
+            ) -> ConvergenceMonitor:
+        """Run Algorithm 1 on ``dataset``; returns the convergence monitor."""
+        if self.trainer is None:
+            self.trainer = TeamNetTrainer(self.experts, self.config)
+        self.trainer.train(dataset, epochs=epochs, batch_size=batch_size,
+                           callback=callback)
+        return self.trainer.monitor
+
+    # ------------------------------------------------------------- inference
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Arg-min-gate predictions for a batch of inputs."""
+        return self._inference.predict(x)
+
+    def predict_with_winner(self, x: np.ndarray):
+        """Predictions plus the winning expert index per sample."""
+        return self._inference.predict_with_winner(x)
+
+    def accuracy(self, dataset: Dataset) -> float:
+        """Top-1 accuracy of the team on ``dataset``."""
+        return self._inference.accuracy(dataset.images, dataset.labels)
+
+    def expert_accuracy(self, dataset: Dataset) -> list[float]:
+        """Per-expert standalone accuracy (each expert answering alone)."""
+        return [
+            float((expert_forward(e, dataset.images).predictions ==
+                   dataset.labels).mean())
+            for e in self.experts
+        ]
+
+    def certainty_share(self, dataset: Dataset) -> np.ndarray:
+        """(K, C) matrix: fraction of each class for which each expert is
+        the least-uncertain one — the specialization view of Figure 9."""
+        outputs = [expert_forward(e, dataset.images) for e in self.experts]
+        _, winner = argmin_select(outputs)
+        num_classes = dataset.num_classes
+        share = np.zeros((self.num_experts, num_classes))
+        for cls in range(num_classes):
+            mask = dataset.labels == cls
+            if mask.sum() == 0:
+                continue
+            counts = np.bincount(winner[mask], minlength=self.num_experts)
+            share[:, cls] = counts / mask.sum()
+        return share
+
+    # ----------------------------------------------------------- persistence
+    def save(self, directory: str | Path) -> None:
+        """Write each expert as ``expert_<i>.npz`` under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for i, expert in enumerate(self.experts):
+            save_model(expert, self.expert_spec, directory / f"expert_{i}.npz")
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "TeamNet":
+        """Load a team saved by :meth:`save`."""
+        directory = Path(directory)
+        paths = sorted(directory.glob("expert_*.npz"),
+                       key=lambda p: int(p.stem.split("_")[1]))
+        if len(paths) < 2:
+            raise FileNotFoundError(f"no team found under {directory}")
+        experts = []
+        spec = None
+        for path in paths:
+            model, spec = load_model(path)
+            experts.append(model)
+        return cls(experts, spec)

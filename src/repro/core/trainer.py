@@ -1,0 +1,130 @@
+"""TeamNet training: Algorithm 1 (TRAIN) and Algorithm 3 (EXPERT_TRAIN).
+
+Per batch: (1) compute the entropy matrix **H** of all experts, (2) run the
+dynamic gate (Algorithm 2, :mod:`repro.core.gate`) to assign each sample to
+one expert, (3) update each expert by cross-entropy SGD on *its own
+partition only* ("No expert learns from all data examples in beta").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import DataLoader, Dataset
+from ..nn import Module, SGD, Tensor, clip_grad_norm, cross_entropy
+from .entropy import entropy_matrix
+from .gate import DynamicGate, GateResult
+from .monitor import ConvergenceMonitor
+
+__all__ = ["TeamNetTrainer", "TrainerConfig", "expert_train_step"]
+
+
+@dataclass
+class TrainerConfig:
+    """Hyperparameters of Algorithms 1-3.
+
+    ``gain`` is the proportional gain ``a`` of eq. (4); ``epsilon`` the gate
+    convergence threshold; ``gate_eta`` the gate's Theta learning rate
+    (Algorithm 2's eta); ``lr`` the experts' learning rate (Algorithm 3's
+    eta).  ``epochs`` is ``r``, the dataset repetition count of Algorithm 1.
+    """
+
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+    gain: float = 0.5
+    epsilon: float = 0.05
+    gate_eta: float = 0.05
+    gate_latent_dim: int = 8
+    gate_max_iterations: int = 40
+    min_partition: int = 1
+    seed: int = 0
+    partition_weights: tuple[float, ...] | None = None
+
+
+def expert_train_step(expert: Module, optimizer: SGD, x: np.ndarray,
+                      y: np.ndarray, grad_clip: float = 5.0) -> float:
+    """One Algorithm-3 update for a single expert on its partition.
+
+    Returns the cross-entropy loss value.  Gradients are clipped to keep
+    deep plain MLPs stable (see tests/nn/test_models.py).
+    """
+    logits = expert(Tensor(x))
+    loss = cross_entropy(logits, y)
+    optimizer.zero_grad()
+    loss.backward()
+    if grad_clip > 0:
+        clip_grad_norm(optimizer.params, grad_clip)
+    optimizer.step()
+    return float(loss.item())
+
+
+class TeamNetTrainer:
+    """Trains K experts with competitive/selective learning (Algorithm 1)."""
+
+    def __init__(self, experts: list[Module], config: TrainerConfig | None = None):
+        if len(experts) < 2:
+            raise ValueError("TeamNet needs at least 2 experts")
+        self.experts = experts
+        self.config = config or TrainerConfig()
+        cfg = self.config
+        weights = (np.asarray(cfg.partition_weights)
+                   if cfg.partition_weights is not None else None)
+        self.gate = DynamicGate(
+            num_experts=len(experts), latent_dim=cfg.gate_latent_dim,
+            gain=cfg.gain, epsilon=cfg.epsilon, eta=cfg.gate_eta,
+            max_iterations=cfg.gate_max_iterations, seed=cfg.seed,
+            set_points=weights)
+        self.optimizers = [
+            SGD(e.parameters(), lr=cfg.lr, momentum=cfg.momentum,
+                weight_decay=cfg.weight_decay)
+            for e in experts
+        ]
+        self.monitor = ConvergenceMonitor(len(experts),
+                                          set_points=self.gate.set_points)
+        self.rng = np.random.default_rng(cfg.seed)
+        self._iteration = 0
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.experts)
+
+    # ------------------------------------------------------------------ steps
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> GateResult:
+        """One Algorithm-1 loop body: gate then per-expert updates."""
+        H = entropy_matrix(self.experts, x)
+        result = self.gate.train_batch(H)
+        for i, (expert, opt) in enumerate(zip(self.experts, self.optimizers)):
+            mask = result.assignments == i
+            if mask.sum() < self.config.min_partition:
+                continue
+            expert.train()
+            expert_train_step(expert, opt, x[mask], y[mask],
+                              self.config.grad_clip)
+        self.monitor.record(result.gamma_bar, result.objective)
+        self._iteration += 1
+        return result
+
+    def train(self, dataset: Dataset, epochs: int | None = None,
+              batch_size: int | None = None,
+              callback=None) -> ConvergenceMonitor:
+        """Algorithm 1: repeat the (reshuffled) dataset for ``r`` epochs.
+
+        ``callback(iteration, gate_result)`` is invoked after every batch if
+        given (used by the convergence experiments).
+        """
+        cfg = self.config
+        epochs = epochs if epochs is not None else cfg.epochs
+        batch_size = batch_size if batch_size is not None else cfg.batch_size
+        loader = DataLoader(dataset, batch_size, shuffle=True, rng=self.rng)
+        for _ in range(epochs):
+            for x, y in loader:
+                result = self.train_batch(x, y)
+                if callback is not None:
+                    callback(self._iteration, result)
+        return self.monitor

@@ -1,0 +1,20 @@
+"""``repro.data`` — datasets and loaders.
+
+Synthetic stand-ins for MNIST and CIFAR-10 (see DESIGN.md, "Environment
+substitutions") plus the Dataset/DataLoader plumbing used by every trainer.
+"""
+
+from .dataset import DataLoader, Dataset, train_test_split
+from .synthetic_cifar import (ANIMAL_CLASSES, CIFAR_CLASSES, MACHINE_CLASSES,
+                              render_cifar_image, synthetic_cifar)
+from .synthetic_mnist import DIGIT_GLYPHS, render_digit, synthetic_mnist
+from .transforms import (AugmentedDataset, Compose, GaussianNoise,
+                         RandomErasing, RandomHorizontalFlip, RandomShift)
+
+__all__ = [
+    "Dataset", "DataLoader", "train_test_split", "synthetic_mnist",
+    "render_digit", "DIGIT_GLYPHS", "synthetic_cifar", "render_cifar_image",
+    "CIFAR_CLASSES", "MACHINE_CLASSES", "ANIMAL_CLASSES", "Compose",
+    "RandomShift", "RandomHorizontalFlip", "GaussianNoise", "RandomErasing",
+    "AugmentedDataset",
+]

@@ -1,0 +1,111 @@
+"""Dataset containers and loaders.
+
+A :class:`Dataset` is an in-memory (images, labels) pair with class metadata;
+:class:`DataLoader` reshuffles each epoch and yields equal-sized batches,
+exactly the regime Algorithm 1 assumes ("the training data is first
+reshuffled and then divided into equal-sized batches").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset", "DataLoader", "train_test_split"]
+
+
+@dataclass
+class Dataset:
+    """In-memory labelled image dataset (NCHW float images)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+    class_names: tuple[str, ...] = ()
+    superclasses: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    name: str = "dataset"
+
+    def __post_init__(self):
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.images) != len(self.labels):
+            raise ValueError("images and labels length mismatch")
+        if not self.class_names:
+            n = int(self.labels.max()) + 1 if len(self.labels) else 0
+            self.class_names = tuple(str(i) for i in range(n))
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def sample_shape(self) -> tuple[int, ...]:
+        return self.images.shape[1:]
+
+    def subset(self, indices) -> "Dataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return Dataset(self.images[indices], self.labels[indices],
+                       self.class_names, dict(self.superclasses), self.name)
+
+    def class_counts(self) -> np.ndarray:
+        """Per-class example counts (length ``num_classes``)."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def is_balanced(self, tolerance: float = 0.1) -> bool:
+        """True if every class count is within ``tolerance`` of the mean."""
+        counts = self.class_counts()
+        mean = counts.mean()
+        if mean == 0:
+            return True
+        return bool(np.all(np.abs(counts - mean) <= tolerance * mean))
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.2,
+                     rng: np.random.Generator | None = None
+                     ) -> tuple[Dataset, Dataset]:
+    """Random stratified-ish split into train and test datasets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+    n = len(dataset)
+    perm = rng.permutation(n)
+    cut = int(round(n * (1.0 - test_fraction)))
+    return dataset.subset(perm[:cut]), dataset.subset(perm[cut:])
+
+
+class DataLoader:
+    """Epoch iterator producing shuffled, equal-sized batches.
+
+    Batches that would be smaller than ``batch_size`` at the tail of an epoch
+    are dropped when ``drop_last`` is True (the default, matching the
+    equal-sized-batch assumption of the paper's training loop).
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int,
+                 shuffle: bool = True, drop_last: bool = True,
+                 rng: np.random.Generator | None = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, limit, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            yield self.dataset.images[idx], self.dataset.labels[idx]

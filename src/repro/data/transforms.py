@@ -1,0 +1,134 @@
+"""Data augmentation transforms.
+
+Small, composable, rng-explicit augmentations for NCHW image batches —
+the standard recipe for the paper's image workloads (random shift + flip
++ noise).  ``DataLoader``-compatible: pass a transform to
+``AugmentedDataset`` and every epoch sees fresh perturbations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = ["Compose", "RandomShift", "RandomHorizontalFlip", "GaussianNoise",
+           "RandomErasing", "AugmentedDataset"]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms):
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+class RandomShift:
+    """Shift each image by up to ``max_shift`` pixels (zero fill)."""
+
+    def __init__(self, max_shift: int = 2):
+        if max_shift < 0:
+            raise ValueError("max_shift must be >= 0")
+        self.max_shift = max_shift
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        if self.max_shift == 0:
+            return images
+        out = np.zeros_like(images)
+        n, _, h, w = images.shape
+        shifts = rng.integers(-self.max_shift, self.max_shift + 1,
+                              size=(n, 2))
+        for i, (dy, dx) in enumerate(shifts):
+            src_y = slice(max(0, -dy), min(h, h - dy))
+            src_x = slice(max(0, -dx), min(w, w - dx))
+            dst_y = slice(max(0, dy), min(h, h + dy))
+            dst_x = slice(max(0, dx), min(w, w + dx))
+            out[i, :, dst_y, dst_x] = images[i, :, src_y, src_x]
+        return out
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        flip = rng.random(len(images)) < self.p
+        out = images.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class GaussianNoise:
+    """Add iid Gaussian pixel noise, clipped back to [0, 1]."""
+
+    def __init__(self, std: float = 0.02):
+        if std < 0:
+            raise ValueError("std must be >= 0")
+        self.std = std
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        if self.std == 0:
+            return images
+        noisy = images + rng.normal(0.0, self.std, images.shape)
+        return np.clip(noisy, 0.0, 1.0).astype(images.dtype)
+
+
+class RandomErasing:
+    """Zero a random rectangle (cutout regularization)."""
+
+    def __init__(self, p: float = 0.5, max_fraction: float = 0.3):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if not 0.0 < max_fraction <= 1.0:
+            raise ValueError("max_fraction must be in (0, 1]")
+        self.p = p
+        self.max_fraction = max_fraction
+
+    def __call__(self, images: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+        out = images.copy()
+        n, _, h, w = images.shape
+        for i in range(n):
+            if rng.random() >= self.p:
+                continue
+            eh = max(1, int(h * rng.uniform(0.1, self.max_fraction)))
+            ew = max(1, int(w * rng.uniform(0.1, self.max_fraction)))
+            y = rng.integers(0, h - eh + 1)
+            x = rng.integers(0, w - ew + 1)
+            out[i, :, y:y + eh, x:x + ew] = 0.0
+        return out
+
+
+class AugmentedDataset(Dataset):
+    """A Dataset whose image accesses go through ``transform`` lazily.
+
+    The base arrays stay untouched; :class:`repro.data.DataLoader` indexes
+    ``images``, so we override attribute access for ``images`` to return a
+    freshly-augmented copy each epoch-ish access.  For explicit control use
+    :meth:`augmented_batch`.
+    """
+
+    def __init__(self, base: Dataset, transform, seed: int = 0):
+        super().__init__(base.images, base.labels, base.class_names,
+                         dict(base.superclasses), base.name + "+aug")
+        self.transform = transform
+        self._rng = np.random.default_rng(seed)
+
+    def augmented_batch(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        """Return (augmented images, labels) for ``indices``."""
+        indices = np.asarray(indices)
+        images = self.transform(self.images[indices], self._rng)
+        return images.astype(self.images.dtype), self.labels[indices]

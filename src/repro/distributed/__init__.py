@@ -1,0 +1,28 @@
+"""``repro.distributed`` — distributed inference runtimes.
+
+The TeamNet socket runtime (master/worker, Figure 1(d)) and every baseline
+runtime the paper evaluates: MPI-Matrix, MPI-Kernel, MPI-Branch, SG-MoE-G
+(RPC) and SG-MoE-M (MPI).  All runtimes are functionally exact — they
+reproduce the single-node forward bit-for-bit — and meter their traffic so
+the edge simulator can replay it against device/WiFi profiles.
+"""
+
+from .moe_runtime import (MoEGrpcMaster, MoEMpiRunner, moe_mpi_forward,
+                          serve_expert)
+from .mpi_branch import MpiBranchRunner, count_blocks, mpi_branch_forward
+from .mpi_kernel import (MpiKernelRunner, count_conv_layers,
+                         kernel_split_conv, mpi_kernel_forward)
+from .mpi_matrix import (MpiMatrixRunner, mpi_matrix_forward,
+                         split_linear_weights)
+from .teamnet_runtime import (ExpertWorker, InferenceStats, TeamNetMaster,
+                              WorkerFailure, deploy_local_team)
+
+__all__ = [
+    "TeamNetMaster", "ExpertWorker", "deploy_local_team", "InferenceStats",
+    "WorkerFailure",
+    "mpi_matrix_forward", "split_linear_weights", "MpiMatrixRunner",
+    "mpi_kernel_forward", "kernel_split_conv", "count_conv_layers",
+    "MpiKernelRunner", "mpi_branch_forward", "count_blocks",
+    "MpiBranchRunner", "serve_expert", "MoEGrpcMaster", "moe_mpi_forward",
+    "MoEMpiRunner",
+]

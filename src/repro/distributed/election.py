@@ -1,0 +1,82 @@
+"""Decentralized result aggregation and leader election (Section III).
+
+The paper's Step 5 — picking the least-uncertain expert — "can be done
+distributedly, e.g., using a leader election protocol, or done centrally
+by sending the results along with the uncertainty measures to a designated
+device."  The socket runtime implements the central version; this module
+implements the distributed one:
+
+* :func:`elect_leader` — a Chang–Roberts style ring election over an MPI
+  communicator: the highest (priority, rank) pair wins; every node learns
+  the winner in at most ``size`` ring hops.
+* :func:`decentralized_select` — every node shares its (entropy,
+  prediction) pair with the ring-elected leader, which computes the
+  arg-min selection and broadcasts the final answer; all nodes return the
+  same result, no pre-designated master required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.mpi import Communicator
+from ..core.inference import ExpertOutput
+
+__all__ = ["elect_leader", "decentralized_select"]
+
+
+def elect_leader(comm: Communicator,
+                 priority: float | None = None) -> int:
+    """Ring-based leader election; returns the winning rank on every node.
+
+    Each node injects its (priority, rank) token and forwards the maximum
+    it has seen around the ring.  After ``size - 1`` hops every node has
+    seen every token, so the maximum is globally agreed.  ``priority``
+    defaults to the rank itself (deterministic); real deployments would
+    pass battery level, compute headroom, etc.
+    """
+    size = comm.size
+    if size == 1:
+        return 0
+    own_priority = float(priority if priority is not None else comm.rank)
+    best = np.array([own_priority, float(comm.rank)])
+    successor = (comm.rank + 1) % size
+    predecessor = (comm.rank - 1) % size
+    for hop in range(size - 1):
+        tag = f"_election{hop}"
+        comm.send(best, successor, tag)
+        incoming = comm.recv(predecessor, tag)
+        # Lexicographic max of (priority, rank) — rank breaks ties.
+        if (incoming[0], incoming[1]) > (best[0], best[1]):
+            best = incoming
+    return int(best[1])
+
+
+def decentralized_select(comm: Communicator, output: ExpertOutput,
+                         priority: float | None = None
+                         ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Distributed Step 5: agree on the least-uncertain predictions.
+
+    Every rank contributes its expert's (predictions, entropy); a ring
+    election picks the aggregator, which computes the per-sample arg-min
+    and broadcasts it.  Returns ``(predictions, winning_rank_per_sample,
+    leader_rank)`` — identical on every rank.
+    """
+    leader = elect_leader(comm, priority)
+    payload = np.concatenate([output.entropy[None, :],
+                              output.predictions[None, :].astype(float)])
+    gathered = comm.gather(payload, root=leader)
+    if comm.rank == leader:
+        entropies = np.stack([g[0] for g in gathered], axis=1)  # (N, K)
+        preds = np.stack([g[1] for g in gathered], axis=1)      # (N, K)
+        winner = entropies.argmin(axis=1)
+        n = preds.shape[0]
+        selected = preds[np.arange(n), winner].astype(np.int64)
+        decision = np.concatenate([selected[None, :].astype(float),
+                                   winner[None, :].astype(float)])
+    else:
+        decision = None
+    decision = comm.bcast(decision, root=leader)
+    predictions = decision[0].astype(np.int64)
+    winners = decision[1].astype(np.int64)
+    return predictions, winners, leader

@@ -1,0 +1,136 @@
+"""Distributed SG-MoE inference: SG-MoE-G (RPC) and SG-MoE-M (MPI).
+
+"At the inference stage, each expert is executed on one edge node, and the
+gate is placed on one of the edge nodes.  Two protocols are evaluated for
+communication among SG-MoE experts, namely gRPC ... and MPI."
+
+* **SG-MoE-G** — the gate node computes the noisy-top-k selection locally,
+  then issues one RPC round trip per *selected* expert carrying the routed
+  sub-batch; replies are combined with the gate weights.
+* **SG-MoE-M** — the gate node broadcasts the input to every expert rank
+  and gathers every expert's output through MPI collectives (all experts
+  compute; non-top-k outputs are discarded by the zero gate weights).
+  More traffic per inference than SG-MoE-G — the pattern behind its worse
+  latency in Tables I and II.
+
+Both produce exactly the same predictions as the single-process
+``MixtureOfExperts`` in eval mode (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.mpi import Communicator
+from ..comm.rpc import RpcClient, RpcServer
+from ..moe.model import MixtureOfExperts
+from ..nn import Module, Tensor, no_grad
+from ..nn import functional as F
+
+__all__ = ["serve_expert", "MoEGrpcMaster", "moe_mpi_forward",
+           "MoEMpiRunner"]
+
+
+def _expert_probs(expert: Module, x: np.ndarray) -> np.ndarray:
+    was_training = expert.training
+    expert.eval()
+    with no_grad():
+        probs = F.softmax(expert(Tensor(np.asarray(x))), axis=-1).data
+    if was_training:
+        expert.train()
+    return probs
+
+
+def serve_expert(expert: Module, host: str = "127.0.0.1",
+                 port: int = 0) -> RpcServer:
+    """Start an RPC server exposing ``expert_forward`` for one expert."""
+    server = RpcServer(host, port)
+
+    def _handler(meta, arrays):
+        return {}, {"probs": _expert_probs(expert, arrays["x"])}
+
+    server.register("expert_forward", _handler)
+    server.start()
+    return server
+
+
+class MoEGrpcMaster:
+    """The gate node of SG-MoE-G: local gate (+ expert 0), remote experts."""
+
+    def __init__(self, moe: MixtureOfExperts,
+                 worker_addresses: list[tuple[str, int]]):
+        if len(worker_addresses) != moe.num_experts - 1:
+            raise ValueError("need one worker address per non-local expert")
+        self.moe = moe
+        self._clients = [RpcClient(h, p) for h, p in worker_addresses]
+
+    def _remote_probs(self, expert_index: int, x: np.ndarray) -> np.ndarray:
+        if expert_index == 0:
+            return _expert_probs(self.moe.experts_list[0], x)
+        _, arrays = self._clients[expert_index - 1].call(
+            "expert_forward", arrays={"x": x})
+        return arrays["probs"]
+
+    def infer(self, x: np.ndarray) -> tuple[np.ndarray, int]:
+        """Return (predictions, number of RPC round trips issued)."""
+        x = np.asarray(x)
+        self.moe.eval()
+        with no_grad():
+            weights, top_k = self.moe.gate(Tensor(x))
+        weights = weights.data
+        num_classes_known = None
+        mixture = None
+        round_trips = 0
+        # Route each selected expert the sub-batch that selected it.
+        for expert_index in np.unique(top_k):
+            mask = (top_k == expert_index).any(axis=1)
+            probs = self._remote_probs(int(expert_index), x[mask])
+            if expert_index != 0:
+                round_trips += 1
+            if mixture is None:
+                num_classes_known = probs.shape[1]
+                mixture = np.zeros((len(x), num_classes_known))
+            mixture[mask] += weights[mask, expert_index][:, None] * probs
+        return mixture.argmax(axis=1), round_trips
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        preds, _ = self.infer(x)
+        return preds
+
+    def close(self) -> None:
+        for client in self._clients:
+            client.close()
+
+
+def moe_mpi_forward(moe: MixtureOfExperts, x: np.ndarray | None,
+                    comm: Communicator) -> np.ndarray | None:
+    """SG-MoE-M inference: rank 0 holds the gate; every rank one expert.
+
+    Rank 0 broadcasts the batch, every rank computes its expert, rank 0
+    gathers all outputs and mixes them with the gate weights.  Returns
+    predictions on rank 0, ``None`` elsewhere.
+    """
+    if comm.size != moe.num_experts:
+        raise ValueError("group size must equal the expert count")
+    batch = comm.bcast(np.asarray(x) if comm.rank == 0 else None, root=0)
+    probs = _expert_probs(moe.experts_list[comm.rank], batch)
+    gathered = comm.gather(probs, root=0)
+    if comm.rank != 0:
+        return None
+    moe.eval()
+    with no_grad():
+        weights, _ = moe.gate(Tensor(batch))
+    stacked = np.stack(gathered, axis=1)            # (N, K, C)
+    mixture = (stacked * weights.data[:, :, None]).sum(axis=1)
+    return mixture.argmax(axis=1)
+
+
+class MoEMpiRunner:
+    """Convenience wrapper for SG-MoE-M."""
+
+    def __init__(self, moe: MixtureOfExperts, comm: Communicator):
+        self.moe = moe
+        self.comm = comm
+
+    def predict(self, x: np.ndarray | None) -> np.ndarray | None:
+        return moe_mpi_forward(self.moe, x, self.comm)

@@ -1,0 +1,92 @@
+"""MPI-Branch: branch-parallel Shake-Shake inference (Section VI-A).
+
+"There are two main branches in the Shake-Shake CNN, which can be split
+into two edge nodes and coordinated through the MPI protocol (MPI-Branch).
+Therefore, MPI-Branch is only evaluated in experiments employing two edge
+devices."
+
+Rank 0 computes branch 1 of every residual block, rank 1 computes branch 2;
+after each block the ranks exchange branch outputs (one send + one recv of
+a full feature map each way), then both redundantly form the mixed output
+and shortcut.  The stem and classifier run redundantly.  Output equals the
+single-node eval forward (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.mpi import Communicator
+from ..nn import ShakeShakeCNN, Tensor, no_grad
+from ..nn import functional as F
+from .mpi_kernel import _bn_eval
+from ..nn.layers import Identity
+
+__all__ = ["mpi_branch_forward", "MpiBranchRunner", "count_blocks"]
+
+
+def _branch_eval(branch, x: np.ndarray) -> np.ndarray:
+    h = Tensor(x)
+    out = F.conv2d(h, branch.conv1.weight, branch.conv1.bias,
+                   stride=branch.conv1.stride,
+                   padding=branch.conv1.padding).data
+    out = np.maximum(_bn_eval(branch.bn1, out), 0.0)
+    out = F.conv2d(Tensor(out), branch.conv2.weight, branch.conv2.bias,
+                   stride=branch.conv2.stride,
+                   padding=branch.conv2.padding).data
+    return _bn_eval(branch.bn2, out)
+
+
+def _shortcut_eval(shortcut, x: np.ndarray) -> np.ndarray:
+    if isinstance(shortcut, Identity):
+        return x
+    out = F.conv2d(Tensor(x), shortcut.conv.weight, shortcut.conv.bias,
+                   stride=shortcut.conv.stride,
+                   padding=shortcut.conv.padding).data
+    return _bn_eval(shortcut.bn, out)
+
+
+def mpi_branch_forward(model: ShakeShakeCNN, x: np.ndarray,
+                       comm: Communicator) -> np.ndarray:
+    """Branch-split eval forward over exactly two ranks."""
+    if comm.size != 2:
+        raise ValueError("MPI-Branch requires exactly 2 nodes (Sec. VI-A)")
+    x = np.asarray(x)
+    peer = 1 - comm.rank
+    with no_grad():
+        h = F.conv2d(Tensor(x), model.stem.weight, model.stem.bias,
+                     stride=model.stem.stride, padding=model.stem.padding).data
+        h = np.maximum(_bn_eval(model.stem_bn, h), 0.0)
+        for index, block in enumerate(model.stages):
+            my_branch = block.branch1 if comm.rank == 0 else block.branch2
+            mine = _branch_eval(my_branch, h)
+            tag = f"branch{index}"
+            comm.send(mine, peer, tag)
+            theirs = comm.recv(peer, tag)
+            b1, b2 = (mine, theirs) if comm.rank == 0 else (theirs, mine)
+            mixed = 0.5 * b1 + 0.5 * b2
+            h = np.maximum(mixed + _shortcut_eval(block.shortcut, h), 0.0)
+        pooled = h.mean(axis=(2, 3))
+        logits = pooled @ model.fc.weight.data.T
+        if model.fc.bias is not None:
+            logits = logits + model.fc.bias.data
+    return logits
+
+
+def count_blocks(model: ShakeShakeCNN) -> int:
+    """Analytic exchange count: one feature-map swap per block."""
+    return len(model.stages)
+
+
+class MpiBranchRunner:
+    """Convenience wrapper for 2-node branch-parallel inference."""
+
+    def __init__(self, model: ShakeShakeCNN, comm: Communicator):
+        self.model = model
+        self.comm = comm
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return mpi_branch_forward(self.model, x, self.comm).argmax(axis=1)
+
+    def num_exchanges_per_inference(self) -> int:
+        return count_blocks(self.model)

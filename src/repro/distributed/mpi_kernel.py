@@ -1,0 +1,115 @@
+"""MPI-Kernel: convolution-kernel-parallel CNN inference (Section VI-A).
+
+"Alternatively, we can distribute convolutional kernels and their
+associated computation onto multiple edge devices (MPI-Kernel)."
+
+Every Conv2d's output channels (kernels) are split across the K ranks; each
+rank convolves the *full* input feature map with its kernel slice, then an
+``allgather`` reassembles the full feature map on every rank.  Because the
+exchanged payloads are whole feature maps, MPI-Kernel moves far more bytes
+per layer than MPI-Matrix — the reason Table II shows it as the slowest
+approach, degrading further with more nodes.
+
+Cheap layers (batch norm, activations, pooling, the final FC) run
+redundantly on every rank.  The distributed forward is numerically
+identical to the single-node eval forward (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.mpi import Communicator
+from ..nn import Conv2d, ShakeShakeCNN, Tensor, no_grad
+from ..nn import functional as F
+from ..nn.layers import Identity
+from ..nn.models import ShakeShakeBlock, _Branch, _Shortcut
+
+__all__ = ["kernel_split_conv", "mpi_kernel_forward", "MpiKernelRunner",
+           "count_conv_layers"]
+
+
+def kernel_split_conv(conv: Conv2d, x: np.ndarray,
+                      comm: Communicator) -> np.ndarray:
+    """Convolve with this rank's kernel slice, then allgather channels."""
+    w_slices = np.array_split(conv.weight.data, comm.size, axis=0)
+    b_slices = (np.array_split(conv.bias.data, comm.size)
+                if conv.bias is not None else [None] * comm.size)
+    w = Tensor(w_slices[comm.rank])
+    b = None if b_slices[comm.rank] is None else Tensor(b_slices[comm.rank])
+    if w.shape[0] > 0:
+        partial = F.conv2d(Tensor(x), w, b, stride=conv.stride,
+                           padding=conv.padding).data
+    else:
+        # More ranks than kernels: this rank contributes an empty slice.
+        n, _, hh, ww = x.shape
+        out_h = (hh + 2 * conv.padding - conv.kernel_size) // conv.stride + 1
+        out_w = (ww + 2 * conv.padding - conv.kernel_size) // conv.stride + 1
+        partial = np.zeros((n, 0, out_h, out_w))
+    parts = comm.allgather(partial)
+    return np.concatenate(parts, axis=1)
+
+
+def _bn_eval(bn, x: np.ndarray) -> np.ndarray:
+    """Apply batch norm with running statistics (eval semantics)."""
+    shape = (1, -1) + (1,) * (x.ndim - 2)
+    mean = bn.running_mean.reshape(shape)
+    var = bn.running_var.reshape(shape)
+    scale = bn.weight.data.reshape(shape)
+    shift = bn.bias.data.reshape(shape)
+    return (x - mean) / np.sqrt(var + bn.eps) * scale + shift
+
+
+def _branch_forward(branch: _Branch, x: np.ndarray,
+                    comm: Communicator) -> np.ndarray:
+    out = kernel_split_conv(branch.conv1, x, comm)
+    out = np.maximum(_bn_eval(branch.bn1, out), 0.0)
+    out = kernel_split_conv(branch.conv2, out, comm)
+    return _bn_eval(branch.bn2, out)
+
+
+def _shortcut_forward(shortcut, x: np.ndarray,
+                      comm: Communicator) -> np.ndarray:
+    if isinstance(shortcut, Identity):
+        return x
+    out = kernel_split_conv(shortcut.conv, x, comm)
+    return _bn_eval(shortcut.bn, out)
+
+
+def mpi_kernel_forward(model: ShakeShakeCNN, x: np.ndarray,
+                       comm: Communicator) -> np.ndarray:
+    """Kernel-split eval forward of a Shake-Shake CNN over ``comm``."""
+    x = np.asarray(x)
+    with no_grad():
+        h = kernel_split_conv(model.stem, x, comm)
+        h = np.maximum(_bn_eval(model.stem_bn, h), 0.0)
+        for block in model.stages:
+            b1 = _branch_forward(block.branch1, h, comm)
+            b2 = _branch_forward(block.branch2, h, comm)
+            mixed = 0.5 * b1 + 0.5 * b2  # eval-mode shake-shake expectation
+            h = np.maximum(mixed + _shortcut_forward(block.shortcut, h, comm),
+                           0.0)
+        pooled = h.mean(axis=(2, 3))
+        logits = pooled @ model.fc.weight.data.T
+        if model.fc.bias is not None:
+            logits = logits + model.fc.bias.data
+    return logits
+
+
+def count_conv_layers(model: ShakeShakeCNN) -> int:
+    """Analytic collective count: one allgather per Conv2d."""
+    return sum(1 for module in model.modules() if isinstance(module, Conv2d))
+
+
+class MpiKernelRunner:
+    """Convenience wrapper: distributed predictions + collective counts."""
+
+    def __init__(self, model: ShakeShakeCNN, comm: Communicator):
+        self.model = model
+        self.comm = comm
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return mpi_kernel_forward(self.model, x, self.comm).argmax(axis=1)
+
+    def num_collectives_per_inference(self) -> int:
+        return count_conv_layers(self.model)

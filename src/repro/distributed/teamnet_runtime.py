@@ -1,0 +1,217 @@
+"""TeamNet's distributed inference runtime (Figure 1(d), Section III).
+
+One expert per edge node.  The node that receives the sensor input is the
+*master*: it broadcasts the input to all peer *workers* (Step 2), runs its
+own expert in parallel (Step 3), gathers every worker's (prediction,
+uncertainty) pair (Step 4) and selects the least-uncertain answer (Step 5).
+Communication is plain framed TCP — one message out and one small message
+back per worker, which is the paper's whole latency argument against MPI.
+
+``deploy_local_team`` spins a worker thread per expert on localhost so the
+whole protocol runs for real in tests and examples.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm import protocol
+from ..comm.transport import Listener, TransportStats, connect
+from ..core.inference import ExpertOutput, argmin_select, expert_forward
+from ..nn import Module
+
+__all__ = ["ExpertWorker", "TeamNetMaster", "WorkerFailure",
+           "deploy_local_team", "InferenceStats"]
+
+
+@dataclass
+class InferenceStats:
+    """Traffic observed by the master for one inference."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+
+    @classmethod
+    def from_transport(cls, stats: TransportStats) -> "InferenceStats":
+        return cls(stats.messages_sent, stats.bytes_sent,
+                   stats.messages_received, stats.bytes_received)
+
+
+class ExpertWorker:
+    """An edge node hosting one expert behind a listening socket."""
+
+    def __init__(self, expert: Module, host: str = "127.0.0.1", port: int = 0):
+        self.expert = expert
+        self._listener = Listener(host, port)
+        self._running = False
+        self._threads: list[threading.Thread] = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._listener.address
+
+    def start(self) -> None:
+        self._running = True
+        acceptor = threading.Thread(target=self._accept_loop, daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                sock = self._listener.accept(timeout=0.2)
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            worker = threading.Thread(target=self._serve, args=(sock,),
+                                      daemon=True)
+            worker.start()
+            self._threads.append(worker)
+
+    def _serve(self, sock) -> None:
+        with sock:
+            try:
+                while self._running:
+                    msg = protocol.decode(sock.recv())
+                    if msg.kind == "shutdown":
+                        return
+                    if msg.kind != "infer":
+                        sock.send(protocol.encode(
+                            "error", {"error": f"unexpected {msg.kind!r}"}))
+                        continue
+                    output = expert_forward(self.expert, msg.arrays["x"])
+                    sock.send(protocol.encode("result", {}, {
+                        "probs": output.probs,
+                        "entropy": output.entropy,
+                    }))
+            except (ConnectionError, OSError):
+                return
+
+    def stop(self) -> None:
+        self._running = False
+        self._listener.close()
+
+
+class WorkerFailure(ConnectionError):
+    """Raised when collaboration fails and degradation is disabled."""
+
+
+class TeamNetMaster:
+    """The master node: local expert + connections to all workers.
+
+    ``degrade_on_failure`` enables graceful degradation: if a worker dies
+    or misses ``reply_timeout``, the master drops it from the team and
+    answers from the remaining experts (each expert only knows part of the
+    data, so accuracy degrades — but the system keeps answering).  With
+    degradation disabled, a worker failure raises :class:`WorkerFailure`.
+    """
+
+    def __init__(self, expert: Module,
+                 worker_addresses: list[tuple[str, int]],
+                 degrade_on_failure: bool = False,
+                 reply_timeout: float | None = None):
+        self.expert = expert
+        self._peers = [connect(host, port) for host, port in worker_addresses]
+        self.degrade_on_failure = degrade_on_failure
+        self.reply_timeout = reply_timeout
+        self.failed_workers: list[int] = []
+
+    @property
+    def team_size(self) -> int:
+        return 1 + len(self._peers)
+
+    @property
+    def live_team_size(self) -> int:
+        return self.team_size - len(self.failed_workers)
+
+    def _collect(self, peer, stats) -> ExpertOutput:
+        reply = protocol.decode(peer.recv(timeout=self.reply_timeout))
+        if reply.kind != "result":
+            raise WorkerFailure(
+                f"worker failure: {reply.meta.get('error', reply.kind)}")
+        stats.merge(peer.stats)
+        peer.stats.reset()
+        return ExpertOutput(probs=reply.arrays["probs"],
+                            entropy=reply.arrays["entropy"])
+
+    def infer(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                            InferenceStats]:
+        """One collaborative inference over the team.
+
+        Returns (predictions, winning expert index, traffic stats).  The
+        master's own expert is index 0; workers follow in connection
+        order.  Winning indices refer to the *original* team numbering
+        even after degradation.
+        """
+        x = np.asarray(x)
+        stats = TransportStats()
+        request = protocol.encode("infer", {}, {"x": x})
+        # Step 2: broadcast the sensor data to every live peer.
+        live = [(i, peer) for i, peer in enumerate(self._peers, start=1)
+                if i not in self.failed_workers]
+        sent = []
+        for index, peer in live:
+            try:
+                peer.send(request)
+                sent.append((index, peer))
+            except (ConnectionError, OSError) as exc:
+                self._handle_failure(index, exc)
+        # Step 3: run the local expert while the workers compute.
+        outputs = [expert_forward(self.expert, x)]
+        indices = [0]
+        # Step 4: gather (prediction, uncertainty) from every worker.
+        for index, peer in sent:
+            try:
+                outputs.append(self._collect(peer, stats))
+                indices.append(index)
+            except (WorkerFailure, ConnectionError, OSError,
+                    TimeoutError) as exc:
+                self._handle_failure(index, exc)
+        # Step 5: least-uncertainty selection.
+        preds, winner = argmin_select(outputs)
+        winner = np.asarray(indices)[winner]
+        return preds, winner, InferenceStats.from_transport(stats)
+
+    def _handle_failure(self, index: int, exc: Exception) -> None:
+        if not self.degrade_on_failure:
+            raise WorkerFailure(f"worker {index} failed: {exc}") from exc
+        if index not in self.failed_workers:
+            self.failed_workers.append(index)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        preds, _, _ = self.infer(x)
+        return preds
+
+    def close(self) -> None:
+        for peer in self._peers:
+            try:
+                peer.send(protocol.encode("shutdown"))
+            except (ConnectionError, OSError):
+                pass
+            peer.close()
+
+
+def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
+                      reply_timeout: float | None = None
+                      ) -> tuple[TeamNetMaster, list[ExpertWorker]]:
+    """Deploy expert 0 as master and the rest as localhost workers.
+
+    Callers must ``master.close()`` then ``worker.stop()`` when done.
+    """
+    if len(experts) < 2:
+        raise ValueError("a team needs >= 2 experts")
+    workers = []
+    for expert in experts[1:]:
+        worker = ExpertWorker(expert)
+        worker.start()
+        workers.append(worker)
+    master = TeamNetMaster(experts[0], [w.address for w in workers],
+                           degrade_on_failure=degrade_on_failure,
+                           reply_timeout=reply_timeout)
+    return master, workers

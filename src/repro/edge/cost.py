@@ -1,0 +1,195 @@
+"""Analytic model cost profiler: FLOPs, parameter bytes, activation sizes.
+
+Walks a :mod:`repro.nn` module tree with shape propagation and emits a
+per-layer cost breakdown.  The edge latency/memory simulation consumes
+these numbers; the per-layer activation sizes additionally drive the
+communication costs of the MPI-Matrix/Kernel/Branch baselines (which
+exchange activations per layer).
+
+Conventions: one multiply-accumulate = 2 FLOPs; deployment dtype is
+float32 (4 bytes) regardless of the float64 training dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
+                         Flatten, GlobalAvgPool2d, Identity, Linear,
+                         MaxPool2d, Module, ReLU, Sequential, Sigmoid, Tanh)
+from ..nn.models import MLP, ShakeShakeBlock, ShakeShakeCNN, _Branch, _Shortcut
+
+__all__ = ["LayerCost", "ModelCost", "profile_model", "DTYPE_BYTES"]
+
+DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost of a single primitive layer."""
+
+    name: str
+    kind: str                    # linear | conv | bn | act | pool | mix
+    flops: float                 # per single input sample
+    param_bytes: int
+    out_shape: tuple[int, ...]   # per-sample output shape
+
+    @property
+    def out_numel(self) -> int:
+        return int(np.prod(self.out_shape))
+
+    @property
+    def out_bytes(self) -> int:
+        return self.out_numel * DTYPE_BYTES
+
+
+@dataclass
+class ModelCost:
+    """Aggregate cost of a model for one input sample."""
+
+    layers: list[LayerCost] = field(default_factory=list)
+    in_shape: tuple[int, ...] = ()
+
+    @property
+    def total_flops(self) -> float:
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def param_bytes(self) -> int:
+        return sum(layer.param_bytes for layer in self.layers)
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.layers)
+
+    @property
+    def peak_activation_bytes(self) -> int:
+        if not self.layers:
+            return 0
+        return max(layer.out_bytes for layer in self.layers)
+
+    @property
+    def input_bytes(self) -> int:
+        return int(np.prod(self.in_shape)) * DTYPE_BYTES
+
+    def layers_of_kind(self, kind: str) -> list[LayerCost]:
+        return [layer for layer in self.layers if layer.kind == kind]
+
+
+class _Tracer:
+    """Shape-propagating cost accumulator."""
+
+    def __init__(self):
+        self.layers: list[LayerCost] = []
+
+    def add(self, name, kind, flops, param_bytes, out_shape):
+        self.layers.append(LayerCost(name, kind, float(flops),
+                                     int(param_bytes), tuple(out_shape)))
+
+    # ------------------------------------------------------------- dispatch
+    def trace(self, module: Module, shape: tuple[int, ...],
+              prefix: str = "") -> tuple[int, ...]:
+        name = prefix or type(module).__name__
+        if isinstance(module, (MLP,)):
+            return self.trace(module.net, shape, name + ".net")
+        if isinstance(module, Sequential):
+            for i, child in enumerate(module):
+                shape = self.trace(child, shape, f"{name}[{i}]")
+            return shape
+        if isinstance(module, ShakeShakeCNN):
+            return self._trace_shake_cnn(module, shape, name)
+        if isinstance(module, ShakeShakeBlock):
+            return self._trace_block(module, shape, name)
+        if isinstance(module, _Branch):
+            return self._trace_branch(module, shape, name)
+        if isinstance(module, _Shortcut):
+            shape = self.trace(module.conv, shape, name + ".conv")
+            return self.trace(module.bn, shape, name + ".bn")
+        if isinstance(module, Flatten):
+            return (int(np.prod(shape)),)
+        if isinstance(module, Linear):
+            flops = 2.0 * module.in_features * module.out_features
+            params = module.weight.size + (
+                module.bias.size if module.bias is not None else 0)
+            self.add(name, "linear", flops, params * DTYPE_BYTES,
+                     (module.out_features,))
+            return (module.out_features,)
+        if isinstance(module, Conv2d):
+            return self._trace_conv(module, shape, name)
+        if isinstance(module, (BatchNorm1d, BatchNorm2d)):
+            numel = int(np.prod(shape))
+            params = 2 * module.num_features
+            self.add(name, "bn", 4.0 * numel, params * DTYPE_BYTES, shape)
+            return shape
+        if isinstance(module, (ReLU, Tanh, Sigmoid)):
+            numel = int(np.prod(shape))
+            self.add(name, "act", float(numel), 0, shape)
+            return shape
+        if isinstance(module, (Dropout, Identity)):
+            return shape
+        if isinstance(module, (MaxPool2d, AvgPool2d)):
+            c, h, w = shape
+            out_h = (h - module.kernel_size) // module.stride + 1
+            out_w = (w - module.kernel_size) // module.stride + 1
+            out = (c, out_h, out_w)
+            self.add(name, "pool",
+                     float(np.prod(out)) * module.kernel_size**2, 0, out)
+            return out
+        if isinstance(module, GlobalAvgPool2d):
+            c, h, w = shape
+            self.add(name, "pool", float(c * h * w), 0, (c,))
+            return (c,)
+        raise TypeError(f"cannot profile module of type {type(module)}")
+
+    # ----------------------------------------------------------- composites
+    def _trace_conv(self, conv: Conv2d, shape, name):
+        c, h, w = shape
+        if c != conv.in_channels:
+            raise ValueError(
+                f"{name}: expected {conv.in_channels} channels, got {c}")
+        out_h = (h + 2 * conv.padding - conv.kernel_size) // conv.stride + 1
+        out_w = (w + 2 * conv.padding - conv.kernel_size) // conv.stride + 1
+        out = (conv.out_channels, out_h, out_w)
+        flops = (2.0 * conv.in_channels * conv.kernel_size**2
+                 * conv.out_channels * out_h * out_w)
+        params = conv.weight.size + (
+            conv.bias.size if conv.bias is not None else 0)
+        self.add(name, "conv", flops, params * DTYPE_BYTES, out)
+        return out
+
+    def _trace_branch(self, branch: _Branch, shape, name):
+        shape = self.trace(branch.conv1, shape, name + ".conv1")
+        shape = self.trace(branch.bn1, shape, name + ".bn1")
+        self.add(name + ".relu", "act", float(np.prod(shape)), 0, shape)
+        shape = self.trace(branch.conv2, shape, name + ".conv2")
+        return self.trace(branch.bn2, shape, name + ".bn2")
+
+    def _trace_block(self, block: ShakeShakeBlock, shape, name):
+        out = self._trace_branch(block.branch1, shape, name + ".branch1")
+        self._trace_branch(block.branch2, shape, name + ".branch2")
+        self.trace(block.shortcut, shape, name + ".shortcut")
+        # Mixing (2 muls + add) and the residual add + final relu.
+        self.add(name + ".mix", "mix", 4.0 * np.prod(out), 0, out)
+        return out
+
+    def _trace_shake_cnn(self, model: ShakeShakeCNN, shape, name):
+        shape = self.trace(model.stem, shape, name + ".stem")
+        shape = self.trace(model.stem_bn, shape, name + ".stem_bn")
+        self.add(name + ".relu", "act", float(np.prod(shape)), 0, shape)
+        for i, block in enumerate(model.stages):
+            shape = self._trace_block(block, shape, f"{name}.block{i}")
+        shape = self.trace(model.pool, shape, name + ".pool")
+        return self.trace(model.fc, shape, name + ".fc")
+
+
+def profile_model(model: Module, in_shape: tuple[int, ...]) -> ModelCost:
+    """Profile ``model`` for per-sample input shape ``in_shape``.
+
+    ``in_shape`` excludes the batch dimension, e.g. ``(3, 32, 32)`` or
+    ``(784,)``.
+    """
+    tracer = _Tracer()
+    tracer.trace(model, tuple(in_shape))
+    return ModelCost(layers=tracer.layers, in_shape=tuple(in_shape))

@@ -1,0 +1,92 @@
+"""Edge device profiles.
+
+Analytic stand-ins for the paper's hardware (see DESIGN.md).  Throughput
+numbers are *effective* dense-compute rates (not datasheet peaks), chosen
+so the simulated baseline latencies land in the regime the paper reports:
+SS-26 at width 96 costs ~8.3 GFLOP/inference, giving ~380 ms on the TX2
+CPU profile (Table II(a): 378.2 ms) and ~14 ms on the TX2 GPU profile
+(Table II(b): 14.3 ms).  The per-op dispatch overhead dominates tiny
+models on the GPU, which is what makes offloading unprofitable there —
+the paper's own observation in Table I(b).
+
+``framework_bytes`` models the resident ML-framework footprint (TensorFlow
+runtime, CUDA context) that dominates the paper's memory-% columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile", "RASPBERRY_PI_3B", "JETSON_TX2_CPU",
+           "JETSON_TX2_GPU", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """An edge device's analytic performance model."""
+
+    name: str
+    flops_per_second: float     # effective dense throughput
+    memory_bytes: float         # total RAM
+    num_cores: int
+    op_overhead_s: float        # fixed dispatch cost per layer/op
+    framework_bytes: float      # resident framework footprint
+    compute_core_fraction: float  # share of cores busy during dense compute
+    is_gpu: bool = False
+    gpu_utilization_fraction: float = 0.0  # GPU busy share during kernels
+    compute_power_w: float = 5.0   # power draw while computing
+    comm_power_w: float = 2.0      # power draw while waiting on the radio
+
+    def compute_time(self, flops: float, num_ops: int) -> float:
+        """Seconds to execute ``flops`` spread over ``num_ops`` layers."""
+        return flops / self.flops_per_second + num_ops * self.op_overhead_s
+
+    def energy_joules(self, compute_s: float, comm_s: float) -> float:
+        """Per-inference energy: busy power during compute plus radio/idle
+        power during communication (edge batteries care about both)."""
+        return (compute_s * self.compute_power_w
+                + comm_s * self.comm_power_w)
+
+
+RASPBERRY_PI_3B = DeviceProfile(
+    name="raspberry-pi-3b+",
+    flops_per_second=3.0e9,
+    memory_bytes=1.0 * 2**30,
+    num_cores=4,
+    op_overhead_s=80e-6,
+    framework_bytes=130 * 2**20,
+    compute_core_fraction=0.70,
+    compute_power_w=5.0,       # RPi 3B+ under CPU load
+    comm_power_w=2.2,
+)
+
+JETSON_TX2_CPU = DeviceProfile(
+    name="jetson-tx2-cpu",
+    flops_per_second=22.0e9,
+    memory_bytes=8.0 * 2**30,
+    num_cores=6,
+    op_overhead_s=30e-6,
+    framework_bytes=400 * 2**20,
+    compute_core_fraction=0.55,
+    compute_power_w=9.0,       # TX2 CPU cluster busy
+    comm_power_w=3.0,
+)
+
+JETSON_TX2_GPU = DeviceProfile(
+    name="jetson-tx2-gpu",
+    flops_per_second=600.0e9,
+    memory_bytes=8.0 * 2**30,   # unified memory
+    num_cores=6,
+    op_overhead_s=20e-6,        # kernel launch latency
+    framework_bytes=650 * 2**20,  # TF + CUDA/cuDNN context
+    compute_core_fraction=0.20,   # CPU only feeds the GPU
+    is_gpu=True,
+    gpu_utilization_fraction=0.30,
+    compute_power_w=15.0,      # GPU + CPU host busy
+    comm_power_w=3.5,
+)
+
+DEVICES = {
+    profile.name: profile
+    for profile in (RASPBERRY_PI_3B, JETSON_TX2_CPU, JETSON_TX2_GPU)
+}

@@ -1,0 +1,195 @@
+"""Per-approach simulated metrics (latency, memory %, CPU %, GPU %).
+
+Each function mirrors the message pattern of the corresponding functional
+runtime in :mod:`repro.distributed` (tests assert the analytic message
+counts equal the counters measured on the real localhost runs) and prices
+it against a :class:`DeviceProfile` and :class:`NetworkProfile`.
+
+Resource-percentage heuristics (documented here because they are the
+"tuned constants" of the reproduction):
+
+* memory%  = (framework + parameters + 2x peak activation + input) / RAM;
+* CPU%     = (compute_time * compute_core_fraction
+              + comm_time * spin_fraction) / latency, where spin_fraction
+  reflects how busily the protocol waits (MPI progress engines spin:
+  0.30; socket/RPC runtimes block in the kernel: 0.05);
+* GPU%     = gpu_compute_time / latency * gpu_utilization_fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost import DTYPE_BYTES, ModelCost
+from .device import DeviceProfile
+from .network import NetworkProfile
+
+__all__ = ["Metrics", "baseline_metrics", "teamnet_metrics",
+           "mpi_matrix_metrics", "mpi_kernel_metrics", "mpi_branch_metrics",
+           "moe_grpc_metrics", "moe_mpi_metrics", "SPIN_FRACTION",
+           "RESULT_BYTES"]
+
+SPIN_FRACTION = {"sockets": 0.05, "mpi": 0.30, "rpc": 0.05}
+
+# A TeamNet worker replies with (probs, entropy): (C+1) floats + framing.
+RESULT_BYTES = 11 * DTYPE_BYTES + 64
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Simulated per-inference metrics for one approach on one node."""
+
+    approach: str
+    latency_s: float
+    memory_fraction: float
+    cpu_fraction: float
+    gpu_fraction: float | None = None
+    energy_j: float = 0.0
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def energy_mj(self) -> float:
+        return self.energy_j * 1e3
+
+
+def _memory_fraction(device: DeviceProfile, cost: ModelCost) -> float:
+    resident = (device.framework_bytes + cost.param_bytes
+                + 2 * cost.peak_activation_bytes + cost.input_bytes)
+    return min(1.0, resident / device.memory_bytes)
+
+
+def _make_metrics(approach: str, device: DeviceProfile, cost: ModelCost,
+                  compute_s: float, comm_s: float,
+                  protocol: str = "sockets") -> Metrics:
+    latency = compute_s + comm_s
+    spin = SPIN_FRACTION[protocol]
+    busy = compute_s * device.compute_core_fraction + comm_s * spin
+    cpu = min(1.0, busy / latency) if latency > 0 else 0.0
+    gpu = None
+    if device.is_gpu:
+        gpu = min(1.0, (compute_s / latency) * device.gpu_utilization_fraction
+                  if latency > 0 else 0.0)
+    return Metrics(approach=approach, latency_s=latency,
+                   memory_fraction=_memory_fraction(device, cost),
+                   cpu_fraction=cpu, gpu_fraction=gpu,
+                   energy_j=device.energy_joules(compute_s, comm_s))
+
+
+def baseline_metrics(cost: ModelCost, device: DeviceProfile) -> Metrics:
+    """The undistributed reference model on a single device."""
+    compute = device.compute_time(cost.total_flops, cost.num_ops)
+    return _make_metrics("baseline", device, cost, compute, 0.0)
+
+
+def teamnet_metrics(expert_cost: ModelCost, team_size: int,
+                    device: DeviceProfile, net: NetworkProfile) -> Metrics:
+    """TeamNet master-node metrics (Figure 1(d)).
+
+    Communication is exactly two phases: broadcast the input to K-1 peers,
+    then gather K-1 tiny (prediction, uncertainty) replies.  All experts
+    compute in parallel on identical devices, so the compute term is one
+    expert's forward.
+    """
+    if team_size < 2:
+        raise ValueError("TeamNet needs >= 2 nodes")
+    compute = device.compute_time(expert_cost.total_flops,
+                                  expert_cost.num_ops)
+    peers = team_size - 1
+    comm = (net.broadcast_time(expert_cost.input_bytes, peers)
+            + net.gather_time(RESULT_BYTES, peers))
+    return _make_metrics(f"teamnet-{team_size}", device, expert_cost,
+                         compute, comm)
+
+
+def _scaled_cost(cost: ModelCost, size: int, kinds: tuple[str, ...]) -> float:
+    """FLOPs with layers of ``kinds`` divided across ``size`` ranks and the
+    rest computed redundantly on every rank."""
+    total = 0.0
+    for layer in cost.layers:
+        total += layer.flops / size if layer.kind in kinds else layer.flops
+    return total
+
+
+def mpi_matrix_metrics(cost: ModelCost, size: int, device: DeviceProfile,
+                       net: NetworkProfile) -> Metrics:
+    """MPI-Matrix: one allgather of the activation per Linear layer."""
+    flops = _scaled_cost(cost, size, ("linear",))
+    compute = device.compute_time(flops, cost.num_ops)
+    comm = sum(net.allgather_time(layer.out_bytes / size, size)
+               for layer in cost.layers_of_kind("linear"))
+    return _make_metrics(f"mpi-matrix-{size}", device, cost, compute, comm,
+                         protocol="mpi")
+
+
+def mpi_kernel_metrics(cost: ModelCost, size: int, device: DeviceProfile,
+                       net: NetworkProfile) -> Metrics:
+    """MPI-Kernel: one allgather of the feature map per Conv layer."""
+    flops = _scaled_cost(cost, size, ("conv",))
+    compute = device.compute_time(flops, cost.num_ops)
+    comm = sum(net.allgather_time(layer.out_bytes / size, size)
+               for layer in cost.layers_of_kind("conv"))
+    return _make_metrics(f"mpi-kernel-{size}", device, cost, compute, comm,
+                         protocol="mpi")
+
+
+def mpi_branch_metrics(cost: ModelCost, device: DeviceProfile,
+                       net: NetworkProfile) -> Metrics:
+    """MPI-Branch (2 nodes): each rank computes one branch per block and the
+    ranks swap branch outputs at each block boundary."""
+    branch2_flops = sum(layer.flops for layer in cost.layers
+                        if ".branch2" in layer.name)
+    flops = cost.total_flops - branch2_flops  # rank computes one branch
+    compute = device.compute_time(flops, cost.num_ops)
+    comm = sum(net.p2p_exchange_time(layer.out_bytes)
+               for layer in cost.layers if layer.kind == "mix")
+    return _make_metrics("mpi-branch-2", device, cost, compute, comm,
+                         protocol="mpi")
+
+
+def moe_grpc_metrics(expert_cost: ModelCost, gate_cost: ModelCost,
+                     team_size: int, device: DeviceProfile,
+                     net: NetworkProfile, k_selected: int = 2) -> Metrics:
+    """SG-MoE-G: gate runs first, then one RPC per selected expert.
+
+    Requests are serialized on the shared radio; expert compute overlaps
+    the master's wait, so latency = gate + dispatch airtime + one expert
+    forward + replies.
+    """
+    k_selected = min(k_selected, team_size)
+    gate = device.compute_time(gate_cost.total_flops, gate_cost.num_ops)
+    expert = device.compute_time(expert_cost.total_flops,
+                                 expert_cost.num_ops)
+    # With K == k every expert runs and one of them is the local gate node;
+    # with K > k the top-k picks are almost surely all remote.
+    remote = k_selected - 1 if team_size == k_selected else k_selected
+    dispatch = (net.latency_s + remote * net.rpc_overhead_s
+                + remote * expert_cost.input_bytes / net.bandwidth_bytes_per_s
+                if remote else 0.0)
+    replies = net.gather_time(RESULT_BYTES, remote) if remote else 0.0
+    comm = dispatch + replies
+    return _make_metrics(f"sg-moe-g-{team_size}", device, expert_cost,
+                         gate + expert, comm, protocol="rpc")
+
+
+def moe_mpi_metrics(expert_cost: ModelCost, gate_cost: ModelCost,
+                    team_size: int, device: DeviceProfile,
+                    net: NetworkProfile,
+                    p2p_overhead_s: float = 1.5e-3) -> Metrics:
+    """SG-MoE-M: the gate node MPI-sends the input to every expert rank and
+    MPI-receives every output (all experts compute; gate weights zero out
+    the non-top-k).  Twice (K-1) point-to-point messages with per-message
+    MPI overhead."""
+    gate = device.compute_time(gate_cost.total_flops, gate_cost.num_ops)
+    expert = device.compute_time(expert_cost.total_flops,
+                                 expert_cost.num_ops)
+    peers = team_size - 1
+    outbound = peers * (net.latency_s + p2p_overhead_s
+                        + expert_cost.input_bytes / net.bandwidth_bytes_per_s)
+    inbound = peers * (net.latency_s + p2p_overhead_s
+                       + RESULT_BYTES / net.bandwidth_bytes_per_s)
+    comm = outbound + inbound
+    return _make_metrics(f"sg-moe-m-{team_size}", device, expert_cost,
+                         gate + expert, comm, protocol="mpi")

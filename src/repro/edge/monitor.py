@@ -1,0 +1,65 @@
+"""Wall-clock measurement helpers for the functional (localhost) runs.
+
+The tables in the paper come from the analytic simulator
+(:mod:`repro.edge.metrics`); these helpers exist so that examples and
+benchmarks can *also* time the real socket runtimes on localhost and sanity
+check relative orderings against the simulation.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencySummary", "measure_latency", "measure_peak_memory"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over repeated latency samples (seconds)."""
+
+    mean: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+
+def measure_latency(fn, repeats: int = 20, warmup: int = 3) -> LatencySummary:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` discarded calls."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    samples = np.empty(repeats)
+    for i in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples[i] = time.perf_counter() - start
+    return LatencySummary(
+        mean=float(samples.mean()),
+        p50=float(np.percentile(samples, 50)),
+        p95=float(np.percentile(samples, 95)),
+        minimum=float(samples.min()),
+        maximum=float(samples.max()),
+        samples=repeats,
+    )
+
+
+def measure_peak_memory(fn) -> tuple[object, int]:
+    """Run ``fn()`` under tracemalloc; return (result, peak bytes)."""
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak

@@ -1,0 +1,90 @@
+"""Wireless network model.
+
+Models the WiFi link between edge devices: a fixed per-message latency
+(MAC scheduling + protocol stack) plus serialized airtime (all stations
+share one radio channel, so concurrent transfers do not overlap).  MPI
+collectives additionally pay a per-round synchronization penalty
+(``mpi_sync_s``) capturing the progress-engine polling and convergecast
+contention the paper's MPI numbers exhibit — this constant is calibrated
+against Table I(a)'s MPI-Matrix row (see EXPERIMENTS.md) and is the single
+"magic number" in the communication model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["NetworkProfile", "WIFI", "ETHERNET"]
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Analytic link model shared by all nodes on the wireless segment."""
+
+    name: str
+    latency_s: float              # one-way per-message latency
+    bandwidth_bytes_per_s: float  # shared channel throughput
+    mpi_sync_s: float = 0.0       # extra cost per MPI collective round
+    rpc_overhead_s: float = 0.0   # extra cost per RPC round trip
+
+    # ----------------------------------------------------------- primitives
+    def transfer_time(self, nbytes: float, messages: int = 1) -> float:
+        """Airtime + latency for ``messages`` serialized transfers."""
+        return messages * self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def broadcast_time(self, nbytes: float, num_peers: int) -> float:
+        """Master sends ``nbytes`` to each of ``num_peers`` over one radio.
+
+        One message latency is paid up front; the payload airtime repeats
+        per peer because the channel is shared.
+        """
+        if num_peers <= 0:
+            return 0.0
+        return (self.latency_s
+                + num_peers * nbytes / self.bandwidth_bytes_per_s)
+
+    def gather_time(self, nbytes_each: float, num_peers: int) -> float:
+        """Collect ``nbytes_each`` from each peer (serialized replies)."""
+        if num_peers <= 0:
+            return 0.0
+        return (self.latency_s
+                + num_peers * nbytes_each / self.bandwidth_bytes_per_s)
+
+    # ----------------------------------------------------------- collectives
+    def allgather_time(self, nbytes_per_rank: float, size: int) -> float:
+        """Full-mesh allgather: K*(K-1) serialized messages + sync."""
+        if size <= 1:
+            return 0.0
+        messages = size * (size - 1)
+        airtime = messages * nbytes_per_rank / self.bandwidth_bytes_per_s
+        rounds = max(1, math.ceil(math.log2(size)))
+        return (rounds * (2 * self.latency_s + self.mpi_sync_s)) + airtime
+
+    def p2p_exchange_time(self, nbytes_each: float) -> float:
+        """Two ranks swap payloads (MPI-Branch per-block exchange)."""
+        return (2 * self.latency_s + self.mpi_sync_s
+                + 2 * nbytes_each / self.bandwidth_bytes_per_s)
+
+    def rpc_round_trip(self, request_bytes: float,
+                       reply_bytes: float) -> float:
+        """One unary RPC call."""
+        return (2 * self.latency_s + self.rpc_overhead_s
+                + (request_bytes + reply_bytes) / self.bandwidth_bytes_per_s)
+
+
+WIFI = NetworkProfile(
+    name="wifi-802.11n",
+    latency_s=0.5e-3,
+    bandwidth_bytes_per_s=40e6 / 8,   # 40 Mb/s effective
+    mpi_sync_s=10e-3,
+    rpc_overhead_s=0.4e-3,
+)
+
+ETHERNET = NetworkProfile(
+    name="gigabit-ethernet",
+    latency_s=0.05e-3,
+    bandwidth_bytes_per_s=1e9 / 8,
+    mpi_sync_s=0.2e-3,
+    rpc_overhead_s=0.05e-3,
+)

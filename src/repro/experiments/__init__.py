@@ -1,0 +1,27 @@
+"""``repro.experiments`` — one driver per paper table/figure.
+
+Each module exposes ``run(scale) -> ExperimentResult``; see DESIGN.md for
+the experiment index and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from . import fig5, fig6, fig7, fig8, fig9, table1, table2
+from .reporting import ExperimentResult, ResultTable
+from .workloads import (DEFAULT, SMALL, ExperimentScale, Workloads,
+                        model_accuracy, train_single_model)
+
+ALL_EXPERIMENTS = {
+    "fig5": fig5.run,
+    "table1": table1.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table2": table2.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+}
+
+__all__ = [
+    "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
+    "ExperimentResult", "ResultTable", "ExperimentScale", "Workloads",
+    "DEFAULT", "SMALL", "model_accuracy", "train_single_model",
+    "ALL_EXPERIMENTS",
+]

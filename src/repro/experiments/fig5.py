@@ -1,0 +1,51 @@
+"""Figure 5 — TeamNet on Raspberry Pi 3B+ for handwritten digit recognition.
+
+Paper claim: "With more experts in TeamNet, inference becomes faster, and
+memory and CPU consumption become smaller on the edge node.  The accuracy
+is generally not compromised."
+
+Rows: baseline MLP-8, TeamNet 2x MLP-4, TeamNet 4x MLP-2.  Accuracy is
+measured on the trained (scaled-down) models; latency/memory/CPU come from
+the Raspberry Pi profile at deployment scale.
+"""
+
+from __future__ import annotations
+
+from ..edge import RASPBERRY_PI_3B, WIFI, baseline_metrics, teamnet_metrics
+from .reporting import ExperimentResult, ResultTable
+from .workloads import DEFAULT, ExperimentScale, Workloads
+
+__all__ = ["run"]
+
+EXPERIMENT = "fig5: MNIST on Raspberry Pi 3B+ (accuracy/latency/memory/CPU)"
+
+
+def run(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+    w = Workloads.shared(scale)
+    result = ExperimentResult(EXPERIMENT)
+    table = ResultTable(
+        "Figure 5 (Raspberry Pi 3B+, MNIST)",
+        ["Config", "Accuracy (%)", "Inference Time (ms)",
+         "Memory Usage (%)", "CPU Usage (%)"])
+
+    _, base_acc = w.baseline("mnist")
+    base = baseline_metrics(w.paper_cost("mnist", 1), RASPBERRY_PI_3B)
+    table.add_row("MLP-8 (baseline)", 100 * base_acc, base.latency_ms,
+                  100 * base.memory_fraction, 100 * base.cpu_fraction)
+
+    for num_experts in (2, 4):
+        _, acc = w.teamnet("mnist", num_experts)
+        metrics = teamnet_metrics(w.paper_cost("mnist", num_experts),
+                                  num_experts, RASPBERRY_PI_3B, WIFI)
+        depth = 8 // num_experts
+        table.add_row(f"{num_experts}xMLP-{depth} (TeamNet)", 100 * acc,
+                      metrics.latency_ms, 100 * metrics.memory_fraction,
+                      100 * metrics.cpu_fraction)
+
+    result.add_table("fig5", table)
+    latencies = table.column("Inference Time (ms)")
+    result.add_series("latency_ms", latencies)
+    result.note("expected shape: latency, memory and CPU all decrease "
+                "monotonically with more experts; accuracy within a few "
+                "points of the baseline")
+    return result

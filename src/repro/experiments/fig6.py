@@ -1,0 +1,43 @@
+"""Figure 6 — gate convergence on MNIST.
+
+Paper claim: the per-expert assignment proportion starts away from the set
+point (1/K) and converges to it — at roughly the 12000th iteration for two
+experts and the 15000th for four (at the paper's scale; our iteration
+counts are proportionally smaller).
+"""
+
+from __future__ import annotations
+
+from .plots import convergence_chart
+from .reporting import ExperimentResult
+from .workloads import DEFAULT, ExperimentScale, Workloads
+
+__all__ = ["run"]
+
+EXPERIMENT = "fig6: assignment-proportion convergence on MNIST (K=2, K=4)"
+
+
+def run(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+    w = Workloads.shared(scale)
+    result = ExperimentResult(EXPERIMENT)
+    for num_experts in (2, 4):
+        team, _ = w.teamnet("mnist", num_experts)
+        monitor = team.trainer.monitor
+        history = monitor.history()
+        result.add_series(f"proportions_k{num_experts}", history)
+        result.add_chart(
+            f"chart_k{num_experts}",
+            convergence_chart(
+                history, monitor.set_point,
+                title=f"K={num_experts}: assignment proportion vs "
+                      f"iteration (set point {monitor.set_point:.2f})"))
+        window = max(5, len(history) // 8)
+        iteration = monitor.convergence_iteration(tolerance=0.12,
+                                                  window=window)
+        deviation = monitor.max_deviation(window=window)
+        result.note(
+            f"K={num_experts}: set point {monitor.set_point:.3f}, trailing "
+            f"max deviation {deviation:.3f}, converged at iteration "
+            f"{iteration if iteration is not None else 'never'} "
+            f"of {len(history)}")
+    return result

@@ -1,0 +1,54 @@
+"""Figure 7 — TeamNet on Jetson TX2 for CIFAR-10 image classification.
+
+Paper claims: (a) on Jetson CPUs, inference gets faster with more experts
+at roughly constant accuracy; (b) on Jetson GPUs the fastest configuration
+is *two* experts — the fixed WiFi cost stops the scaling, so four experts
+are slower than two even though each expert is smaller.
+"""
+
+from __future__ import annotations
+
+from ..edge import (JETSON_TX2_CPU, JETSON_TX2_GPU, WIFI, baseline_metrics,
+                    teamnet_metrics)
+from .reporting import ExperimentResult, ResultTable
+from .workloads import DEFAULT, ExperimentScale, Workloads
+
+__all__ = ["run"]
+
+EXPERIMENT = "fig7: CIFAR-10 on Jetson TX2 CPUs/GPUs vs number of experts"
+
+
+def _build(w: Workloads, device, title: str) -> ResultTable:
+    headers = ["Config", "Accuracy (%)", "Inference Time (ms)",
+               "Memory Usage (%)", "CPU Usage (%)", "GPU Usage (%)"]
+    table = ResultTable(title, headers)
+    _, base_acc = w.baseline("cifar")
+    base = baseline_metrics(w.paper_cost("cifar", 1), device)
+    gpu = "-" if base.gpu_fraction is None else 100 * base.gpu_fraction
+    table.add_row("SS-26 (baseline)", 100 * base_acc, base.latency_ms,
+                  100 * base.memory_fraction, 100 * base.cpu_fraction, gpu)
+    for num_experts in (2, 4):
+        _, acc = w.teamnet("cifar", num_experts)
+        metrics = teamnet_metrics(w.paper_cost("cifar", num_experts),
+                                  num_experts, device, WIFI)
+        depth = 14 if num_experts == 2 else 8
+        gpu = ("-" if metrics.gpu_fraction is None
+               else 100 * metrics.gpu_fraction)
+        table.add_row(f"{num_experts}xSS-{depth} (TeamNet)", 100 * acc,
+                      metrics.latency_ms, 100 * metrics.memory_fraction,
+                      100 * metrics.cpu_fraction, gpu)
+    return table
+
+
+def run(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+    w = Workloads.shared(scale)
+    result = ExperimentResult(EXPERIMENT)
+    result.add_table("fig7a", _build(w, JETSON_TX2_CPU,
+                                     "Figure 7(a): Jetson TX2 CPU only"))
+    result.add_table("fig7b", _build(w, JETSON_TX2_GPU,
+                                     "Figure 7(b): Jetson TX2 GPU and CPU"))
+    result.note("expected shape (a): latency decreases monotonically with "
+                "more experts (TeamNet nearly halves SS-26 inference)")
+    result.note("expected shape (b): 2 experts is the fastest point; 4 "
+                "experts pays more WiFi broadcast time than it saves")
+    return result

@@ -1,0 +1,43 @@
+"""Figure 8 — gate convergence on CIFAR-10.
+
+Same protocol as Figure 6 but on the CIFAR workload: with two experts the
+proportion may start near 0.5 "by luck", wander while the experts are
+still ignorant, and converge as their uncertainties become informative;
+with four experts it converges to 0.25.
+"""
+
+from __future__ import annotations
+
+from .plots import convergence_chart
+from .reporting import ExperimentResult
+from .workloads import DEFAULT, ExperimentScale, Workloads
+
+__all__ = ["run"]
+
+EXPERIMENT = "fig8: assignment-proportion convergence on CIFAR-10 (K=2, K=4)"
+
+
+def run(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+    w = Workloads.shared(scale)
+    result = ExperimentResult(EXPERIMENT)
+    for num_experts in (2, 4):
+        team, _ = w.teamnet("cifar", num_experts)
+        monitor = team.trainer.monitor
+        history = monitor.history()
+        result.add_series(f"proportions_k{num_experts}", history)
+        result.add_chart(
+            f"chart_k{num_experts}",
+            convergence_chart(
+                history, monitor.set_point,
+                title=f"K={num_experts}: assignment proportion vs "
+                      f"iteration (set point {monitor.set_point:.2f})"))
+        window = max(5, len(history) // 8)
+        iteration = monitor.convergence_iteration(tolerance=0.15,
+                                                  window=window)
+        result.note(
+            f"K={num_experts}: set point {monitor.set_point:.3f}, trailing "
+            f"max deviation {monitor.max_deviation(window=window):.3f}, "
+            f"converged at iteration "
+            f"{iteration if iteration is not None else 'never'} "
+            f"of {len(history)}")
+    return result

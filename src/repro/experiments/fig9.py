@@ -1,0 +1,78 @@
+"""Figure 9 — expert specialization on CIFAR-10.
+
+Paper claim: "With two experts in TeamNet, Expert One is more certain of
+machines such as airplanes, automobiles and trucks, while Expert Two is
+more certain of animals such as cats and dogs"; with four experts the
+machine/animal split persists with two experts per superclass.
+
+We measure, per class, the fraction of test samples for which each expert
+is the least-uncertain one (the certainty share), then aggregate over the
+machine/animal superclasses carried by the dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .plots import heatmap
+from .reporting import ExperimentResult, ResultTable
+from .workloads import DEFAULT, ExperimentScale, Workloads
+
+__all__ = ["run", "superclass_affinity", "specialization_score"]
+
+EXPERIMENT = "fig9: expert specialization over machine/animal superclasses"
+
+
+def superclass_affinity(share: np.ndarray,
+                        superclasses: dict[str, tuple[int, ...]]
+                        ) -> dict[str, np.ndarray]:
+    """Average the per-class certainty share within each superclass.
+
+    ``share`` is the (K, C) matrix from ``TeamNet.certainty_share``.
+    Returns {superclass: (K,) affinity vector}.
+    """
+    return {name: share[:, list(classes)].mean(axis=1)
+            for name, classes in superclasses.items()}
+
+
+def specialization_score(share: np.ndarray) -> float:
+    """How specialized the team is, in [0, 1].
+
+    For each class take the winning expert's share minus the uniform share
+    1/K, normalized by (1 - 1/K).  0 = uniform (no specialization),
+    1 = every class fully owned by one expert.
+    """
+    k = share.shape[0]
+    uniform = 1.0 / k
+    return float(np.clip((share.max(axis=0) - uniform) / (1 - uniform),
+                         0, 1).mean())
+
+
+def run(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+    w = Workloads.shared(scale)
+    result = ExperimentResult(EXPERIMENT)
+    _, test = w.cifar()
+    for num_experts in (2, 4):
+        team, _ = w.teamnet("cifar", num_experts)
+        share = team.certainty_share(test)
+        result.add_series(f"certainty_share_k{num_experts}", share)
+        result.add_chart(
+            f"heatmap_k{num_experts}",
+            heatmap(share,
+                    row_labels=[f"expert{i + 1}"
+                                for i in range(num_experts)],
+                    col_labels=test.class_names,
+                    title=f"K={num_experts}: per-class certainty share"))
+        affinity = superclass_affinity(share, test.superclasses)
+        table = ResultTable(
+            f"Figure 9 (K={num_experts}): superclass affinity per expert",
+            ["Expert", "Machines share (%)", "Animals share (%)"])
+        for i in range(num_experts):
+            table.add_row(f"Expert {i + 1}",
+                          100 * affinity["machines"][i],
+                          100 * affinity["animals"][i])
+        result.add_table(f"fig9_k{num_experts}", table)
+        result.note(f"K={num_experts}: specialization score "
+                    f"{specialization_score(share):.3f} (0=uniform, 1=fully "
+                    f"specialized)")
+    return result

@@ -1,0 +1,97 @@
+"""ASCII rendering of the paper's figures.
+
+No plotting library is available offline, so the figure experiments render
+their series as fixed-width character charts — good enough to *see*
+Figure 6/8's convergence to the set point and Figure 9's specialization
+blocks in a terminal or in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["line_chart", "heatmap", "convergence_chart"]
+
+_GLYPHS = "123456789"
+
+
+def line_chart(series: np.ndarray, height: int = 12, width: int = 72,
+               title: str = "", y_min: float | None = None,
+               y_max: float | None = None,
+               reference: float | None = None) -> str:
+    """Render (iterations, K) ``series`` as an ASCII line chart.
+
+    Each column is the mean of a bucket of iterations; series ``i`` is
+    drawn with the digit ``i+1``; ``reference`` draws a horizontal line of
+    ``-`` (used for the 1/K set point).
+    """
+    series = np.atleast_2d(np.asarray(series, dtype=float))
+    if series.size == 0:
+        return f"{title}\n(empty series)"
+    if series.ndim == 2 and series.shape[0] > series.shape[1]:
+        series = series.T  # (K, iterations)
+    k, steps = series.shape
+    # Bucket the x axis down to the chart width.
+    buckets = np.array_split(np.arange(steps), min(width, steps))
+    condensed = np.stack([[series[i, idx].mean() for idx in buckets]
+                          for i in range(k)])
+    lo = y_min if y_min is not None else float(condensed.min())
+    hi = y_max if y_max is not None else float(condensed.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * condensed.shape[1] for _ in range(height)]
+    if reference is not None and lo <= reference <= hi:
+        ref_row = int(round((hi - reference) / (hi - lo) * (height - 1)))
+        for col in range(condensed.shape[1]):
+            grid[ref_row][col] = "-"
+    for i in range(k):
+        glyph = _GLYPHS[i % len(_GLYPHS)]
+        for col in range(condensed.shape[1]):
+            value = np.clip(condensed[i, col], lo, hi)
+            row = int(round((hi - value) / (hi - lo) * (height - 1)))
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        label = hi - (hi - lo) * row_index / (height - 1)
+        lines.append(f"{label:6.2f} |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * condensed.shape[1])
+    lines.append(" " * 8 + f"iterations 0..{steps - 1}   "
+                 + "  ".join(f"{_GLYPHS[i]}=expert{i + 1}"
+                             for i in range(min(k, len(_GLYPHS)))))
+    return "\n".join(lines)
+
+
+def heatmap(matrix: np.ndarray, row_labels=None, col_labels=None,
+            title: str = "") -> str:
+    """Render a (rows, cols) matrix in [0, 1] as an ASCII intensity map."""
+    matrix = np.asarray(matrix, dtype=float)
+    shades = " .:-=+*#%@"
+    rows, cols = matrix.shape
+    row_labels = (list(row_labels) if row_labels is not None
+                  else [f"row{i}" for i in range(rows)])
+    col_labels = (list(col_labels) if col_labels is not None
+                  else [str(i) for i in range(cols)])
+    label_width = max(len(str(lab)) for lab in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for i in range(rows):
+        cells = []
+        for j in range(cols):
+            value = float(np.clip(matrix[i, j], 0.0, 1.0))
+            cells.append(shades[int(round(value * (len(shades) - 1)))] * 2)
+        lines.append(f"{str(row_labels[i]):>{label_width}} |"
+                     + " ".join(cells) + "|")
+    header = " " * (label_width + 2) + " ".join(
+        f"{str(lab)[:2]:>2}" for lab in col_labels)
+    lines.append(header)
+    return "\n".join(lines)
+
+
+def convergence_chart(history: np.ndarray, set_point: float,
+                      title: str = "") -> str:
+    """Figure 6/8 style chart: proportions vs iteration + set-point line."""
+    return line_chart(history, title=title, y_min=0.0, y_max=1.0,
+                      reference=set_point)

@@ -1,0 +1,104 @@
+"""Result tables and rendering for the experiment drivers.
+
+Each experiment returns an :class:`ExperimentResult` holding one or more
+:class:`ResultTable` objects (the paper's tables) and/or named numeric
+series (the paper's figures), rendered as fixed-width text that mirrors
+the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ResultTable", "ExperimentResult"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table with a header row and formatted value rows."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.headers)}")
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        """All values of the named column."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def lookup(self, key: str, column: str):
+        """Value at (row whose first cell == key, column)."""
+        col = self.headers.index(column)
+        for row in self.rows:
+            if str(row[0]) == key:
+                return row[col]
+        raise KeyError(f"no row {key!r} in table {self.title!r}")
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 100:
+                return f"{value:.1f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def render(self) -> str:
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(h), *(len(r[i]) for r in cells)) if cells
+                  else len(h) for i, h in enumerate(self.headers)]
+        lines = [self.title,
+                 "  ".join(h.ljust(w) for h, w in zip(self.headers, widths)),
+                 "  ".join("-" * w for w in widths)]
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"title": self.title, "headers": list(self.headers),
+                "rows": [list(r) for r in self.rows]}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment driver produces."""
+
+    experiment: str
+    tables: dict[str, ResultTable] = field(default_factory=dict)
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    charts: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, key: str, table: ResultTable) -> None:
+        self.tables[key] = table
+
+    def add_chart(self, key: str, rendered: str) -> None:
+        self.charts[key] = rendered
+
+    def add_series(self, key: str, values) -> None:
+        self.series[key] = np.asarray(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment} =="]
+        parts.extend(table.render() for table in self.tables.values())
+        parts.extend(self.charts.values())
+        for key, values in self.series.items():
+            parts.append(f"[series {key}] shape={values.shape} "
+                         f"tail={np.round(values[-3:], 4).tolist()}"
+                         if len(values) else f"[series {key}] empty")
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n\n".join(parts)

@@ -1,0 +1,75 @@
+"""Table I — MNIST on Jetson TX2: TeamNet vs MPI-Matrix vs SG-MoE.
+
+Two sub-tables: (a) CPU-only profile, (b) GPU+CPU profile.  Approaches at
+2 and 4 nodes: TeamNet, MPI-Matrix (numerically identical to the baseline,
+so it inherits the baseline's accuracy), SG-MoE-G (gRPC-style RPC) and
+SG-MoE-M (MPI transport).
+
+Paper shapes: on CPUs TeamNet is fastest and MPI-Matrix is slower than the
+baseline by an order of magnitude; on GPUs the baseline beats everything
+because the fixed WiFi cost dwarfs the (tiny) compute savings.
+"""
+
+from __future__ import annotations
+
+from ..edge import (JETSON_TX2_CPU, JETSON_TX2_GPU, WIFI, baseline_metrics,
+                    moe_grpc_metrics, moe_mpi_metrics, mpi_matrix_metrics,
+                    teamnet_metrics)
+from .reporting import ExperimentResult, ResultTable
+from .workloads import DEFAULT, ExperimentScale, Workloads
+
+__all__ = ["run", "build_table"]
+
+EXPERIMENT = "table1: MNIST on Jetson TX2 (TeamNet vs MPI vs SG-MoE)"
+
+_HEADERS = ["Approach", "Nodes", "Accuracy (%)", "Inference Time (ms)",
+            "Memory Usage (%)", "CPU Usage (%)", "GPU Usage (%)"]
+
+
+def _row(table: ResultTable, name: str, nodes, accuracy: float, metrics):
+    gpu = "-" if metrics.gpu_fraction is None else 100 * metrics.gpu_fraction
+    table.add_row(name, nodes, 100 * accuracy, metrics.latency_ms,
+                  100 * metrics.memory_fraction, 100 * metrics.cpu_fraction,
+                  gpu)
+
+
+def build_table(w: Workloads, family: str, device, title: str,
+                mpi_metrics_fn, mpi_label: str = "MPI-Matrix") -> ResultTable:
+    """Build one Table-I-style grid for ``family`` on ``device``."""
+    table = ResultTable(title, _HEADERS)
+    _, base_acc = w.baseline(family)
+    base_cost = w.paper_cost(family, 1)
+    _row(table, "Baseline", 1, base_acc, baseline_metrics(base_cost, device))
+    for num_experts in (2, 4):
+        expert_cost = w.paper_cost(family, num_experts)
+        _, team_acc = w.teamnet(family, num_experts)
+        _row(table, "TeamNet", num_experts, team_acc,
+             teamnet_metrics(expert_cost, num_experts, device, WIFI))
+        # MPI partitions of the baseline compute the same function.
+        _row(table, mpi_label, num_experts, base_acc,
+             mpi_metrics_fn(base_cost, num_experts, device, WIFI))
+        _, moe_acc = w.moe(family, num_experts)
+        gate_cost = w.gate_cost(family, num_experts)
+        _row(table, "SG-MoE-G", num_experts, moe_acc,
+             moe_grpc_metrics(expert_cost, gate_cost, num_experts, device,
+                              WIFI))
+        _row(table, "SG-MoE-M", num_experts, moe_acc,
+             moe_mpi_metrics(expert_cost, gate_cost, num_experts, device,
+                             WIFI))
+    return table
+
+
+def run(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+    w = Workloads.shared(scale)
+    result = ExperimentResult(EXPERIMENT)
+    result.add_table("table1a", build_table(
+        w, "mnist", JETSON_TX2_CPU, "Table I(a): Jetson TX2 CPU only",
+        mpi_matrix_metrics))
+    result.add_table("table1b", build_table(
+        w, "mnist", JETSON_TX2_GPU, "Table I(b): Jetson TX2 GPU and CPU",
+        mpi_matrix_metrics))
+    result.note("expected shape (a): TeamNet < Baseline < SG-MoE << "
+                "MPI-Matrix in latency; accuracy within a few points")
+    result.note("expected shape (b): Baseline fastest on GPU (fixed WiFi "
+                "cost overwhelms the small-model compute savings)")
+    return result

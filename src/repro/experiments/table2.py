@@ -1,0 +1,63 @@
+"""Table II — CIFAR-10 on Jetson TX2: TeamNet vs MPI-Kernel/Branch vs SG-MoE.
+
+Same grid as Table I plus the CNN-specific MPI baselines: MPI-Kernel
+(kernel-split convolutions, any node count) and MPI-Branch (the two
+Shake-Shake branches on two nodes — "only evaluated in experiments
+employing two edge devices").
+
+Paper shapes: TeamNet beats the baseline on both profiles; MPI variants
+are 3-50x slower than the baseline (whole feature maps cross WiFi per
+layer); SG-MoE is competitive on latency but clearly less accurate.
+"""
+
+from __future__ import annotations
+
+from ..edge import (JETSON_TX2_CPU, JETSON_TX2_GPU, WIFI, baseline_metrics,
+                    moe_grpc_metrics, moe_mpi_metrics, mpi_branch_metrics,
+                    mpi_kernel_metrics, teamnet_metrics)
+from .reporting import ExperimentResult, ResultTable
+from .table1 import _HEADERS, _row
+from .workloads import DEFAULT, ExperimentScale, Workloads
+
+__all__ = ["run"]
+
+EXPERIMENT = "table2: CIFAR-10 on Jetson TX2 (TeamNet vs MPI vs SG-MoE)"
+
+
+def _build(w: Workloads, device, title: str) -> ResultTable:
+    table = ResultTable(title, _HEADERS)
+    _, base_acc = w.baseline("cifar")
+    base_cost = w.paper_cost("cifar", 1)
+    _row(table, "Baseline", 1, base_acc, baseline_metrics(base_cost, device))
+    for num_experts in (2, 4):
+        expert_cost = w.paper_cost("cifar", num_experts)
+        _, team_acc = w.teamnet("cifar", num_experts)
+        _row(table, "TeamNet", num_experts, team_acc,
+             teamnet_metrics(expert_cost, num_experts, device, WIFI))
+        _row(table, "MPI-Kernel", num_experts, base_acc,
+             mpi_kernel_metrics(base_cost, num_experts, device, WIFI))
+        if num_experts == 2:
+            _row(table, "MPI-Branch", 2, base_acc,
+                 mpi_branch_metrics(base_cost, device, WIFI))
+        _, moe_acc = w.moe("cifar", num_experts)
+        gate_cost = w.gate_cost("cifar", num_experts)
+        _row(table, "SG-MoE-G", num_experts, moe_acc,
+             moe_grpc_metrics(expert_cost, gate_cost, num_experts, device,
+                              WIFI))
+        _row(table, "SG-MoE-M", num_experts, moe_acc,
+             moe_mpi_metrics(expert_cost, gate_cost, num_experts, device,
+                             WIFI))
+    return table
+
+
+def run(scale: ExperimentScale = DEFAULT) -> ExperimentResult:
+    w = Workloads.shared(scale)
+    result = ExperimentResult(EXPERIMENT)
+    result.add_table("table2a", _build(w, JETSON_TX2_CPU,
+                                       "Table II(a): Jetson TX2 CPU only"))
+    result.add_table("table2b", _build(w, JETSON_TX2_GPU,
+                                       "Table II(b): Jetson TX2 GPU and CPU"))
+    result.note("expected shape: TeamNet < Baseline << MPI-Branch < "
+                "MPI-Kernel in latency on CPUs; SG-MoE latency comparable "
+                "to TeamNet but accuracy several points lower")
+    return result

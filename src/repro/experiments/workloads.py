@@ -1,0 +1,221 @@
+"""Shared workloads for the experiment drivers.
+
+Centralizes (and caches) everything more than one table/figure needs:
+datasets, trained baselines, trained TeamNets, trained SG-MoEs, and the
+*paper-scale* cost models used by the latency/memory simulation.
+
+Two scales are involved (see DESIGN.md):
+
+* **training scale** — the widths/sample counts actually trained here
+  (small enough for CPU-only numpy training);
+* **deployment scale** — the paper's architectures (MLP-8 at width 2048,
+  SS-26 at width 96) whose FLOPs/bytes drive the simulated latency and
+  memory columns.  Accuracy columns always come from the trained models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core import TeamNet, TrainerConfig
+from ..data import Dataset, DataLoader, synthetic_cifar, synthetic_mnist, \
+    train_test_split
+from ..edge import ModelCost, profile_model
+from ..moe import MixtureOfExperts, MoEConfig, MoETrainer, NoisyTopKGate
+from ..nn import (ArchitectureSpec, Linear, MLP, Module, SGD, Tensor,
+                  build_model, clip_grad_norm, cross_entropy, downsize,
+                  mlp_spec, no_grad, shake_shake_spec)
+
+__all__ = ["ExperimentScale", "SMALL", "DEFAULT", "Workloads",
+           "train_single_model", "model_accuracy"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade experiment fidelity for runtime."""
+
+    mnist_samples: int = 2400
+    cifar_samples: int = 1000
+    mnist_epochs: int = 12
+    cifar_epochs: int = 4
+    mlp_width: int = 64
+    cnn_width: int = 8
+    batch_size: int = 64
+    gate_iterations: int = 30
+    seed: int = 7
+
+    @property
+    def mnist_reference(self) -> ArchitectureSpec:
+        return mlp_spec(8, width=self.mlp_width)
+
+    @property
+    def cifar_reference(self) -> ArchitectureSpec:
+        return shake_shake_spec(26, width=self.cnn_width)
+
+
+SMALL = ExperimentScale(mnist_samples=800, cifar_samples=400,
+                        mnist_epochs=4, cifar_epochs=2,
+                        gate_iterations=15)
+DEFAULT = ExperimentScale()
+
+# Deployment-scale reference architectures (the paper's sizes).
+PAPER_MNIST_SPEC = mlp_spec(8, width=2048)
+PAPER_CIFAR_SPEC = shake_shake_spec(26, width=96)
+
+
+def model_accuracy(model: Module, dataset: Dataset) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset`` (eval mode)."""
+    model.eval()
+    with no_grad():
+        preds = model(Tensor(dataset.images)).argmax(axis=1)
+    return float((preds == dataset.labels).mean())
+
+
+def train_single_model(spec: ArchitectureSpec, train: Dataset, epochs: int,
+                       batch_size: int = 64, lr: float | None = None,
+                       seed: int = 0) -> Module:
+    """Train one model by plain SGD cross-entropy (the paper's baseline)."""
+    rng = np.random.default_rng(seed)
+    model = build_model(spec, rng)
+    # Deep plain networks need a gentler LR (verified in tests/nn).
+    if lr is None:
+        lr = 0.05 if spec.depth <= 4 else 0.02
+    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
+    loader = DataLoader(train, batch_size, shuffle=True, rng=rng)
+    model.train()
+    for _ in range(epochs):
+        for x, y in loader:
+            loss = cross_entropy(model(Tensor(x)), y)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(optimizer.params, 5.0)
+            optimizer.step()
+    return model
+
+
+class Workloads:
+    """Caching factory for datasets, trained models and cost profiles.
+
+    One instance per :class:`ExperimentScale`; everything is computed on
+    first request and reused by later tables/figures (and across
+    benchmarks within one pytest session via :func:`Workloads.shared`).
+    """
+
+    _shared: dict[ExperimentScale, "Workloads"] = {}
+
+    def __init__(self, scale: ExperimentScale = DEFAULT):
+        self.scale = scale
+        self._cache: dict = {}
+
+    @classmethod
+    def shared(cls, scale: ExperimentScale = DEFAULT) -> "Workloads":
+        if scale not in cls._shared:
+            cls._shared[scale] = cls(scale)
+        return cls._shared[scale]
+
+    def _memo(self, key, builder):
+        if key not in self._cache:
+            self._cache[key] = builder()
+        return self._cache[key]
+
+    # ------------------------------------------------------------- datasets
+    def mnist(self) -> tuple[Dataset, Dataset]:
+        return self._memo("mnist", lambda: train_test_split(
+            synthetic_mnist(self.scale.mnist_samples, seed=self.scale.seed),
+            0.2, np.random.default_rng(self.scale.seed)))
+
+    def cifar(self) -> tuple[Dataset, Dataset]:
+        return self._memo("cifar", lambda: train_test_split(
+            synthetic_cifar(self.scale.cifar_samples, seed=self.scale.seed),
+            0.2, np.random.default_rng(self.scale.seed)))
+
+    # ------------------------------------------------------- trained models
+    def _dataset_for(self, family: str) -> tuple[Dataset, Dataset]:
+        return self.mnist() if family == "mnist" else self.cifar()
+
+    def _reference_spec(self, family: str) -> ArchitectureSpec:
+        return (self.scale.mnist_reference if family == "mnist"
+                else self.scale.cifar_reference)
+
+    def _epochs_for(self, family: str) -> int:
+        return (self.scale.mnist_epochs if family == "mnist"
+                else self.scale.cifar_epochs)
+
+    def baseline(self, family: str) -> tuple[Module, float]:
+        """Trained reference model + its test accuracy."""
+        def build():
+            train, test = self._dataset_for(family)
+            model = train_single_model(
+                self._reference_spec(family), train,
+                epochs=self._epochs_for(family),
+                batch_size=self.scale.batch_size, seed=self.scale.seed)
+            return model, model_accuracy(model, test)
+        return self._memo(("baseline", family), build)
+
+    def teamnet(self, family: str, num_experts: int) -> tuple[TeamNet, float]:
+        """Trained TeamNet + its arg-min-gate test accuracy."""
+        def build():
+            train, test = self._dataset_for(family)
+            config = TrainerConfig(
+                epochs=self._epochs_for(family),
+                batch_size=self.scale.batch_size,
+                gate_max_iterations=self.scale.gate_iterations,
+                seed=self.scale.seed)
+            team = TeamNet.from_reference(self._reference_spec(family),
+                                          num_experts, config=config,
+                                          seed=self.scale.seed)
+            team.fit(train)
+            return team, team.accuracy(test)
+        return self._memo(("teamnet", family, num_experts), build)
+
+    def moe(self, family: str, num_experts: int
+            ) -> tuple[MixtureOfExperts, float]:
+        """Trained SG-MoE + its test accuracy."""
+        def build():
+            train, test = self._dataset_for(family)
+            reference = self._reference_spec(family)
+            expert_spec = downsize(reference, num_experts)
+            experts = [build_model(expert_spec,
+                                   np.random.default_rng(self.scale.seed + i))
+                       for i in range(num_experts)]
+            in_features = int(np.prod(reference.in_shape))
+            gate = NoisyTopKGate(in_features, num_experts,
+                                 k=min(2, num_experts),
+                                 rng=np.random.default_rng(self.scale.seed))
+            model = MixtureOfExperts(experts, gate)
+            trainer = MoETrainer(model, MoEConfig(
+                epochs=self._epochs_for(family),
+                batch_size=self.scale.batch_size, seed=self.scale.seed))
+            trainer.train(train)
+            return model, trainer.accuracy(test)
+        return self._memo(("moe", family, num_experts), build)
+
+    # ------------------------------------------------------- cost profiles
+    def paper_cost(self, family: str, num_experts: int = 1) -> ModelCost:
+        """Deployment-scale cost model (baseline or K-expert downsize)."""
+        def build():
+            reference = (PAPER_MNIST_SPEC if family == "mnist"
+                         else PAPER_CIFAR_SPEC)
+            spec = downsize(reference, num_experts)
+            model = build_model(spec, np.random.default_rng(0))
+            in_shape = ((spec.in_features,) if spec.family == "mlp"
+                        else spec.in_shape)
+            return profile_model(model, in_shape)
+        return self._memo(("paper_cost", family, num_experts), build)
+
+    def gate_cost(self, family: str, num_experts: int) -> ModelCost:
+        """Cost of the SG-MoE gating network (two Linear maps)."""
+        def build():
+            reference = (PAPER_MNIST_SPEC if family == "mnist"
+                         else PAPER_CIFAR_SPEC)
+            in_features = int(np.prod(reference.in_shape))
+            gate = NoisyTopKGate(in_features, num_experts,
+                                 rng=np.random.default_rng(0))
+            w_gate = profile_model(gate.w_gate, (in_features,))
+            # Gate = clean scores + noise scores, both Linear.
+            layers = w_gate.layers * 2
+            return ModelCost(layers=list(layers),
+                             in_shape=(in_features,))
+        return self._memo(("gate_cost", family, num_experts), build)

@@ -1,0 +1,13 @@
+"""``repro.moe`` — the Sparsely-Gated Mixture-of-Experts baseline.
+
+Noisy top-K gating and joint gate+expert training (Shazeer et al. 2017),
+compared against TeamNet in Tables I and II.
+"""
+
+from .adaptive import AdaptiveMixture, AdaptiveMoEConfig, AdaptiveMoETrainer
+from .model import MixtureOfExperts, NoisyTopKGate
+from .trainer import MoEConfig, MoETrainer, importance_loss
+
+__all__ = ["MixtureOfExperts", "NoisyTopKGate", "MoETrainer", "MoEConfig",
+           "importance_loss", "AdaptiveMixture", "AdaptiveMoEConfig",
+           "AdaptiveMoETrainer"]

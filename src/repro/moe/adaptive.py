@@ -1,0 +1,143 @@
+"""Adaptive Mixtures of Local Experts (Jacobs, Jordan, Nowlan & Hinton 1991).
+
+The classic MoE the paper's related-work section starts from: "all experts
+receive the same input ... the gating network receives the same input as
+the expert networks' and outputs a stochastic switch" — a *dense* softmax
+gate, trained jointly with the experts under Jacobs' localization loss
+
+    L = -log( sum_i g_i(x) * exp(-||y - o_i(x)||^2 / 2) )
+
+which, for classification with softmax experts, we instantiate as the
+negative log of the gate-weighted mixture likelihood
+
+    L = -log( sum_i g_i(x) * p_i(y | x) ).
+
+This encourages *localization*: the gradient routes credit mostly to the
+expert already doing best on each sample, so experts soft-specialize —
+but nothing controls the partition sizes, which is exactly the gap
+TeamNet's proportional controller fills.  Included as a second baseline
+(beyond Shazeer's sparse MoE) for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import DataLoader, Dataset
+from ..nn import Adam, Linear, Module, Tensor, clip_grad_norm, no_grad
+from ..nn import functional as F
+
+__all__ = ["AdaptiveMixture", "AdaptiveMoEConfig", "AdaptiveMoETrainer"]
+
+
+class AdaptiveMixture(Module):
+    """Dense-gated mixture of experts with a linear softmax gate."""
+
+    def __init__(self, experts: list[Module], in_features: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if len(experts) < 2:
+            raise ValueError("a mixture needs at least 2 experts")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.experts_list = experts
+        for i, expert in enumerate(experts):
+            setattr(self, f"expert{i}", expert)
+        self.gate = Linear(in_features, len(experts), rng=rng)
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.experts_list)
+
+    def gate_weights(self, x: Tensor) -> Tensor:
+        """Dense softmax gate values g(x): shape (N, K)."""
+        return F.softmax(self.gate(x.flatten(start_dim=1)), axis=-1)
+
+    def expert_probs(self, x: Tensor) -> Tensor:
+        """Stacked per-expert class probabilities: (N, K, C)."""
+        return F.stack([F.softmax(e(x), axis=-1)
+                        for e in self.experts_list], axis=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Mixture probabilities (N, C)."""
+        weights = self.gate_weights(x)
+        return (self.expert_probs(x) * weights.unsqueeze(2)).sum(axis=1)
+
+    def predict(self, x) -> np.ndarray:
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x))
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            probs = self.forward(x)
+        if was_training:
+            self.train()
+        return probs.data.argmax(axis=1)
+
+    def localization(self, x, y: np.ndarray) -> np.ndarray:
+        """Posterior expert responsibilities h_i(x, y) (N, K) — Jacobs'
+        E-step quantity, useful for inspecting soft specialization."""
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x))
+        with no_grad():
+            weights = self.gate_weights(x).data
+            probs = self.expert_probs(x).data
+        n = len(y)
+        likelihood = probs[np.arange(n), :, np.asarray(y)]
+        joint = weights * likelihood
+        return joint / np.maximum(joint.sum(axis=1, keepdims=True), 1e-12)
+
+
+@dataclass
+class AdaptiveMoEConfig:
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 1e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+
+
+class AdaptiveMoETrainer:
+    """Joint training under the mixture negative log-likelihood."""
+
+    def __init__(self, model: AdaptiveMixture,
+                 config: AdaptiveMoEConfig | None = None):
+        self.model = model
+        self.config = config or AdaptiveMoEConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.losses: list[float] = []
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        self.model.train()
+        xt = Tensor(np.asarray(x))
+        weights = self.model.gate_weights(xt)            # (N, K)
+        probs = self.model.expert_probs(xt)              # (N, K, C)
+        n = len(y)
+        onehot = Tensor(F.one_hot(np.asarray(y), probs.shape[2])
+                        .astype(np.float32))
+        per_expert = (probs * onehot.unsqueeze(1)).sum(axis=2)  # p_i(y|x)
+        mixture = (weights * per_expert).sum(axis=1)
+        loss = -((mixture + 1e-12).log()).mean()
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.config.grad_clip > 0:
+            clip_grad_norm(self.optimizer.params, self.config.grad_clip)
+        self.optimizer.step()
+        value = float(loss.item())
+        self.losses.append(value)
+        return value
+
+    def train(self, dataset: Dataset, epochs: int | None = None) -> list[float]:
+        epochs = epochs if epochs is not None else self.config.epochs
+        loader = DataLoader(dataset, self.config.batch_size, shuffle=True,
+                            rng=self.rng)
+        for _ in range(epochs):
+            for x, y in loader:
+                self.train_batch(x, y)
+        return self.losses
+
+    def accuracy(self, dataset: Dataset) -> float:
+        preds = self.model.predict(dataset.images)
+        return float((preds == dataset.labels).mean())

@@ -1,0 +1,109 @@
+"""Sparsely-Gated Mixture-of-Experts (Shazeer et al. 2017) — the paper's
+SOTA MoE baseline.
+
+A trainable gating network scores experts per input with *noisy top-K
+gating*: ``H(x) = x W_g + StandardNormal() * softplus(x W_noise)``, keep the
+top ``k`` gate values, softmax over them and zero the rest.  Experts and
+gate are trained **jointly** (unlike TeamNet's competitive scheme, data is
+effectively randomly assigned early on and specialization is never
+enforced — the behaviour the paper blames for SG-MoE's accuracy drop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+from ..nn import functional as F
+
+__all__ = ["NoisyTopKGate", "MixtureOfExperts"]
+
+
+class NoisyTopKGate(Module):
+    """Noisy top-K gating network over flattened inputs."""
+
+    def __init__(self, in_features: int, num_experts: int, k: int = 2,
+                 noise_std: float = 1.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 1 <= k <= num_experts:
+            raise ValueError(f"k must be in [1, {num_experts}], got {k}")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_experts = num_experts
+        self.k = k
+        self.noise_std = noise_std
+        self._rng = rng
+        self.w_gate = Linear(in_features, num_experts, bias=False, rng=rng)
+        self.w_noise = Linear(in_features, num_experts, bias=False, rng=rng)
+
+    def gate_logits(self, x: Tensor) -> Tensor:
+        """Noisy gate scores H(x); noise only during training."""
+        flat = x.flatten(start_dim=1)
+        clean = self.w_gate(flat)
+        if not self.training:
+            return clean
+        noise_scale = (self.w_noise(flat).exp() + 1.0).log()  # softplus
+        noise = Tensor(self._rng.standard_normal(clean.shape) * self.noise_std)
+        return clean + noise * noise_scale
+
+    def forward(self, x: Tensor) -> tuple[Tensor, np.ndarray]:
+        """Return (dense gate weights (N, K), top-k index array (N, k)).
+
+        Non-top-k entries of the weight matrix are exactly zero; the softmax
+        is computed over the top-k logits only (Shazeer eq. 3-5).
+        """
+        logits = self.gate_logits(x)
+        top_k = np.argsort(-logits.data, axis=1)[:, :self.k]
+        mask = np.zeros(logits.shape, dtype=bool)
+        np.put_along_axis(mask, top_k, True, axis=1)
+        masked = F.where(mask, logits, -1e9)
+        weights = F.softmax(masked, axis=1)
+        # Zero the (numerically tiny) non-selected weights exactly.
+        weights = weights * Tensor(mask.astype(float))
+        return weights, top_k
+
+
+class MixtureOfExperts(Module):
+    """SG-MoE: gate + experts combined as a weighted mixture of softmaxes."""
+
+    def __init__(self, experts: list[Module], gate: NoisyTopKGate):
+        super().__init__()
+        if len(experts) != gate.num_experts:
+            raise ValueError("gate/expert count mismatch")
+        self.experts_list = experts
+        for i, expert in enumerate(experts):
+            setattr(self, f"expert{i}", expert)
+        self.gate = gate
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.experts_list)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Dense mixture probabilities (N, C).
+
+        All experts are evaluated (fine at our scale); the gate weights make
+        the combination sparse.  The distributed runtime only *executes* the
+        top-k experts — tests assert both paths agree.
+        """
+        weights, _ = self.gate(x)
+        outputs = [F.softmax(e(x), axis=-1) for e in self.experts_list]
+        stacked = F.stack(outputs, axis=1)             # (N, K, C)
+        w = weights.unsqueeze(2)                        # (N, K, 1)
+        return (stacked * w).sum(axis=1)
+
+    def predict(self, x) -> np.ndarray:
+        from ..nn import no_grad
+        if not isinstance(x, Tensor):
+            x = Tensor(np.asarray(x))
+        was_training = self.training
+        self.eval()
+        with no_grad():
+            probs = self.forward(x)
+        if was_training:
+            self.train()
+        return probs.data.argmax(axis=1)
+
+    def gate_importance(self, weights: Tensor) -> Tensor:
+        """Importance = per-expert sum of gate weights over the batch."""
+        return weights.sum(axis=0)

@@ -1,0 +1,84 @@
+"""Joint training for SG-MoE.
+
+Loss = NLL of the mixture probabilities + ``w_importance *
+CV(importance)^2`` where ``importance`` is the per-expert sum of gate
+weights over the batch (Shazeer et al.'s load-balancing regularizer, which
+discourages gate collapse onto one expert but — unlike TeamNet — does
+nothing to encourage *semantic* specialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import DataLoader, Dataset
+from ..nn import Adam, Tensor, clip_grad_norm, nll_loss
+from .model import MixtureOfExperts
+
+__all__ = ["MoETrainer", "MoEConfig", "importance_loss"]
+
+
+def importance_loss(weights: Tensor) -> Tensor:
+    """Squared coefficient of variation of per-expert importance."""
+    importance = weights.sum(axis=0)
+    mean = importance.mean()
+    var = ((importance - mean) * (importance - mean)).mean()
+    return var / (mean * mean + 1e-9)
+
+
+@dataclass
+class MoEConfig:
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 1e-3
+    w_importance: float = 0.1
+    grad_clip: float = 5.0
+    seed: int = 0
+
+
+class MoETrainer:
+    """Trains the gate and all experts jointly by backprop."""
+
+    def __init__(self, model: MixtureOfExperts, config: MoEConfig | None = None):
+        self.model = model
+        self.config = config or MoEConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.losses: list[float] = []
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        self.model.train()
+        xt = Tensor(np.asarray(x))
+        weights, _ = self.model.gate(xt)
+        from ..nn import functional as F
+        outputs = [F.softmax(e(xt), axis=-1) for e in self.model.experts_list]
+        stacked = F.stack(outputs, axis=1)
+        mixture = (stacked * weights.unsqueeze(2)).sum(axis=1)
+        log_probs = (mixture + 1e-12).log()
+        loss = nll_loss(log_probs, y)
+        loss = loss + self.config.w_importance * importance_loss(weights)
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.config.grad_clip > 0:
+            clip_grad_norm(self.optimizer.params, self.config.grad_clip)
+        self.optimizer.step()
+        value = float(loss.item())
+        self.losses.append(value)
+        return value
+
+    def train(self, dataset: Dataset, epochs: int | None = None,
+              batch_size: int | None = None) -> list[float]:
+        cfg = self.config
+        epochs = epochs if epochs is not None else cfg.epochs
+        batch_size = batch_size if batch_size is not None else cfg.batch_size
+        loader = DataLoader(dataset, batch_size, shuffle=True, rng=self.rng)
+        for _ in range(epochs):
+            for x, y in loader:
+                self.train_batch(x, y)
+        return self.losses
+
+    def accuracy(self, dataset: Dataset) -> float:
+        preds = self.model.predict(dataset.images)
+        return float((preds == dataset.labels).mean())

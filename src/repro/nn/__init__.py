@@ -1,0 +1,33 @@
+"""``repro.nn`` — a from-scratch numpy neural-network engine.
+
+Substrate for the TeamNet reproduction: reverse-mode autograd tensors,
+layers, losses, optimizers and the paper's model families (MLP-d and
+Shake-Shake CNNs).  See DESIGN.md for why this replaces TensorFlow.
+"""
+
+from . import functional, profiler, quantize
+from .autograd import no_grad
+from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
+                     Flatten, GlobalAvgPool2d, Identity, LayerNorm, Linear,
+                     MaxPool2d, Module, Parameter, ReLU, Sequential, Sigmoid,
+                     Tanh)
+from .loss import (cross_entropy, label_smoothing_cross_entropy,
+                   mse_loss, nll_loss)
+from .models import (MLP, ArchitectureSpec, ShakeShakeBlock, ShakeShakeCNN,
+                     build_model, downsize, mlp_spec, shake_shake_spec)
+from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
+from .serialize import load_model, model_from_bytes, model_to_bytes, save_model
+from .tensor import Tensor, arange, ones, randn, tensor, zeros
+
+__all__ = [
+    "functional", "profiler", "quantize", "no_grad", "Tensor", "tensor", "zeros", "ones", "randn",
+    "arange", "Module", "Parameter", "Linear", "Conv2d", "BatchNorm1d",
+    "BatchNorm2d", "ReLU", "Tanh", "Sigmoid", "Flatten", "Dropout",
+    "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Identity", "Sequential",
+    "cross_entropy", "nll_loss", "mse_loss", "label_smoothing_cross_entropy",
+    "SGD", "Adam", "StepLR", "CosineAnnealingLR", "clip_grad_norm",
+    "LayerNorm", "MLP", "ShakeShakeCNN", "ShakeShakeBlock",
+    "ArchitectureSpec", "mlp_spec", "shake_shake_spec", "downsize",
+    "build_model", "save_model", "load_model", "model_to_bytes",
+    "model_from_bytes",
+]

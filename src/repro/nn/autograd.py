@@ -1,0 +1,187 @@
+"""Reverse-mode automatic differentiation machinery.
+
+This module provides the :class:`Function` base class used to define
+differentiable operations over :class:`repro.nn.tensor.Tensor` objects, plus
+the backward-pass driver (:func:`backward`).  The design follows the classic
+"tape through object graph" approach: every differentiable op records a
+``Function`` node pointing at its parent tensors; calling ``backward`` on a
+scalar tensor topologically sorts that graph and accumulates gradients.
+
+The engine is intentionally small but complete enough for the TeamNet paper:
+MLPs, Shake-Shake CNNs, entropy gates and the meta-estimator are all built on
+top of it.  All gradients are exercised by finite-difference checks in
+``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["Function", "backward", "no_grad", "is_grad_enabled", "unbroadcast"]
+
+
+class _GradMode(threading.local):
+    """Per-thread switch for gradient recording (mirrors torch.no_grad).
+
+    Thread-local on purpose: the distributed runtimes run expert forwards
+    concurrently in worker threads, and a shared flag would race (one
+    thread's __exit__ could permanently clobber another's saved state).
+    """
+
+    def __init__(self):
+        self.enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Inference paths (edge devices never train) run under ``no_grad`` so that
+    the forward pass allocates no Function nodes.
+    """
+
+    def __enter__(self):
+        self._prev = _grad_mode.enabled
+        _grad_mode.enabled = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _grad_mode.enabled = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _grad_mode.enabled
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    Broadcasting replicates values along new or size-1 axes during the
+    forward pass; the corresponding backward pass must therefore *sum*
+    gradients over those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape but expanded.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Function:
+    """Base class for differentiable operations.
+
+    Subclasses implement ``forward(self, *arrays, **kwargs) -> np.ndarray``
+    and ``backward(self, grad: np.ndarray) -> tuple[np.ndarray | None, ...]``
+    returning one gradient per tensor input (``None`` for inputs that do not
+    require grad).  ``apply`` wires the node into the graph.
+    """
+
+    def __init__(self):
+        self.parents: tuple = ()
+        self.saved: tuple = ()
+
+    def save_for_backward(self, *items) -> None:
+        """Stash forward-pass values needed by ``backward``."""
+        self.saved = items
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *args, **kwargs):
+        """Run the op on tensor/array inputs and build the graph node."""
+        from .tensor import Tensor
+
+        ctx = cls()
+        tensor_args = [a for a in args if isinstance(a, Tensor)]
+        raw = [a.data if isinstance(a, Tensor) else a for a in args]
+        out_data = ctx.forward(*raw, **kwargs)
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensor_args)
+        out = Tensor(out_data, requires_grad=requires)
+        if requires:
+            ctx.parents = tuple(args)
+            out._ctx = ctx
+        return out
+
+
+def _topo_order(root):
+    """Return tensors in reverse topological order starting from ``root``."""
+    order = []
+    seen = set()
+    stack = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if id(node) in seen:
+            continue
+        if processed:
+            seen.add(id(node))
+            order.append(node)
+            continue
+        stack.append((node, True))
+        if node._ctx is not None:
+            from .tensor import Tensor
+
+            for parent in node._ctx.parents:
+                if isinstance(parent, Tensor) and id(parent) not in seen:
+                    stack.append((parent, False))
+    return reversed(order)
+
+
+def backward(root, grad: np.ndarray | None = None) -> None:
+    """Run reverse-mode AD from ``root``, accumulating ``.grad`` on leaves.
+
+    ``grad`` defaults to ones (so scalars get d(root)/d(root)=1).  Gradients
+    accumulate: callers are responsible for zeroing between steps (this is
+    what :meth:`repro.nn.optim.Optimizer.zero_grad` does).
+    """
+    from .tensor import Tensor
+
+    if grad is None:
+        grad = np.ones_like(root.data, dtype=root.data.dtype)
+    grads: dict[int, np.ndarray] = {id(root): np.asarray(grad)}
+    for node in _topo_order(root):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        if node.requires_grad and node._ctx is None:
+            # Leaf tensor: accumulate into .grad.
+            if node.grad is None:
+                node.grad = node_grad.copy()
+            else:
+                node.grad = node.grad + node_grad
+        if node._ctx is None:
+            continue
+        if node.retains_grad:
+            node.grad = node_grad if node.grad is None else node.grad + node_grad
+        parent_grads = node._ctx.backward(node_grad)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        tensor_parents = [p for p in node._ctx.parents if isinstance(p, Tensor)]
+        if len(parent_grads) != len(tensor_parents):
+            raise RuntimeError(
+                f"{type(node._ctx).__name__}.backward returned "
+                f"{len(parent_grads)} grads for {len(tensor_parents)} inputs"
+            )
+        for parent, pgrad in zip(tensor_parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            pgrad = np.asarray(pgrad)
+            if id(parent) in grads:
+                grads[id(parent)] = grads[id(parent)] + pgrad
+            else:
+                grads[id(parent)] = pgrad

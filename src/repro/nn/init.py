@@ -1,0 +1,45 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is reproducible end to end (a requirement for the paper's
+convergence experiments, Figures 6 and 8).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "uniform", "zeros_", "normal"]
+
+
+DTYPE = np.float32
+
+
+def kaiming_uniform(shape: tuple[int, ...], fan_in: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform init, appropriate for ReLU networks."""
+    bound = math.sqrt(6.0 / max(1, fan_in))
+    return rng.uniform(-bound, bound, size=shape).astype(DTYPE)
+
+
+def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init, appropriate for tanh/sigmoid networks."""
+    bound = math.sqrt(6.0 / max(1, fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(DTYPE)
+
+
+def uniform(shape: tuple[int, ...], low: float, high: float,
+            rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(low, high, size=shape).astype(DTYPE)
+
+
+def normal(shape: tuple[int, ...], std: float,
+           rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape).astype(DTYPE)
+
+
+def zeros_(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=DTYPE)

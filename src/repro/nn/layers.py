@@ -1,0 +1,373 @@
+"""Neural-network layers (Module system).
+
+A small module system in the style of ``torch.nn``: every layer subclasses
+:class:`Module`, registers parameters/submodules by attribute assignment and
+implements ``forward``.  ``Module.parameters()`` walks the tree; ``state_dict``
+/ ``load_state_dict`` support (de)serialization for shipping expert models to
+edge devices.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Module", "Parameter", "Linear", "Conv2d", "BatchNorm1d", "BatchNorm2d",
+    "LayerNorm",
+    "ReLU", "Tanh", "Sigmoid", "Flatten", "Dropout", "MaxPool2d", "AvgPool2d",
+    "GlobalAvgPool2d", "Sequential", "Identity",
+]
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable module parameter."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------- traversal
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track non-learnable state (e.g. batch-norm running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> list[Parameter]:
+        """Return all learnable parameters in this module tree."""
+        params = list(self._parameters.values())
+        for child in self._modules.values():
+            params.extend(child.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        out = [(prefix + name, p) for name, p in self._parameters.items()]
+        for cname, child in self._modules.items():
+            out.extend(child.named_parameters(prefix + cname + "."))
+        return out
+
+    def named_buffers(self, prefix: str = "") -> list[tuple[str, np.ndarray]]:
+        out = [(prefix + name, self._buffers[name]) for name in self._buffers]
+        for cname, child in self._modules.items():
+            out.extend(child.named_buffers(prefix + cname + "."))
+        return out
+
+    def modules(self):
+        """Yield this module and all descendants."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ----------------------------------------------------------------- modes
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------ state dict
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state["buffer." + name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        for name, p in params.items():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            if state[name].shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{state[name].shape} vs {p.data.shape}")
+            p.data = np.array(state[name], copy=True)
+        self._load_buffers(state, prefix="")
+
+    def _load_buffers(self, state, prefix):
+        for name in self._buffers:
+            key = "buffer." + prefix + name
+            if key in state:
+                self._set_buffer(name, np.array(state[key], copy=True))
+        for cname, child in self._modules.items():
+            child._load_buffers(state, prefix + cname + ".")
+
+    # ----------------------------------------------------------------- call
+    def forward(self, x):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Identity(Module):
+    """No-op layer, useful as a placeholder in residual shortcuts."""
+
+    def forward(self, x):
+        return x
+
+
+class Linear(Module):
+    """Fully-connected layer: ``y = x @ W.T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), in_features, rng))
+        if bias:
+            bound = 1.0 / np.sqrt(max(1, in_features))
+            self.bias = Parameter(init.uniform((out_features,), -bound,
+                                               bound, rng))
+        else:
+            self.bias = None
+
+    def forward(self, x):
+        return F.linear(x, self.weight, self.bias)
+
+
+class Conv2d(Module):
+    """2-D convolution layer (NCHW layout)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(init.kaiming_uniform(
+            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng))
+        if bias:
+            bound = 1.0 / np.sqrt(max(1, fan_in))
+            self.bias = Parameter(init.uniform((out_channels,), -bound,
+                                               bound, rng))
+        else:
+            self.bias = None
+
+    def forward(self, x):
+        return F.conv2d(x, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+
+class _BatchNorm(Module):
+    """Shared batch-norm implementation (1d over features, 2d over channels)."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean",
+                             np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var",
+                             np.ones(num_features, dtype=np.float32))
+
+    def _stats_axes(self, x):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _param_shape(self, x):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def forward(self, x):
+        axes = self._stats_axes(x)
+        shape = self._param_shape(x)
+        if self.training:
+            mean = x.data.mean(axis=axes, keepdims=True)
+            var = x.data.var(axis=axes, keepdims=True)
+            m = self.momentum
+            self._set_buffer(
+                "running_mean",
+                ((1 - m) * self.running_mean
+                 + m * mean.reshape(-1)).astype(self.running_mean.dtype))
+            self._set_buffer(
+                "running_var",
+                ((1 - m) * self.running_var
+                 + m * var.reshape(-1)).astype(self.running_var.dtype))
+        else:
+            mean = self.running_mean.reshape(shape)
+            var = self.running_var.reshape(shape)
+        return F.batch_norm(x, self.weight, self.bias, mean, var, self.eps,
+                            axes if isinstance(axes, tuple) else (axes,),
+                            training=self.training)
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalization over (N, C) activations."""
+
+    def _stats_axes(self, x):
+        return 0
+
+    def _param_shape(self, x):
+        return (1, self.num_features)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalization over (N, C, H, W) activations."""
+
+    def _stats_axes(self, x):
+        return (0, 2, 3)
+
+    def _param_shape(self, x):
+        return (1, self.num_features, 1, 1)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing feature dimension.
+
+    Unlike batch norm it has no batch-size dependence or running state,
+    which suits edge inference with batch size 1.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+
+    def forward(self, x):
+        mean = x.mean(axis=-1, keepdims=True)
+        var = ((x - mean) * (x - mean)).mean(axis=-1, keepdims=True)
+        xhat = (x - mean) / (var + self.eps) ** 0.5
+        return xhat * self.weight + self.bias
+
+
+class ReLU(Module):
+    """Elementwise max(x, 0)."""
+
+    def forward(self, x):
+        return x.relu()
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic tangent."""
+
+    def forward(self, x):
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Elementwise logistic sigmoid."""
+
+    def forward(self, x):
+        return x.sigmoid()
+
+
+class Flatten(Module):
+    """Flatten all dims after the batch dim."""
+
+    def forward(self, x):
+        return x.flatten(start_dim=1)
+
+
+class Dropout(Module):
+    """Inverted dropout (identity in eval mode)."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x):
+        return F.dropout(x, p=self.p, training=self.training, rng=self.rng)
+
+
+class MaxPool2d(Module):
+    """2-D max pooling over (N, C, H, W)."""
+
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x):
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    """2-D average pooling over (N, C, H, W)."""
+
+    def __init__(self, kernel_size: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x):
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average pool: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x):
+        return F.global_avg_pool2d(x)
+
+
+class Sequential(Module):
+    """Chain modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._seq = list(modules)
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+
+    def __iter__(self):
+        return iter(self._seq)
+
+    def __getitem__(self, index):
+        return self._seq[index]
+
+    def __len__(self):
+        return len(self._seq)
+
+    def forward(self, x):
+        for module in self._seq:
+            x = module(x)
+        return x

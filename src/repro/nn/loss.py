@@ -1,0 +1,82 @@
+"""Loss functions.
+
+The paper's expert trainer (Algorithm 3) optimizes cross entropy
+``sum_c y log f(x; theta_i)`` per expert partition; the gate trainer
+(Algorithm 2) uses the custom objective in eq. (4) built from tensor ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "nll_loss", "mse_loss",
+           "label_smoothing_cross_entropy"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
+    """Cross-entropy between raw ``logits`` (N, C) and integer ``targets`` (N,).
+
+    Combines log-softmax and NLL for numerical stability.
+    """
+    log_probs = F.log_softmax(logits, axis=-1)
+    return nll_loss(log_probs, targets, reduction=reduction)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray,
+             reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood over (N, C) log-probabilities."""
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def label_smoothing_cross_entropy(logits: Tensor, targets: np.ndarray,
+                                  smoothing: float = 0.1,
+                                  reduction: str = "mean") -> Tensor:
+    """Cross entropy against smoothed targets.
+
+    The true class gets probability ``1 - smoothing``; the rest is spread
+    uniformly.  Smoothing keeps expert confidence calibrated, which
+    matters for TeamNet's entropy-based arg-min gate.
+    """
+    if not 0.0 <= smoothing < 1.0:
+        raise ValueError("smoothing must be in [0, 1)")
+    targets = np.asarray(targets, dtype=np.int64)
+    n, c = logits.shape
+    log_probs = F.log_softmax(logits, axis=-1)
+    smooth = np.full((n, c), smoothing / (c - 1), dtype=np.float32)
+    smooth[np.arange(n), targets] = 1.0 - smoothing
+    loss = -(log_probs * Tensor(smooth)).sum(axis=-1)
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def mse_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    sq = diff * diff
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    if reduction == "none":
+        return sq
+    raise ValueError(f"unknown reduction {reduction!r}")

@@ -1,0 +1,222 @@
+"""Model zoo: the paper's architectures and the downsizing rule.
+
+The paper evaluates two families:
+
+* **MLP-d** for MNIST: ``d`` fully-connected layers (MLP-8 baseline; TeamNet
+  trains 2x MLP-4 or 4x MLP-2 experts).
+* **SS-d** for CIFAR-10: Shake-Shake regularized CNNs with ``d`` layers
+  (SS-26 baseline; TeamNet trains 2x SS-14 or 4x SS-8 experts).
+
+Section III: "TeamNet takes a neural network architecture, the number of
+experts K, and training data as input and produces K expert models ...
+using the similar but downsized architecture of a given SOTA deep model."
+:func:`downsize` implements that rule: the reference depth is divided by K
+(MLP-8 -> MLP-4 -> MLP-2; SS-26 -> SS-14 -> SS-8, matching the paper's
+expert configurations exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from . import functional as F
+from .layers import (AvgPool2d, BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d,
+                     Identity, Linear, Module, ReLU, Sequential)
+
+__all__ = [
+    "ArchitectureSpec", "mlp_spec", "shake_shake_spec", "downsize",
+    "build_model", "MLP", "ShakeShakeCNN", "ShakeShakeBlock",
+]
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Declarative description of a network architecture.
+
+    ``family`` is ``"mlp"`` or ``"shake_shake"``; ``depth`` counts layers the
+    way the paper does (Linear layers for MLPs; 2 + 2*blocks for Shake-Shake
+    CNNs, so depths 8/14/26 map to 1/2/4 blocks per stage).
+    """
+
+    family: str
+    depth: int
+    in_shape: tuple[int, ...]
+    num_classes: int
+    width: int = 64
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.family not in ("mlp", "shake_shake"):
+            raise ValueError(f"unknown family {self.family!r}")
+        if self.family == "mlp" and self.depth < 1:
+            raise ValueError("MLP depth must be >= 1")
+        if self.family == "shake_shake":
+            blocks = self.depth - 2
+            if blocks <= 0 or blocks % 6 != 0:
+                raise ValueError(
+                    "shake-shake depth must be 2 + 6*b for integer b "
+                    f"(got {self.depth}); paper uses 8, 14, 26")
+        if not self.name:
+            label = "MLP" if self.family == "mlp" else "SS"
+            object.__setattr__(self, "name", f"{label}-{self.depth}")
+
+    @property
+    def blocks_per_stage(self) -> int:
+        if self.family != "shake_shake":
+            raise AttributeError("blocks_per_stage only applies to shake_shake")
+        return (self.depth - 2) // 6
+
+    @property
+    def in_features(self) -> int:
+        return int(np.prod(self.in_shape))
+
+
+def mlp_spec(depth: int = 8, in_shape=(1, 28, 28), num_classes: int = 10,
+             width: int = 64) -> ArchitectureSpec:
+    """Spec for the paper's MNIST MLP family."""
+    return ArchitectureSpec("mlp", depth, tuple(in_shape), num_classes, width)
+
+
+def shake_shake_spec(depth: int = 26, in_shape=(3, 32, 32),
+                     num_classes: int = 10, width: int = 16) -> ArchitectureSpec:
+    """Spec for the paper's CIFAR-10 Shake-Shake family."""
+    return ArchitectureSpec("shake_shake", depth, tuple(in_shape),
+                            num_classes, width)
+
+
+def downsize(spec: ArchitectureSpec, num_experts: int) -> ArchitectureSpec:
+    """Derive the expert architecture for ``num_experts`` from a reference.
+
+    Matches the paper's configurations: MLP-8 with K=2 -> MLP-4, K=4 -> MLP-2;
+    SS-26 with K=2 -> SS-14, K=4 -> SS-8.
+    """
+    if num_experts < 1:
+        raise ValueError("num_experts must be >= 1")
+    if num_experts == 1:
+        return spec
+    if spec.family == "mlp":
+        depth = max(1, spec.depth // num_experts)
+    else:
+        depth = max(8, 2 + 6 * max(1, (spec.depth - 2) // 6 // num_experts))
+    return replace(spec, depth=depth, name="")
+
+
+def build_model(spec: ArchitectureSpec,
+                rng: np.random.Generator | None = None) -> Module:
+    """Instantiate a model from its spec."""
+    rng = rng if rng is not None else np.random.default_rng()
+    if spec.family == "mlp":
+        return MLP(spec.in_features, spec.num_classes, depth=spec.depth,
+                   width=spec.width, rng=rng)
+    return ShakeShakeCNN(spec.in_shape[0], spec.num_classes,
+                         blocks_per_stage=spec.blocks_per_stage,
+                         base_width=spec.width, rng=rng)
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ``depth`` Linear layers and ReLU between."""
+
+    def __init__(self, in_features: int, num_classes: int, depth: int = 2,
+                 width: int = 64, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.depth = depth
+        layers: list[Module] = [Flatten()]
+        prev = in_features
+        for _ in range(depth - 1):
+            layers.append(Linear(prev, width, rng=rng))
+            layers.append(ReLU())
+            prev = width
+        layers.append(Linear(prev, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x):
+        return self.net(x)
+
+
+class _Branch(Module):
+    """One residual branch: conv3x3-bn-relu-conv3x3-bn."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = Conv2d(in_ch, out_ch, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = Conv2d(out_ch, out_ch, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_ch)
+
+    def forward(self, x):
+        out = self.bn1(self.conv1(x)).relu()
+        return self.bn2(self.conv2(out))
+
+
+class _Shortcut(Module):
+    """1x1 projection shortcut for shape-changing blocks."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.conv = Conv2d(in_ch, out_ch, 1, stride=stride, bias=False, rng=rng)
+        self.bn = BatchNorm2d(out_ch)
+
+    def forward(self, x):
+        return self.bn(self.conv(x))
+
+
+class ShakeShakeBlock(Module):
+    """Residual block whose two branches are mixed by shake-shake noise."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng
+        self.branch1 = _Branch(in_ch, out_ch, stride, rng)
+        self.branch2 = _Branch(in_ch, out_ch, stride, rng)
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut: Module = _Shortcut(in_ch, out_ch, stride, rng)
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x):
+        mixed = F.shake_shake(self.branch1(x), self.branch2(x),
+                              training=self.training, rng=self._rng)
+        return (mixed + self.shortcut(x)).relu()
+
+
+class ShakeShakeCNN(Module):
+    """Shake-Shake CNN: stem conv, 3 stages of blocks, global pool, FC.
+
+    Paper depth accounting: depth = 2 + 2 * (3 * blocks_per_stage), so
+    blocks_per_stage 1/2/4 give SS-8 / SS-14 / SS-26.
+    """
+
+    def __init__(self, in_channels: int = 3, num_classes: int = 10,
+                 blocks_per_stage: int = 4, base_width: int = 16,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.blocks_per_stage = blocks_per_stage
+        self.stem = Conv2d(in_channels, base_width, 3, padding=1, bias=False,
+                           rng=rng)
+        self.stem_bn = BatchNorm2d(base_width)
+        stages: list[Module] = []
+        in_ch = base_width
+        for stage in range(3):
+            out_ch = base_width * (2**stage)
+            for block in range(blocks_per_stage):
+                stride = 2 if (stage > 0 and block == 0) else 1
+                stages.append(ShakeShakeBlock(in_ch, out_ch, stride, rng=rng))
+                in_ch = out_ch
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x):
+        out = self.stem_bn(self.stem(x)).relu()
+        out = self.stages(out)
+        return self.fc(self.pool(out))

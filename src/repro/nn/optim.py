@@ -1,0 +1,139 @@
+"""Optimizers and learning-rate schedules.
+
+SGD (with optional momentum and weight decay) is what the paper's expert
+trainer uses; Adam is used for the gate network ``W(z, Theta)`` and the
+meta-estimator, whose loss surfaces are small but poorly conditioned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineAnnealingLR",
+           "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer holding a flat list of parameters."""
+
+    def __init__(self, params):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, vel in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015)."""
+
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            mhat = m / bias1
+            vhat = v / bias2
+            p.data = p.data - self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimizer LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+
+class CosineAnnealingLR:
+    """Cosine-decay the LR from its initial value to ``min_lr`` over
+    ``total_steps`` (the schedule used by the original Shake-Shake paper)."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 min_lr: float = 0.0):
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        self.optimizer = optimizer
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self._step = 0
+
+    def step(self) -> None:
+        self._step = min(self._step + 1, self.total_steps)
+        progress = self._step / self.total_steps
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        self.optimizer.lr = self.min_lr + (self.base_lr
+                                           - self.min_lr) * cosine
+
+
+def clip_grad_norm(params, max_norm: float) -> float:
+    """Clip the global gradient norm in place; return the pre-clip norm."""
+    grads = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total

@@ -1,0 +1,99 @@
+"""Op-level wall-clock profiler for the autograd engine.
+
+Wraps :meth:`Function.apply` and the backward driver to accumulate
+per-op-type forward/backward time.  Used to sanity check the analytic
+FLOPs model in :mod:`repro.edge.cost` against reality (heavier layers must
+actually take longer) and to find engine hot spots.
+
+    with OpProfiler() as prof:
+        loss = model(x).sum()
+        loss.backward()
+    print(prof.report())
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+
+from . import autograd
+from .autograd import Function
+
+__all__ = ["OpProfiler", "OpStats"]
+
+
+@dataclass
+class OpStats:
+    """Accumulated timing for one op type."""
+
+    calls: int = 0
+    forward_s: float = 0.0
+    backward_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.forward_s + self.backward_s
+
+
+class OpProfiler:
+    """Context manager that records per-Function-type timings."""
+
+    def __init__(self):
+        self.stats: dict[str, OpStats] = defaultdict(OpStats)
+        self._original_apply = None
+        self._original_backward = None
+
+    # --------------------------------------------------------------- wiring
+    def __enter__(self):
+        profiler = self
+        # Grab the raw descriptor, not the bound method: restoring a bound
+        # `Function.apply` would pin `cls` to the base class forever.
+        self._original_apply = Function.__dict__["apply"]
+        original_apply = self._original_apply.__func__
+
+        def timed_apply(cls, *args, **kwargs):
+            start = time.perf_counter()
+            out = original_apply(cls, *args, **kwargs)
+            entry = profiler.stats[cls.__name__]
+            entry.calls += 1
+            entry.forward_s += time.perf_counter() - start
+            # Wrap the ctx backward so the reverse pass is attributed too.
+            if out._ctx is not None:
+                ctx = out._ctx
+                original_ctx_backward = ctx.backward
+
+                def timed_backward(grad, _ctx=ctx,
+                                   _orig=original_ctx_backward,
+                                   _name=cls.__name__):
+                    begin = time.perf_counter()
+                    result = _orig(grad)
+                    profiler.stats[_name].backward_s += (
+                        time.perf_counter() - begin)
+                    return result
+
+                ctx.backward = timed_backward
+            return out
+
+        Function.apply = classmethod(timed_apply)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        Function.apply = self._original_apply
+        return False
+
+    # --------------------------------------------------------------- output
+    def total_time(self) -> float:
+        return sum(s.total_s for s in self.stats.values())
+
+    def report(self, top: int = 10) -> str:
+        """Fixed-width table of the ``top`` op types by total time."""
+        rows = sorted(self.stats.items(), key=lambda kv: -kv[1].total_s)
+        lines = [f"{'op':<14}{'calls':>7}{'fwd ms':>10}{'bwd ms':>10}"
+                 f"{'total ms':>10}"]
+        for name, entry in rows[:top]:
+            lines.append(f"{name:<14}{entry.calls:>7}"
+                         f"{entry.forward_s * 1e3:>10.2f}"
+                         f"{entry.backward_s * 1e3:>10.2f}"
+                         f"{entry.total_s * 1e3:>10.2f}")
+        return "\n".join(lines)

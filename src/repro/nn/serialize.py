@@ -1,0 +1,65 @@
+"""Model (de)serialization.
+
+Expert models are shipped to edge devices as ``.npz`` archives holding the
+state dict plus a JSON architecture spec, so a device can reconstruct the
+network without any out-of-band information.  This also backs the wire
+format used when a coordinator pushes models to workers.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .models import ArchitectureSpec, build_model
+from .layers import Module
+
+__all__ = ["save_model", "load_model", "model_to_bytes", "model_from_bytes"]
+
+_SPEC_KEY = "__architecture_spec__"
+
+
+def _pack(model: Module, spec: ArchitectureSpec) -> dict[str, np.ndarray]:
+    payload = dict(model.state_dict())
+    spec_json = json.dumps(asdict(spec))
+    payload[_SPEC_KEY] = np.frombuffer(spec_json.encode("utf-8"), dtype=np.uint8)
+    return payload
+
+
+def _unpack(archive) -> tuple[Module, ArchitectureSpec]:
+    raw = bytes(archive[_SPEC_KEY].tobytes())
+    fields = json.loads(raw.decode("utf-8"))
+    fields["in_shape"] = tuple(fields["in_shape"])
+    spec = ArchitectureSpec(**fields)
+    model = build_model(spec)
+    state = {k: archive[k] for k in archive.files if k != _SPEC_KEY}
+    model.load_state_dict(state)
+    return model, spec
+
+
+def save_model(model: Module, spec: ArchitectureSpec, path: str | Path) -> None:
+    """Write model weights + architecture spec to ``path`` (.npz)."""
+    np.savez(Path(path), **_pack(model, spec))
+
+
+def load_model(path: str | Path) -> tuple[Module, ArchitectureSpec]:
+    """Load a model saved with :func:`save_model`."""
+    with np.load(Path(path)) as archive:
+        return _unpack(archive)
+
+
+def model_to_bytes(model: Module, spec: ArchitectureSpec) -> bytes:
+    """Serialize a model to bytes (for sending over a transport)."""
+    buf = io.BytesIO()
+    np.savez(buf, **_pack(model, spec))
+    return buf.getvalue()
+
+
+def model_from_bytes(blob: bytes) -> tuple[Module, ArchitectureSpec]:
+    """Inverse of :func:`model_to_bytes`."""
+    with np.load(io.BytesIO(blob)) as archive:
+        return _unpack(archive)

@@ -1,0 +1,564 @@
+"""The :class:`Tensor` type: a numpy array with reverse-mode autograd.
+
+Tensors support the arithmetic, reduction and shaping operations needed by
+the TeamNet reproduction.  Operations return new tensors wired into the
+autograd graph (see :mod:`repro.nn.autograd`); calling :meth:`Tensor.backward`
+fills ``.grad`` on every leaf that has ``requires_grad=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import autograd
+from .autograd import Function, unbroadcast
+
+__all__ = ["Tensor", "tensor", "zeros", "ones", "randn", "arange"]
+
+# Deployment and training dtype.  float32 halves the memory traffic of the
+# (memory-bound) conv/batch-norm pipeline; tests that need tighter numerics
+# (finite-difference grad checks) pass float64 arrays explicitly, which the
+# engine preserves.
+_DEFAULT_DTYPE = np.float32
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    arr = np.asarray(value)
+    if dtype is not None:
+        return arr.astype(dtype, copy=False)
+    if arr.dtype.kind in "fc":
+        return arr
+    if arr.dtype.kind in "iub":
+        return arr.astype(_DEFAULT_DTYPE)
+    return arr
+
+
+class Tensor:
+    """A multi-dimensional array tracked by the autograd engine."""
+
+    __slots__ = ("data", "grad", "requires_grad", "retains_grad", "_ctx")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self.retains_grad = False
+        self._ctx: Function | None = None
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def retain_grad(self) -> "Tensor":
+        """Keep the gradient on this non-leaf tensor during backward."""
+        self.retains_grad = True
+        return self
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        autograd.backward(self, grad)
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other):
+        return Add.apply(self, _wrap(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return Sub.apply(self, _wrap(other))
+
+    def __rsub__(self, other):
+        return Sub.apply(_wrap(other), self)
+
+    def __mul__(self, other):
+        return Mul.apply(self, _wrap(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return Div.apply(self, _wrap(other))
+
+    def __rtruediv__(self, other):
+        return Div.apply(_wrap(other), self)
+
+    def __neg__(self):
+        return Neg.apply(self)
+
+    def __pow__(self, exponent):
+        return Pow.apply(self, exponent=float(exponent))
+
+    def __matmul__(self, other):
+        return MatMul.apply(self, _wrap(other))
+
+    def __getitem__(self, index):
+        return GetItem.apply(self, index=index)
+
+    # Comparison operators yield plain boolean arrays (non-differentiable).
+    def __gt__(self, other):
+        return self.data > _as_array(other)
+
+    def __lt__(self, other):
+        return self.data < _as_array(other)
+
+    def __ge__(self, other):
+        return self.data >= _as_array(other)
+
+    def __le__(self, other):
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------- elementwise
+    def exp(self) -> "Tensor":
+        return Exp.apply(self)
+
+    def log(self) -> "Tensor":
+        return Log.apply(self)
+
+    def sqrt(self) -> "Tensor":
+        return Pow.apply(self, exponent=0.5)
+
+    def abs(self) -> "Tensor":
+        return Abs.apply(self)
+
+    def tanh(self) -> "Tensor":
+        return Tanh.apply(self)
+
+    def sigmoid(self) -> "Tensor":
+        return Sigmoid.apply(self)
+
+    def relu(self) -> "Tensor":
+        return Relu.apply(self)
+
+    def clip(self, low: float | None, high: float | None) -> "Tensor":
+        return Clip.apply(self, low=low, high=high)
+
+    # -------------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Sum.apply(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Mean.apply(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Max.apply(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return Neg.apply(Max.apply(Neg.apply(self), axis=axis, keepdims=keepdims))
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ---------------------------------------------------------------- shaping
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Reshape.apply(self, shape=shape)
+
+    def flatten(self, start_dim: int = 1) -> "Tensor":
+        lead = self.shape[:start_dim]
+        return self.reshape(*lead, -1)
+
+    def transpose(self, axes=None) -> "Tensor":
+        return Transpose.apply(self, axes=axes)
+
+    def squeeze(self, axis=None) -> "Tensor":
+        shape = list(self.shape)
+        if axis is None:
+            shape = [s for s in shape if s != 1] or [1]
+        else:
+            if shape[axis] != 1:
+                raise ValueError(f"cannot squeeze axis {axis} of size {shape[axis]}")
+            shape.pop(axis)
+        return self.reshape(*shape)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        shape = list(self.shape)
+        if axis < 0:
+            axis += self.ndim + 1
+        shape.insert(axis, 1)
+        return self.reshape(*shape)
+
+    # ------------------------------------------------------------- arg lookups
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def argmin(self, axis=None) -> np.ndarray:
+        return self.data.argmin(axis=axis)
+
+
+def _wrap(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# --------------------------------------------------------------------------
+# Elementwise binary ops
+# --------------------------------------------------------------------------
+class Add(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a + b
+
+    def backward(self, grad):
+        sa, sb = self.saved
+        return unbroadcast(grad, sa), unbroadcast(grad, sb)
+
+
+class Sub(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a.shape, b.shape)
+        return a - b
+
+    def backward(self, grad):
+        sa, sb = self.saved
+        return unbroadcast(grad, sa), unbroadcast(-grad, sb)
+
+
+class Mul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a * b
+
+    def backward(self, grad):
+        a, b = self.saved
+        return unbroadcast(grad * b, a.shape), unbroadcast(grad * a, b.shape)
+
+
+class Div(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a / b
+
+    def backward(self, grad):
+        a, b = self.saved
+        ga = unbroadcast(grad / b, a.shape)
+        gb = unbroadcast(-grad * a / (b * b), b.shape)
+        return ga, gb
+
+
+class Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad):
+        return (-grad,)
+
+
+class Pow(Function):
+    def forward(self, a, exponent):
+        self.exponent = exponent
+        self.save_for_backward(a)
+        return a**exponent
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad * self.exponent * a ** (self.exponent - 1),)
+
+
+# --------------------------------------------------------------------------
+# Elementwise unary ops
+# --------------------------------------------------------------------------
+class Exp(Function):
+    def forward(self, a):
+        out = np.exp(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out,)
+
+
+class Log(Function):
+    def forward(self, a):
+        self.save_for_backward(a)
+        return np.log(a)
+
+    def backward(self, grad):
+        (a,) = self.saved
+        return (grad / a,)
+
+
+class Abs(Function):
+    def forward(self, a):
+        self.save_for_backward(np.sign(a))
+        return np.abs(a)
+
+    def backward(self, grad):
+        (sign,) = self.saved
+        return (grad * sign,)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        out = np.tanh(a)
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * (1.0 - out * out),)
+
+
+class Sigmoid(Function):
+    def forward(self, a):
+        out = 1.0 / (1.0 + np.exp(-a))
+        self.save_for_backward(out)
+        return out
+
+    def backward(self, grad):
+        (out,) = self.saved
+        return (grad * out * (1.0 - out),)
+
+
+class Relu(Function):
+    def forward(self, a):
+        mask = a > 0
+        self.save_for_backward(mask)
+        return a * mask
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+class Clip(Function):
+    def forward(self, a, low, high):
+        self.save_for_backward((a >= (low if low is not None else -np.inf))
+                               & (a <= (high if high is not None else np.inf)))
+        return np.clip(a, low, high)
+
+    def backward(self, grad):
+        (mask,) = self.saved
+        return (grad * mask,)
+
+
+# --------------------------------------------------------------------------
+# Linear algebra
+# --------------------------------------------------------------------------
+class MatMul(Function):
+    def forward(self, a, b):
+        self.save_for_backward(a, b)
+        return a @ b
+
+    def backward(self, grad):
+        a, b = self.saved
+        if a.ndim == 1 and b.ndim == 1:
+            return grad * b, grad * a
+        if a.ndim == 1:
+            ga = (grad[None, ...] @ np.swapaxes(b, -1, -2)).reshape(a.shape)
+            gb = a[:, None] @ grad[None, :] if b.ndim == 2 else None
+            if gb is None:
+                gb = unbroadcast(a[..., :, None] @ grad[..., None, :], b.shape)
+            return ga, gb
+        if b.ndim == 1:
+            ga = grad[..., None] @ b[None, :]
+            gb = unbroadcast(np.swapaxes(a, -1, -2) @ grad[..., None], b.shape)
+            return unbroadcast(ga, a.shape), gb.reshape(b.shape)
+        ga = grad @ np.swapaxes(b, -1, -2)
+        gb = np.swapaxes(a, -1, -2) @ grad
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+
+# --------------------------------------------------------------------------
+# Reductions
+# --------------------------------------------------------------------------
+def _expand_reduced(grad, shape, axis, keepdims):
+    if axis is None or keepdims:
+        return np.broadcast_to(grad, shape) if grad.shape != shape else grad
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(shape) for a in axes)
+    grad = np.expand_dims(grad, axes)
+    return np.broadcast_to(grad, shape)
+
+
+class Sum(Function):
+    def forward(self, a, axis, keepdims):
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.sum(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims = self.saved
+        return (_expand_reduced(np.asarray(grad), shape, axis, keepdims).copy(),)
+
+
+class Mean(Function):
+    def forward(self, a, axis, keepdims):
+        self.save_for_backward(a.shape, axis, keepdims)
+        return a.mean(axis=axis, keepdims=keepdims)
+
+    def backward(self, grad):
+        shape, axis, keepdims = self.saved
+        if axis is None:
+            count = int(np.prod(shape))
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([shape[a % len(shape)] for a in axes]))
+        expanded = _expand_reduced(np.asarray(grad), shape, axis, keepdims)
+        return (expanded / count,)
+
+
+class Max(Function):
+    def forward(self, a, axis, keepdims):
+        out = a.max(axis=axis, keepdims=keepdims)
+        full = a.max(axis=axis, keepdims=True) if not keepdims else out
+        mask = (a == full)
+        # Split gradient equally among ties (matches numpy semantics closely
+        # enough for our use; ties are measure-zero for float activations).
+        counts = mask.sum(axis=axis, keepdims=True)
+        self.save_for_backward(mask, counts, a.shape, axis, keepdims)
+        return out
+
+    def backward(self, grad):
+        mask, counts, shape, axis, keepdims = self.saved
+        expanded = _expand_reduced(np.asarray(grad), shape, axis, keepdims)
+        return (expanded * mask / counts,)
+
+
+# --------------------------------------------------------------------------
+# Shaping
+# --------------------------------------------------------------------------
+class Reshape(Function):
+    def forward(self, a, shape):
+        self.save_for_backward(a.shape)
+        return a.reshape(shape)
+
+    def backward(self, grad):
+        (shape,) = self.saved
+        return (grad.reshape(shape),)
+
+
+class Transpose(Function):
+    def forward(self, a, axes):
+        self.axes = axes
+        return np.transpose(a, axes)
+
+    def backward(self, grad):
+        if self.axes is None:
+            return (np.transpose(grad),)
+        inverse = np.argsort(self.axes)
+        return (np.transpose(grad, inverse),)
+
+
+class GetItem(Function):
+    def forward(self, a, index):
+        self.save_for_backward(a.shape, index)
+        return a[index]
+
+    def backward(self, grad):
+        shape, index = self.saved
+        out = np.zeros(shape, dtype=grad.dtype)
+        np.add.at(out, index, grad)
+        return (out,)
+
+
+class Concatenate(Function):
+    def forward(self, *arrays, axis=0):
+        self.axis = axis
+        self.sizes = [a.shape[axis] for a in arrays]
+        return np.concatenate(arrays, axis=axis)
+
+    def backward(self, grad):
+        splits = np.cumsum(self.sizes)[:-1]
+        return tuple(np.split(grad, splits, axis=self.axis))
+
+
+class Stack(Function):
+    def forward(self, *arrays, axis=0):
+        self.axis = axis
+        return np.stack(arrays, axis=axis)
+
+    def backward(self, grad):
+        moved = np.moveaxis(grad, self.axis, 0)
+        return tuple(moved[i] for i in range(moved.shape[0]))
+
+
+class Pad(Function):
+    def forward(self, a, pad_width):
+        self.save_for_backward(a.shape, pad_width)
+        return np.pad(a, pad_width)
+
+    def backward(self, grad):
+        shape, pad_width = self.saved
+        slices = tuple(slice(p[0], p[0] + s) for p, s in zip(pad_width, shape))
+        return (grad[slices],)
+
+
+class Where(Function):
+    def forward(self, cond, a, b):
+        self.save_for_backward(cond, np.shape(a), np.shape(b))
+        return np.where(cond, a, b)
+
+    def backward(self, grad):
+        cond, sa, sb = self.saved
+        ga = unbroadcast(grad * cond, sa)
+        gb = unbroadcast(grad * (~cond), sb)
+        return ga, gb
+
+
+# --------------------------------------------------------------------------
+# Factory helpers
+# --------------------------------------------------------------------------
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Construct a tensor from array-like ``data``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    """An all-zeros tensor of the given shape."""
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    """An all-ones tensor of the given shape."""
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: np.random.Generator | None = None,
+          requires_grad: bool = False) -> Tensor:
+    """A standard-normal tensor of the given shape."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+
+def arange(n: int, requires_grad: bool = False) -> Tensor:
+    """The tensor [0, 1, ..., n-1] as floats."""
+    return Tensor(np.arange(n, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)

@@ -1,0 +1,167 @@
+"""Tests for the early-exit (DDNN/BranchyNet) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cascade import (CascadeConfig, CascadeDevice, CascadeTrainer,
+                           EarlyExitMLP, expected_cascade_latency,
+                           serve_escalation_tier)
+from repro.data import Dataset
+from repro.edge import WIFI
+from repro.nn import Tensor
+
+_CENTERS = np.random.default_rng(42).standard_normal((4, 16)) * 3
+
+
+def tiny_dataset(n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 4
+    images = _CENTERS[labels] + rng.standard_normal((n, 16))
+    return Dataset(images.reshape(n, 1, 1, 16), labels)
+
+
+def make_model(seed=0):
+    return EarlyExitMLP(16, 4, stage_widths=(16, 16, 16),
+                        rng=np.random.default_rng(seed))
+
+
+@pytest.fixture(scope="module")
+def trained():
+    model = make_model()
+    trainer = CascadeTrainer(model, CascadeConfig(epochs=8, batch_size=32,
+                                                  lr=3e-3, seed=0))
+    trainer.train(tiny_dataset(320))
+    return model, trainer
+
+
+class TestModel:
+    def test_needs_two_stages(self):
+        with pytest.raises(ValueError):
+            EarlyExitMLP(16, 4, stage_widths=(8,))
+
+    def test_forward_all_shapes(self, rng):
+        model = make_model()
+        outputs = model.forward_all(Tensor(rng.standard_normal((5, 16))))
+        assert len(outputs) == 3
+        assert all(o.shape == (5, 4) for o in outputs)
+
+    def test_forward_is_last_exit(self, rng):
+        model = make_model()
+        x = Tensor(rng.standard_normal((3, 16)).astype(np.float32))
+        np.testing.assert_array_equal(model(x).data,
+                                      model.forward_all(x)[-1].data)
+
+    def test_threshold_count_validated(self, rng):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.predict_with_exits(rng.standard_normal((2, 16)), [0.5])
+
+
+class TestTraining:
+    def test_all_exits_learn(self, trained):
+        _, trainer = trained
+        accs = trainer.exit_accuracies(tiny_dataset(seed=1))
+        assert all(a > 0.7 for a in accs), accs
+
+    def test_loss_decreases(self, trained):
+        _, trainer = trained
+        assert np.mean(trainer.losses[-5:]) < np.mean(trainer.losses[:5])
+
+    def test_exit_weight_validation(self):
+        with pytest.raises(ValueError):
+            CascadeTrainer(make_model(),
+                           CascadeConfig(exit_weights=(1.0, 1.0)))
+
+
+class TestExiting:
+    def test_permissive_thresholds_exit_first(self, trained, rng):
+        model, _ = trained
+        decision = model.predict_with_exits(
+            rng.standard_normal((10, 16)), [np.inf, np.inf])
+        assert (decision.exits == 0).all()
+
+    def test_strict_thresholds_reach_final(self, trained, rng):
+        model, _ = trained
+        decision = model.predict_with_exits(
+            rng.standard_normal((10, 16)), [-1.0, -1.0])
+        assert (decision.exits == 2).all()
+
+    def test_calibration_hits_target_fraction(self, trained):
+        model, _ = trained
+        ds = tiny_dataset(seed=2)
+        thresholds = model.calibrate_thresholds(ds.images,
+                                                target_exit_fraction=0.5)
+        decision = model.predict_with_exits(ds.images, thresholds)
+        fractions = decision.exit_fractions(model.num_exits)
+        assert abs(fractions[0] - 0.5) < 0.1
+
+    def test_early_exit_accuracy_close_to_full(self, trained):
+        model, trainer = trained
+        ds = tiny_dataset(seed=3)
+        thresholds = model.calibrate_thresholds(tiny_dataset(seed=2).images,
+                                                target_exit_fraction=0.5)
+        decision = model.predict_with_exits(ds.images, thresholds)
+        mixed_acc = (decision.predictions == ds.labels).mean()
+        full_acc = trainer.exit_accuracies(ds)[-1]
+        assert mixed_acc > full_acc - 0.1
+
+
+class TestDistributedCascade:
+    def test_device_plus_remote_matches_local(self, trained):
+        model, _ = trained
+        ds = tiny_dataset(seed=4)
+        thresholds = model.calibrate_thresholds(tiny_dataset(seed=2).images,
+                                                target_exit_fraction=0.4)
+        expected = model.predict_with_exits(ds.images, thresholds)
+        server = serve_escalation_tier(model, first_stage=1)
+        device = CascadeDevice(model, device_exits=1,
+                               remote_address=server.address,
+                               thresholds=thresholds)
+        try:
+            decision = device.infer(ds.images)
+            np.testing.assert_array_equal(decision.predictions,
+                                          expected.predictions)
+            np.testing.assert_array_equal(decision.exits, expected.exits)
+            assert 0.0 < device.escalation_rate < 1.0
+        finally:
+            device.close()
+            server.stop()
+
+    def test_standalone_device_answers_everything(self, trained):
+        model, _ = trained
+        ds = tiny_dataset(seed=5)
+        device = CascadeDevice(model, device_exits=2, remote_address=None,
+                               thresholds=[-1.0, -1.0])
+        decision = device.infer(ds.images[:20])
+        assert (decision.predictions >= 0).all()
+        # Nothing could escalate: last local exit forced the answer.
+        assert (decision.exits <= 1).all()
+        assert device.escalation_rate == 0.0
+
+    def test_validation(self, trained):
+        model, _ = trained
+        with pytest.raises(ValueError):
+            CascadeDevice(model, device_exits=0, remote_address=None,
+                          thresholds=[0.1, 0.1])
+        with pytest.raises(ValueError):
+            CascadeDevice(model, device_exits=1, remote_address=None,
+                          thresholds=[0.1])
+
+
+class TestLatencyModel:
+    def test_no_escalation_is_local_only(self):
+        latency = expected_cascade_latency(0.002, 0.010, 0.0, 1024, WIFI)
+        np.testing.assert_allclose(latency, 0.002)
+
+    def test_full_escalation_pays_everything(self):
+        latency = expected_cascade_latency(0.002, 0.010, 1.0, 1024, WIFI)
+        assert latency > 0.012
+
+    def test_monotone_in_escalation_rate(self):
+        low = expected_cascade_latency(0.002, 0.010, 0.2, 1024, WIFI)
+        high = expected_cascade_latency(0.002, 0.010, 0.8, 1024, WIFI)
+        assert high > low
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            expected_cascade_latency(0.001, 0.01, 1.5, 10, WIFI)

@@ -1,0 +1,140 @@
+"""Tests for the MPI-style communicator."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_group
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0, 2.0]), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = run_group(2, work)
+        np.testing.assert_array_equal(results[1], [1.0, 2.0])
+
+    def test_tags_separate_streams(self):
+        def work(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0]), 1, tag="a")
+                comm.send(np.array([2.0]), 1, tag="b")
+                return None
+            # Receive in the opposite order of sending.
+            b = comm.recv(0, tag="b")
+            a = comm.recv(0, tag="a")
+            return float(a[0]), float(b[0])
+
+        results = run_group(2, work)
+        assert results[1] == (1.0, 2.0)
+
+    def test_self_send_rejected(self):
+        def work(comm):
+            if comm.rank == 0:
+                with pytest.raises(ValueError):
+                    comm.send(np.zeros(1), dest=0)
+            return True
+
+        assert all(run_group(2, work))
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+class TestCollectives:
+    def test_bcast(self, size):
+        def work(comm):
+            data = np.arange(5.0) if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        for result in run_group(size, work):
+            np.testing.assert_array_equal(result, np.arange(5.0))
+
+    def test_scatter(self, size):
+        def work(comm):
+            chunks = ([np.full(2, float(i)) for i in range(comm.size)]
+                      if comm.rank == 0 else None)
+            return comm.scatter(chunks, root=0)
+
+        results = run_group(size, work)
+        for rank, chunk in enumerate(results):
+            np.testing.assert_array_equal(chunk, np.full(2, float(rank)))
+
+    def test_gather(self, size):
+        def work(comm):
+            return comm.gather(np.array([float(comm.rank)]), root=0)
+
+        results = run_group(size, work)
+        assert all(r is None for r in results[1:])
+        np.testing.assert_array_equal(
+            np.concatenate(results[0]), np.arange(size, dtype=float))
+
+    def test_allgather(self, size):
+        def work(comm):
+            parts = comm.allgather(np.array([float(comm.rank)]))
+            return np.concatenate(parts)
+
+        for result in run_group(size, work):
+            np.testing.assert_array_equal(result,
+                                          np.arange(size, dtype=float))
+
+    def test_allreduce_ops(self, size):
+        def work(comm):
+            v = np.array([float(comm.rank + 1)])
+            return (comm.allreduce(v, "sum")[0], comm.allreduce(v, "max")[0],
+                    comm.allreduce(v, "min")[0],
+                    comm.allreduce(v, "mean")[0])
+
+        expected_sum = sum(range(1, size + 1))
+        for s, mx, mn, mean in run_group(size, work):
+            assert s == expected_sum
+            assert mx == size and mn == 1
+            np.testing.assert_allclose(mean, expected_sum / size)
+
+    def test_barrier_and_sequencing(self, size):
+        # Multiple collectives in program order must not cross-talk.
+        def work(comm):
+            a = comm.bcast(np.array([1.0]) if comm.rank == 0 else None)
+            comm.barrier()
+            b = comm.bcast(np.array([2.0]) if comm.rank == 0 else None)
+            return float(a[0]), float(b[0])
+
+        for a, b in run_group(size, work):
+            assert (a, b) == (1.0, 2.0)
+
+
+class TestErrorsAndStats:
+    def test_unknown_allreduce_op(self):
+        def work(comm):
+            if comm.rank == 0:
+                with pytest.raises(ValueError):
+                    comm.allreduce(np.zeros(1), "median")
+            comm.barrier()
+            return True
+
+        assert all(run_group(2, work))
+
+    def test_stats_count_allgather_messages(self):
+        # Full-mesh allgather: each rank sends (K-1) messages.
+        def work(comm):
+            comm.reset_stats()
+            comm.allgather(np.zeros(10))
+            return comm.stats.messages_sent
+
+        for sent in run_group(3, work):
+            assert sent == 2
+
+    def test_exception_in_rank_propagates(self):
+        def work(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            return True
+
+        with pytest.raises(RuntimeError, match="rank 1 exploded"):
+            run_group(2, work)
+
+    def test_group_size_validation(self):
+        from repro.comm import LocalGroup
+        with pytest.raises(ValueError):
+            LocalGroup(1)

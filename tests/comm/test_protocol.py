@@ -1,0 +1,98 @@
+"""Tests for the wire protocol (pickle-free array messages)."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.comm import Message, ProtocolError, decode, encode
+
+
+class TestRoundtrip:
+    def test_kind_and_meta(self):
+        msg = decode(encode("infer", {"id": 7, "mode": "fast"}))
+        assert msg.kind == "infer"
+        assert msg.meta == {"id": 7, "mode": "fast"}
+        assert msg.arrays == {}
+
+    def test_single_array(self, rng):
+        x = rng.standard_normal((4, 5))
+        msg = decode(encode("data", arrays={"x": x}))
+        np.testing.assert_array_equal(msg.arrays["x"], x)
+
+    def test_multiple_arrays_and_dtypes(self, rng):
+        arrays = {
+            "f32": rng.standard_normal((2, 3)).astype(np.float32),
+            "f64": rng.standard_normal((3,)),
+            "i64": np.arange(6).reshape(2, 3),
+            "u8": np.arange(4, dtype=np.uint8),
+            "bool": np.array([True, False]),
+        }
+        msg = decode(encode("mixed", arrays=arrays))
+        for name, original in arrays.items():
+            np.testing.assert_array_equal(msg.arrays[name], original)
+            assert msg.arrays[name].dtype == original.dtype
+
+    def test_empty_array(self):
+        msg = decode(encode("e", arrays={"empty": np.zeros((0, 3))}))
+        assert msg.arrays["empty"].shape == (0, 3)
+
+    def test_non_contiguous_input(self, rng):
+        x = rng.standard_normal((6, 6))[::2, ::3]
+        msg = decode(encode("nc", arrays={"x": x}))
+        np.testing.assert_array_equal(msg.arrays["x"], x)
+
+    def test_scalar_array(self):
+        msg = decode(encode("s", arrays={"v": np.array(3.5)}))
+        assert msg.arrays["v"].shape == ()
+        assert float(msg.arrays["v"]) == 3.5
+
+    def test_decoded_arrays_are_writable(self, rng):
+        msg = decode(encode("w", arrays={"x": rng.standard_normal(3)}))
+        msg.arrays["x"][0] = 99.0  # must not raise (copy, not frombuffer view)
+
+
+class TestMalformed:
+    def test_too_short(self):
+        with pytest.raises(ProtocolError):
+            decode(b"\x00")
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError):
+            decode(struct.pack(">I", 100) + b"{}")
+
+    def test_garbage_header(self):
+        blob = struct.pack(">I", 4) + b"\xff\xfe\x00\x01"
+        with pytest.raises(ProtocolError):
+            decode(blob)
+
+    def test_header_missing_kind(self):
+        header = json.dumps({"meta": {}}).encode()
+        with pytest.raises(ProtocolError):
+            decode(struct.pack(">I", len(header)) + header)
+
+    def test_array_out_of_bounds(self):
+        header = json.dumps({
+            "kind": "x", "meta": {},
+            "arrays": [{"name": "a", "dtype": "float64",
+                        "shape": [100], "offset": 0, "nbytes": 800}],
+        }).encode()
+        with pytest.raises(ProtocolError):
+            decode(struct.pack(">I", len(header)) + header + b"\x00" * 8)
+
+    def test_inconsistent_manifest(self):
+        # nbytes disagrees with shape*dtype: decoder must refuse.
+        header = json.dumps({
+            "kind": "x", "meta": {},
+            "arrays": [{"name": "a", "dtype": "float64",
+                        "shape": [2], "offset": 0, "nbytes": 8}],
+        }).encode()
+        with pytest.raises(ProtocolError):
+            decode(struct.pack(">I", len(header)) + header + b"\x00" * 8)
+
+
+class TestMessage:
+    def test_repr(self):
+        msg = Message("test", {"a": 1}, {"x": np.zeros(2)})
+        assert "test" in repr(msg) and "x" in repr(msg)

@@ -1,0 +1,10 @@
+"""Shared pytest fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)

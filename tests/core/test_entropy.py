@@ -1,0 +1,98 @@
+"""Tests for predictive entropy and the Section IV-B batch statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (abs_deviation, entropy_from_probs, entropy_matrix,
+                        mean_entropy, predictive_entropy,
+                        relative_mean_abs_deviation)
+from repro.nn import MLP, Tensor
+
+
+class TestPredictiveEntropy:
+    def test_uniform_gives_log_c(self):
+        logits = np.zeros((3, 10))
+        np.testing.assert_allclose(predictive_entropy(logits),
+                                   np.log(10), rtol=1e-9)
+
+    def test_confident_gives_near_zero(self):
+        logits = np.full((2, 5), -100.0)
+        logits[:, 0] = 100.0
+        assert (predictive_entropy(logits) < 1e-6).all()
+
+    def test_monotone_in_confidence(self):
+        # Sharper distribution -> lower entropy.
+        soft = predictive_entropy(np.array([[1.0, 0.0, 0.0]]))
+        sharp = predictive_entropy(np.array([[5.0, 0.0, 0.0]]))
+        assert sharp < soft
+
+    def test_accepts_tensor_and_array(self, rng):
+        logits = rng.standard_normal((4, 6))
+        np.testing.assert_array_equal(predictive_entropy(logits),
+                                      predictive_entropy(Tensor(logits)))
+
+    def test_stable_for_extreme_logits(self):
+        h = predictive_entropy(np.array([[1e5, -1e5, 0.0]]))
+        assert np.isfinite(h).all()
+
+    def test_entropy_from_probs_matches(self, rng):
+        logits = rng.standard_normal((5, 4))
+        shifted = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs = shifted / shifted.sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(entropy_from_probs(probs),
+                                   predictive_entropy(logits), rtol=1e-6)
+
+    def test_entropy_from_probs_handles_zeros(self):
+        probs = np.array([[1.0, 0.0, 0.0]])
+        np.testing.assert_allclose(entropy_from_probs(probs), 0.0,
+                                   atol=1e-9)
+
+
+class TestEntropyMatrix:
+    def test_shape_and_nonnegative(self, rng):
+        experts = [MLP(16, 4, depth=1, width=8,
+                       rng=np.random.default_rng(i)) for i in range(3)]
+        H = entropy_matrix(experts, rng.standard_normal((7, 16)))
+        assert H.shape == (7, 3)
+        assert (H >= 0).all() and (H <= np.log(4) + 1e-9).all()
+
+    def test_does_not_build_graph(self, rng):
+        expert = MLP(8, 3, depth=1, width=4, rng=rng)
+        entropy_matrix([expert], rng.standard_normal((2, 8)))
+        assert all(p.grad is None for p in expert.parameters())
+
+    def test_restores_training_mode(self, rng):
+        expert = MLP(8, 3, depth=1, width=4, rng=rng)
+        expert.train()
+        entropy_matrix([expert], rng.standard_normal((2, 8)))
+        assert expert.training
+
+
+class TestBatchStatistics:
+    def test_mean_entropy(self):
+        H = np.array([[1.0, 3.0], [2.0, 4.0]])
+        np.testing.assert_allclose(mean_entropy(H), [2.0, 3.0])
+
+    def test_abs_deviation(self):
+        H = np.array([[1.0, 3.0]])
+        np.testing.assert_allclose(abs_deviation(H), [1.0])
+
+    def test_delta_zero_for_identical_experts(self):
+        H = np.full((10, 4), 0.7)
+        assert relative_mean_abs_deviation(H) == 0.0
+
+    def test_delta_grows_with_disagreement(self):
+        agree = np.array([[1.0, 1.1], [0.9, 1.0]])
+        disagree = np.array([[0.2, 1.8], [1.9, 0.1]])
+        assert (relative_mean_abs_deviation(disagree)
+                > relative_mean_abs_deviation(agree))
+
+    def test_delta_scale_invariant(self):
+        H = np.array([[0.5, 1.5], [1.0, 2.0]])
+        np.testing.assert_allclose(relative_mean_abs_deviation(H),
+                                   relative_mean_abs_deviation(10 * H),
+                                   rtol=1e-9)
+
+    def test_delta_safe_for_zero_entropy(self):
+        H = np.zeros((5, 2))
+        assert np.isfinite(relative_mean_abs_deviation(H))

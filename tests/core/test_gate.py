@@ -1,0 +1,190 @@
+"""Tests for the dynamic gate (Algorithm 2) and its building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core import (DynamicGate, GateNetwork, MetaEstimator,
+                        assignment_fractions, hard_assignments,
+                        kronecker_approx, soft_argmin)
+from repro.nn import Tensor
+
+
+class TestSoftArgmin:
+    def test_approaches_hard_argmin_for_large_b(self, rng):
+        values = rng.standard_normal((40, 4))
+        # Keep rows whose two smallest entries are clearly separated; near
+        # ties legitimately stay soft at any finite temperature.
+        gaps = np.sort(values, axis=1)
+        separated = (gaps[:, 1] - gaps[:, 0]) > 0.1
+        soft = soft_argmin(Tensor(values[separated]), 500.0).data
+        np.testing.assert_allclose(soft, values[separated].argmin(axis=1),
+                                   atol=1e-3)
+
+    def test_uniform_values_give_center(self):
+        values = np.ones((1, 5))
+        soft = soft_argmin(Tensor(values), 10.0).data
+        np.testing.assert_allclose(soft, 2.0)  # mean index
+
+    def test_differentiable(self, rng):
+        v = Tensor(rng.standard_normal((6, 3)), requires_grad=True)
+        soft_argmin(v, 5.0).sum().backward()
+        assert v.grad is not None and np.isfinite(v.grad).all()
+
+    def test_output_in_index_range(self, rng):
+        values = rng.standard_normal((50, 4))
+        soft = soft_argmin(Tensor(values), 2.0).data
+        assert (soft >= 0).all() and (soft <= 3).all()
+
+    def test_accepts_tensor_b(self, rng):
+        v = Tensor(rng.standard_normal((4, 3)))
+        b = Tensor(np.array([7.0]), requires_grad=True)
+        soft_argmin(v, b).sum().backward()
+        assert b.grad is not None
+
+
+class TestKroneckerApprox:
+    def test_indicator_at_integers(self):
+        g = Tensor(np.array([0.0, 1.0, 2.0]))
+        for i in range(3):
+            approx = kronecker_approx(g, i).data
+            expected = np.zeros(3)
+            expected[i] = np.tanh(5.0)  # tanh(10 * 0.5)
+            np.testing.assert_allclose(approx, expected, atol=1e-6)
+
+    def test_vanishes_beyond_half(self):
+        g = Tensor(np.array([0.6, 1.4]))
+        np.testing.assert_allclose(kronecker_approx(g, 0).data, 0.0,
+                                   atol=1e-9)
+
+    def test_gradient_flows_inside_bump(self):
+        g = Tensor(np.array([0.3]), requires_grad=True)
+        kronecker_approx(g, 0).sum().backward()
+        assert abs(g.grad[0]) > 0
+
+
+class TestHardAssignments:
+    def test_plain_argmin_when_delta_is_one(self, rng):
+        H = rng.uniform(0, 1, (10, 3))
+        np.testing.assert_array_equal(
+            hard_assignments(H, np.ones(3)), H.argmin(axis=1))
+
+    def test_delta_reweights(self):
+        H = np.array([[1.0, 2.0]])
+        assert hard_assignments(H, np.array([1.0, 1.0]))[0] == 0
+        assert hard_assignments(H, np.array([3.0, 1.0]))[0] == 1
+
+    def test_fractions_sum_to_one(self, rng):
+        a = rng.integers(0, 4, 100)
+        fracs = assignment_fractions(a, 4)
+        np.testing.assert_allclose(fracs.sum(), 1.0)
+
+    def test_fractions_count_missing_experts(self):
+        fracs = assignment_fractions(np.zeros(10, dtype=int), 3)
+        np.testing.assert_allclose(fracs, [1.0, 0.0, 0.0])
+
+
+class TestGateNetwork:
+    def test_output_shape(self, rng):
+        net = GateNetwork(8, 4, rng=rng)
+        out = net(Tensor(rng.uniform(-1, 1, (1, 8))))
+        assert out.shape == (1, 4)
+
+    def test_zero_init_output(self, rng):
+        net = GateNetwork(8, 3, rng=rng)
+        out = net(Tensor(rng.uniform(-1, 1, (1, 8))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+
+class TestMetaEstimator:
+    def test_b_in_configured_range(self, rng):
+        meta = MetaEstimator(rng=rng)
+        b = meta(rng.uniform(0, 2, (32, 3)))
+        assert meta.b_min <= float(b.item()) <= meta.b_max
+
+    def test_loss_zero_at_epsilon_distance(self):
+        meta = MetaEstimator(rng=np.random.default_rng(0))
+        # Soft indices exactly epsilon away from integers.
+        soft = Tensor(np.array([0.05, 1.05, 0.95]))
+        loss = meta.loss(soft, epsilon=0.05, num_experts=2)
+        np.testing.assert_allclose(loss.item(), 0.0, atol=1e-9)
+
+    def test_loss_penalizes_midpoints(self):
+        meta = MetaEstimator(rng=np.random.default_rng(0))
+        mid = meta.loss(Tensor(np.array([0.5, 1.5])), 0.05, 2)
+        near = meta.loss(Tensor(np.array([0.01, 0.99])), 0.05, 2)
+        assert mid.item() > near.item()
+
+
+class TestDynamicGate:
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            DynamicGate(num_experts=1)
+        with pytest.raises(ValueError):
+            DynamicGate(num_experts=2, gain=1.5)
+
+    def test_rejects_wrong_h_shape(self, rng):
+        gate = DynamicGate(num_experts=2, seed=0)
+        with pytest.raises(ValueError):
+            gate.train_batch(rng.uniform(0, 1, (10, 3)))
+
+    def test_balanced_experts_stay_balanced(self, rng):
+        gate = DynamicGate(num_experts=2, seed=0)
+        H = rng.uniform(0.5, 1.5, (128, 2))
+        result = gate.train_batch(H)
+        assert abs(result.gamma_bar[0] - 0.5) < 0.15
+
+    def test_corrects_dominant_expert(self, rng):
+        # Expert 0 far more certain everywhere: raw argmin gives it 100%;
+        # the dynamic gate must pull it back toward the controller target.
+        gate = DynamicGate(num_experts=2, seed=0)
+        H = np.stack([rng.uniform(0.1, 0.3, 64),
+                      rng.uniform(0.9, 1.2, 64)], axis=1)
+        result = gate.train_batch(H)
+        assert result.gamma[0] == 1.0
+        assert result.gamma_bar[0] < 0.6
+
+    def test_corrects_for_four_experts(self, rng):
+        gate = DynamicGate(num_experts=4, seed=0)
+        cols = [rng.uniform(0.1, 0.3, 64)] + [
+            rng.uniform(0.9, 1.2, 64) for _ in range(3)]
+        result = gate.train_batch(np.stack(cols, axis=1))
+        assert result.gamma_bar.max() < 0.5
+
+    def test_result_fields_consistent(self, rng):
+        gate = DynamicGate(num_experts=3, seed=1)
+        H = rng.uniform(0.5, 1.5, (60, 3))
+        result = gate.train_batch(H)
+        assert result.assignments.shape == (60,)
+        assert set(np.unique(result.assignments)) <= {0, 1, 2}
+        np.testing.assert_allclose(result.gamma_bar.sum(), 1.0)
+        np.testing.assert_allclose(
+            result.gamma_bar,
+            assignment_fractions(result.assignments, 3))
+        assert result.iterations >= 1
+        assert result.delta.shape == (3,)
+        assert (result.delta > 0).all()
+
+    def test_quota_projection_exact(self, rng):
+        H = rng.uniform(0.5, 1.5, (100, 4))
+        target = np.array([0.1, 0.2, 0.3, 0.4])
+        assignments = DynamicGate._quota_assignments(H, np.ones(4), target)
+        counts = np.bincount(assignments, minlength=4)
+        np.testing.assert_array_equal(counts, [10, 20, 30, 40])
+
+    def test_quota_respects_preferences(self):
+        # With a balanced target and clear preferences, samples should go
+        # where they are most certain.
+        H = np.array([[0.1, 0.9], [0.9, 0.1], [0.2, 0.8], [0.8, 0.2]])
+        assignments = DynamicGate._quota_assignments(
+            H, np.ones(2), np.array([0.5, 0.5]))
+        np.testing.assert_array_equal(assignments, [0, 1, 0, 1])
+
+    def test_target_projection_under_extreme_bias(self, rng):
+        # gamma = [1, 0, 0, 0] with a = 0.5 gives a raw negative target;
+        # the gate must still return valid fractions.
+        gate = DynamicGate(num_experts=4, seed=2)
+        H = np.stack([rng.uniform(0.01, 0.05, 64)] +
+                     [rng.uniform(1.0, 1.2, 64) for _ in range(3)], axis=1)
+        result = gate.train_batch(H)
+        assert (result.gamma_bar >= 0).all()
+        np.testing.assert_allclose(result.gamma_bar.sum(), 1.0)

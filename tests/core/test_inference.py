@@ -1,0 +1,104 @@
+"""Tests for arg-min-gate inference (Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ExpertOutput, TeamInference, argmin_select,
+                        expert_forward, majority_vote)
+from repro.nn import MLP
+
+
+def make_output(probs):
+    probs = np.asarray(probs, dtype=float)
+    from repro.core import entropy_from_probs
+    return ExpertOutput(probs=probs, entropy=entropy_from_probs(probs))
+
+
+class TestArgminSelect:
+    def test_picks_least_uncertain(self):
+        confident = make_output([[0.98, 0.01, 0.01]])
+        unsure = make_output([[0.4, 0.3, 0.3]])
+        preds, winner = argmin_select([confident, unsure])
+        assert winner[0] == 0 and preds[0] == 0
+        preds, winner = argmin_select([unsure, confident])
+        assert winner[0] == 1 and preds[0] == 0
+
+    def test_per_sample_selection(self):
+        a = make_output([[0.9, 0.05, 0.05], [0.34, 0.33, 0.33]])
+        b = make_output([[0.4, 0.3, 0.3], [0.02, 0.96, 0.02]])
+        preds, winner = argmin_select([a, b])
+        np.testing.assert_array_equal(winner, [0, 1])
+        np.testing.assert_array_equal(preds, [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            argmin_select([])
+
+    def test_single_expert(self):
+        out = make_output([[0.1, 0.9]])
+        preds, winner = argmin_select([out])
+        assert preds[0] == 1 and winner[0] == 0
+
+
+class TestMajorityVote:
+    def test_unweighted_majority(self):
+        outs = [make_output([[0.9, 0.1]]), make_output([[0.8, 0.2]]),
+                make_output([[0.1, 0.9]])]
+        np.testing.assert_array_equal(majority_vote(outs), [0])
+
+    def test_weighted_vote_can_flip(self):
+        # Two weak votes for class 0 vs one extremely confident for 1.
+        outs = [make_output([[0.51, 0.49]]), make_output([[0.51, 0.49]]),
+                make_output([[0.999, 0.001]][::-1])]
+        outs[2] = make_output([[0.001, 0.999]])
+        unweighted = majority_vote(outs, weighted=False)
+        weighted = majority_vote(outs, weighted=True)
+        assert unweighted[0] == 0
+        assert weighted[0] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+
+
+class TestExpertForward:
+    def test_probs_normalized(self, rng):
+        expert = MLP(16, 5, depth=1, width=4, rng=rng)
+        out = expert_forward(expert, rng.standard_normal((6, 16)))
+        np.testing.assert_allclose(out.probs.sum(axis=1), 1.0, rtol=1e-5)
+        assert out.entropy.shape == (6,)
+        assert out.predictions.shape == (6,)
+
+    def test_runs_in_eval_mode_and_restores(self, rng):
+        from repro.nn import Sequential, Dropout, Linear, Flatten
+
+        class Droppy(MLP):
+            pass
+
+        expert = MLP(8, 3, depth=2, width=4, rng=rng)
+        expert.train()
+        expert_forward(expert, rng.standard_normal((2, 8)))
+        assert expert.training
+
+
+class TestTeamInference:
+    def test_matches_manual_argmin(self, rng):
+        experts = [MLP(8, 3, depth=1, width=4,
+                       rng=np.random.default_rng(i)) for i in range(3)]
+        team = TeamInference(experts)
+        x = rng.standard_normal((10, 8))
+        outputs = team.forward_all(x)
+        expected, _ = argmin_select(outputs)
+        np.testing.assert_array_equal(team.predict(x), expected)
+
+    def test_accuracy(self, rng):
+        experts = [MLP(4, 2, depth=1, width=4,
+                       rng=np.random.default_rng(i)) for i in range(2)]
+        team = TeamInference(experts)
+        x = rng.standard_normal((20, 4))
+        y = team.predict(x)
+        assert team.accuracy(x, y) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TeamInference([])

@@ -1,0 +1,97 @@
+"""Tests for the convergence monitor (Figures 6 and 8 infrastructure)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergenceMonitor
+
+
+def feed(monitor, series):
+    for row in series:
+        monitor.record(np.asarray(row))
+
+
+class TestRecording:
+    def test_set_point(self):
+        assert ConvergenceMonitor(2).set_point == 0.5
+        assert ConvergenceMonitor(4).set_point == 0.25
+
+    def test_history_shape(self):
+        mon = ConvergenceMonitor(2)
+        feed(mon, [[0.6, 0.4], [0.5, 0.5]])
+        assert mon.history().shape == (2, 2)
+        assert len(mon) == 2
+
+    def test_empty_history(self):
+        mon = ConvergenceMonitor(3)
+        assert mon.history().shape == (0, 3)
+        assert not mon.converged()
+        assert mon.max_deviation() == float("inf")
+
+    def test_rejects_wrong_length(self):
+        mon = ConvergenceMonitor(2)
+        with pytest.raises(ValueError):
+            mon.record(np.array([0.3, 0.3, 0.4]))
+
+    def test_objectives_recorded(self):
+        mon = ConvergenceMonitor(2)
+        mon.record(np.array([0.5, 0.5]), objective=0.1)
+        np.testing.assert_allclose(mon.objectives(), [0.1])
+
+
+class TestConvergence:
+    def test_converged_series(self):
+        mon = ConvergenceMonitor(2)
+        feed(mon, [[0.9, 0.1]] * 5 + [[0.5, 0.5]] * 30)
+        assert mon.converged(tolerance=0.05, window=20)
+
+    def test_diverged_series(self):
+        mon = ConvergenceMonitor(2)
+        feed(mon, [[0.9, 0.1]] * 40)
+        assert not mon.converged(tolerance=0.05, window=20)
+
+    def test_needs_full_window(self):
+        mon = ConvergenceMonitor(2)
+        feed(mon, [[0.5, 0.5]] * 5)
+        assert not mon.converged(tolerance=0.05, window=20)
+
+    def test_window_average_tolerates_oscillation(self):
+        # Alternating 0.4/0.6 averages to the set point.
+        mon = ConvergenceMonitor(2)
+        feed(mon, [[0.4, 0.6], [0.6, 0.4]] * 20)
+        assert mon.converged(tolerance=0.05, window=10)
+
+    def test_convergence_iteration_found(self):
+        mon = ConvergenceMonitor(2)
+        feed(mon, [[1.0, 0.0]] * 20 + [[0.5, 0.5]] * 40)
+        it = mon.convergence_iteration(tolerance=0.05, window=10)
+        assert it is not None
+        assert 20 <= it <= 40
+
+    def test_convergence_iteration_none_when_diverged(self):
+        mon = ConvergenceMonitor(2)
+        feed(mon, [[0.5, 0.5]] * 20 + [[1.0, 0.0]] * 20)
+        assert mon.convergence_iteration(tolerance=0.05, window=10) is None
+
+    def test_max_deviation(self):
+        mon = ConvergenceMonitor(4)
+        feed(mon, [[0.25, 0.25, 0.25, 0.25]] * 10)
+        np.testing.assert_allclose(mon.max_deviation(window=5), 0.0,
+                                   atol=1e-12)
+
+
+class TestSmoothing:
+    def test_smoothed_shape(self):
+        mon = ConvergenceMonitor(2)
+        feed(mon, [[0.5, 0.5]] * 50)
+        smooth = mon.smoothed(window=10)
+        assert smooth.shape == (41, 2)
+        np.testing.assert_allclose(smooth, 0.5)
+
+    def test_smoothing_reduces_variance(self, rng):
+        mon = ConvergenceMonitor(2)
+        noise = rng.uniform(0.3, 0.7, 100)
+        feed(mon, np.stack([noise, 1 - noise], axis=1))
+        raw_std = mon.history()[:, 0].std()
+        smooth_std = mon.smoothed(window=25)[:, 0].std()
+        assert smooth_std < raw_std

@@ -1,0 +1,98 @@
+"""Tests for the high-level TeamNet API."""
+
+import numpy as np
+import pytest
+
+from repro.core import TeamNet, TrainerConfig
+from repro.data import Dataset
+from repro.nn import mlp_spec
+
+
+_CENTERS = np.random.default_rng(42).standard_normal((4, 16)) * 3
+
+
+def tiny_dataset(n=240, seed=0):
+    """Gaussian-cluster task; all seeds share the same class centers."""
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 4
+    images = _CENTERS[labels] + rng.standard_normal((n, 16))
+    return Dataset(images.reshape(n, 1, 4, 4), labels)
+
+
+def fast_config():
+    return TrainerConfig(epochs=4, batch_size=32, lr=0.1,
+                         gate_max_iterations=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained_team():
+    team = TeamNet.from_reference(
+        mlp_spec(4, in_shape=(1, 4, 4), num_classes=4, width=16),
+        num_experts=2, config=fast_config(), seed=0)
+    team.fit(tiny_dataset())
+    return team
+
+
+class TestConstruction:
+    def test_from_reference_applies_downsize(self):
+        team = TeamNet.from_reference(mlp_spec(8, width=16), 4,
+                                      config=fast_config())
+        assert team.num_experts == 4
+        assert team.expert_spec.name == "MLP-2"
+
+    def test_experts_independently_initialized(self):
+        team = TeamNet.from_reference(mlp_spec(4, width=16), 2,
+                                      config=fast_config())
+        w0 = team.experts[0].parameters()[0].data
+        w1 = team.experts[1].parameters()[0].data
+        assert not np.array_equal(w0, w1)
+
+    def test_needs_two_experts(self):
+        with pytest.raises(ValueError):
+            TeamNet.from_reference(mlp_spec(8), 1)
+
+
+class TestTrainingAndInference:
+    def test_accuracy_after_training(self, trained_team):
+        assert trained_team.accuracy(tiny_dataset(seed=1)) > 0.7
+
+    def test_team_at_least_matches_best_expert(self, trained_team):
+        test = tiny_dataset(seed=1)
+        team_acc = trained_team.accuracy(test)
+        expert_accs = trained_team.expert_accuracy(test)
+        # Specialized experts only know part of the data; the arg-min gate
+        # must combine them into something better than any one of them.
+        assert team_acc >= max(expert_accs) - 0.02
+
+    def test_predict_with_winner(self, trained_team):
+        test = tiny_dataset(seed=2)
+        preds, winner = trained_team.predict_with_winner(test.images[:10])
+        assert preds.shape == (10,)
+        assert set(np.unique(winner)) <= {0, 1}
+
+    def test_certainty_share_columns_sum_to_one(self, trained_team):
+        share = trained_team.certainty_share(tiny_dataset(seed=1))
+        assert share.shape == (2, 4)
+        np.testing.assert_allclose(share.sum(axis=0), 1.0, rtol=1e-9)
+
+    def test_monitor_available_after_fit(self, trained_team):
+        assert len(trained_team.trainer.monitor) > 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trained_team, tmp_path):
+        trained_team.save(tmp_path / "team")
+        loaded = TeamNet.load(tmp_path / "team")
+        assert loaded.num_experts == trained_team.num_experts
+        test = tiny_dataset(seed=3)
+        np.testing.assert_array_equal(loaded.predict(test.images),
+                                      trained_team.predict(test.images))
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TeamNet.load(tmp_path / "nothing")
+
+    def test_saved_files_one_per_expert(self, trained_team, tmp_path):
+        trained_team.save(tmp_path / "t2")
+        files = sorted(p.name for p in (tmp_path / "t2").glob("*.npz"))
+        assert files == ["expert_0.npz", "expert_1.npz"]

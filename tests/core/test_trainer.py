@@ -1,0 +1,151 @@
+"""Tests for TeamNet training (Algorithms 1 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TeamNetTrainer, TrainerConfig, expert_train_step
+from repro.data import Dataset
+from repro.nn import MLP, SGD, Tensor, no_grad
+
+
+_CENTERS = np.random.default_rng(42).standard_normal((3, 12)) * 3
+
+
+def tiny_dataset(n=192, seed=0):
+    """Gaussian-cluster task; all seeds share the same class centers."""
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 3
+    images = _CENTERS[labels] + rng.standard_normal((n, 12))
+    return Dataset(images.reshape(n, 1, 1, 12), labels)
+
+
+def make_experts(k, features=12, classes=3, depth=1):
+    return [MLP(features, classes, depth=depth, width=8,
+                rng=np.random.default_rng(100 + i)) for i in range(k)]
+
+
+def fast_config(**overrides):
+    defaults = dict(epochs=3, batch_size=32, lr=0.1,
+                    gate_max_iterations=10, seed=0)
+    defaults.update(overrides)
+    return TrainerConfig(**defaults)
+
+
+class TestExpertTrainStep:
+    def test_reduces_loss(self, rng):
+        expert = MLP(4, 2, depth=1, width=4, rng=rng)
+        opt = SGD(expert.parameters(), lr=0.2)
+        x = rng.standard_normal((32, 4))
+        y = (x[:, 0] > 0).astype(int)
+        first = expert_train_step(expert, opt, x, y)
+        for _ in range(50):
+            last = expert_train_step(expert, opt, x, y)
+        assert last < first
+
+    def test_returns_float(self, rng):
+        expert = MLP(4, 2, depth=1, width=4, rng=rng)
+        opt = SGD(expert.parameters(), lr=0.1)
+        loss = expert_train_step(expert, opt, rng.standard_normal((8, 4)),
+                                 rng.integers(0, 2, 8))
+        assert isinstance(loss, float)
+
+
+class TestTrainerConstruction:
+    def test_needs_two_experts(self):
+        with pytest.raises(ValueError):
+            TeamNetTrainer(make_experts(1))
+
+    def test_one_optimizer_per_expert(self):
+        trainer = TeamNetTrainer(make_experts(3), fast_config())
+        assert len(trainer.optimizers) == 3
+        assert trainer.num_experts == 3
+
+
+class TestTrainBatch:
+    def test_returns_gate_result(self, rng):
+        trainer = TeamNetTrainer(make_experts(2), fast_config())
+        ds = tiny_dataset()
+        result = trainer.train_batch(ds.images[:32], ds.labels[:32])
+        assert result.assignments.shape == (32,)
+        assert len(trainer.monitor) == 1
+
+    def test_each_expert_updated_only_on_its_partition(self, rng):
+        experts = make_experts(2)
+        before = [[p.data.copy() for p in e.parameters()] for e in experts]
+        trainer = TeamNetTrainer(experts, fast_config())
+        ds = tiny_dataset()
+        result = trainer.train_batch(ds.images[:64], ds.labels[:64])
+        for i, expert in enumerate(experts):
+            got_data = (result.assignments == i).sum() > 0
+            changed = any(
+                not np.array_equal(p.data, b)
+                for p, b in zip(expert.parameters(), before[i]))
+            assert changed == bool(got_data)
+
+
+class TestFullTraining:
+    def test_team_beats_single_expert(self):
+        ds = tiny_dataset(n=300)
+        experts = make_experts(2)
+        trainer = TeamNetTrainer(experts, fast_config(epochs=6))
+        trainer.train(ds)
+        from repro.core import TeamInference
+        team_acc = TeamInference(experts).accuracy(ds.images, ds.labels)
+        assert team_acc > 0.8
+
+    def test_partitions_stay_balanced(self):
+        ds = tiny_dataset(n=300)
+        trainer = TeamNetTrainer(make_experts(2), fast_config(epochs=6))
+        monitor = trainer.train(ds)
+        # The whole point of the dynamic gate: no expert starves.
+        assert monitor.max_deviation(window=10) < 0.25
+
+    def test_richer_gets_richer_without_dynamic_gate(self):
+        """Ablation: a plain arg-min gate lets one expert hog the data.
+
+        This is the failure mode Section IV opens with; the dynamic gate
+        exists to prevent it.  We train with the raw arg-min assignment
+        and check that partitions are (at some point) far more skewed
+        than the dynamic gate ever allows.
+        """
+        ds = tiny_dataset(n=300)
+        experts = make_experts(2)
+        optimizers = [SGD(e.parameters(), lr=0.1, momentum=0.9)
+                      for e in experts]
+        from repro.core import entropy_matrix
+        from repro.core.gate import assignment_fractions
+        # Give expert 0 a head start (the initial "bias" of Section IV).
+        for _ in range(3):
+            expert_train_step(experts[0], optimizers[0],
+                              ds.images[:64], ds.labels[:64])
+        worst = 0.0
+        rng = np.random.default_rng(0)
+        for _ in range(18):
+            idx = rng.permutation(len(ds))[:32]
+            x, y = ds.images[idx], ds.labels[idx]
+            H = entropy_matrix(experts, x)
+            assign = H.argmin(axis=1)
+            worst = max(worst, assignment_fractions(assign, 2).max())
+            for i, (e, opt) in enumerate(zip(experts, optimizers)):
+                mask = assign == i
+                if mask.sum():
+                    expert_train_step(e, opt, x[mask], y[mask])
+        assert worst > 0.9  # argmin gate collapses
+
+    def test_callback_invoked(self):
+        ds = tiny_dataset(n=96)
+        trainer = TeamNetTrainer(make_experts(2), fast_config(epochs=1))
+        calls = []
+        trainer.train(ds, callback=lambda it, res: calls.append(it))
+        assert calls == list(range(1, len(trainer.monitor) + 1))
+
+    def test_min_partition_skips_tiny_subsets(self, rng):
+        config = fast_config(min_partition=1000)  # nothing ever trains
+        experts = make_experts(2)
+        before = [[p.data.copy() for p in e.parameters()] for e in experts]
+        trainer = TeamNetTrainer(experts, config)
+        ds = tiny_dataset(n=64)
+        trainer.train_batch(ds.images[:32], ds.labels[:32])
+        for e, snaps in zip(experts, before):
+            for p, snap in zip(e.parameters(), snaps):
+                np.testing.assert_array_equal(p.data, snap)

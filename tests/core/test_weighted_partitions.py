@@ -1,0 +1,79 @@
+"""Tests for non-uniform partition targets (the paper's future work:
+objectives that adapt to imbalance / heterogeneous device capacity)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergenceMonitor, DynamicGate, TeamNetTrainer, \
+    TrainerConfig
+from repro.data import Dataset
+from repro.nn import MLP
+
+_CENTERS = np.random.default_rng(42).standard_normal((3, 12)) * 3
+
+
+def tiny_dataset(n=192, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 3
+    images = _CENTERS[labels] + rng.standard_normal((n, 12))
+    return Dataset(images.reshape(n, 1, 1, 12), labels)
+
+
+class TestGateSetPoints:
+    def test_default_is_uniform(self):
+        gate = DynamicGate(num_experts=4, seed=0)
+        np.testing.assert_allclose(gate.set_points, 0.25)
+
+    def test_custom_targets_normalized(self):
+        gate = DynamicGate(num_experts=2, seed=0,
+                           set_points=np.array([3.0, 1.0]))
+        np.testing.assert_allclose(gate.set_points, [0.75, 0.25])
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicGate(num_experts=2, set_points=np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            DynamicGate(num_experts=2, set_points=np.array([1.0, 1.0, 1.0]))
+
+    def test_gate_tracks_weighted_target(self, rng):
+        # Expert 0 should receive ~70% of each batch at steady state.
+        gate = DynamicGate(num_experts=2, seed=0,
+                           set_points=np.array([0.7, 0.3]))
+        fractions = []
+        for _ in range(8):
+            H = rng.uniform(0.8, 1.2, (64, 2))
+            result = gate.train_batch(H)
+            fractions.append(result.gamma_bar)
+        mean = np.mean(fractions[2:], axis=0)
+        assert abs(mean[0] - 0.7) < 0.12
+
+
+class TestWeightedTraining:
+    def test_trainer_respects_partition_weights(self):
+        ds = tiny_dataset(n=256)
+        experts = [MLP(12, 3, depth=1, width=8,
+                       rng=np.random.default_rng(100 + i))
+                   for i in range(2)]
+        # Asymmetric targets use a gentler gain (see DESIGN.md deviations).
+        config = TrainerConfig(epochs=5, batch_size=32, lr=0.1,
+                               gate_max_iterations=10, seed=0, gain=0.25,
+                               partition_weights=(0.75, 0.25))
+        trainer = TeamNetTrainer(experts, config)
+        monitor = trainer.train(ds)
+        mean = monitor.history()[-15:].mean(axis=0)
+        # The bigger "device" ends up with the bigger share.
+        assert mean[0] > 0.6
+        assert monitor.max_deviation(window=15) < 0.15
+
+
+class TestMonitorSetPoints:
+    def test_vector_set_points(self):
+        mon = ConvergenceMonitor(2, set_points=np.array([0.8, 0.2]))
+        for _ in range(30):
+            mon.record(np.array([0.8, 0.2]))
+        assert mon.converged(tolerance=0.02, window=10)
+        assert mon.max_deviation(window=10) < 1e-9
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(2, set_points=np.array([0.5, 0.3, 0.2]))

@@ -1,0 +1,113 @@
+"""Tests for Dataset, DataLoader and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, Dataset, train_test_split
+
+
+def make_dataset(n=100, classes=4, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Dataset(rng.standard_normal((n, 1, 4, 4)),
+                   np.arange(n) % classes)
+
+
+class TestDataset:
+    def test_length_and_shapes(self):
+        ds = make_dataset(50)
+        assert len(ds) == 50
+        assert ds.sample_shape == (1, 4, 4)
+        assert ds.num_classes == 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_default_class_names(self):
+        ds = make_dataset()
+        assert ds.class_names == ("0", "1", "2", "3")
+
+    def test_subset(self):
+        ds = make_dataset(20)
+        sub = ds.subset([0, 5, 10])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 5, 10]])
+        assert sub.class_names == ds.class_names
+
+    def test_class_counts_and_balance(self):
+        ds = make_dataset(100, classes=4)
+        np.testing.assert_array_equal(ds.class_counts(), [25, 25, 25, 25])
+        assert ds.is_balanced()
+        skewed = ds.subset(np.where(ds.labels != 3)[0][:60].tolist()
+                           + np.where(ds.labels == 3)[0][:2].tolist())
+        assert not skewed.is_balanced()
+
+    def test_images_stored_float32(self):
+        ds = make_dataset()
+        assert ds.images.dtype == np.float32
+
+
+class TestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(make_dataset(100), 0.2,
+                                       np.random.default_rng(0))
+        assert len(train) == 80 and len(test) == 20
+
+    def test_disjoint_and_complete(self):
+        ds = make_dataset(60)
+        # Tag each sample uniquely via its first pixel.
+        ds.images[:, 0, 0, 0] = np.arange(60)
+        train, test = train_test_split(ds, 0.25, np.random.default_rng(1))
+        tags = np.concatenate([train.images[:, 0, 0, 0],
+                               test.images[:, 0, 0, 0]])
+        assert sorted(tags.astype(int).tolist()) == list(range(60))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(), 1.5)
+
+    def test_deterministic_given_seed(self):
+        ds = make_dataset(40)
+        a1, _ = train_test_split(ds, 0.2, np.random.default_rng(7))
+        a2, _ = train_test_split(ds, 0.2, np.random.default_rng(7))
+        np.testing.assert_array_equal(a1.labels, a2.labels)
+
+
+class TestDataLoader:
+    def test_equal_sized_batches(self):
+        loader = DataLoader(make_dataset(100), 32,
+                            rng=np.random.default_rng(0))
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [32, 32, 32]  # tail dropped
+        assert len(loader) == 3
+
+    def test_keep_last(self):
+        loader = DataLoader(make_dataset(100), 32, drop_last=False,
+                            rng=np.random.default_rng(0))
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [32, 32, 32, 4]
+        assert len(loader) == 4
+
+    def test_shuffle_reshuffles_each_epoch(self):
+        loader = DataLoader(make_dataset(64), 64,
+                            rng=np.random.default_rng(0))
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = make_dataset(10)
+        loader = DataLoader(ds, 5, shuffle=False)
+        batches = [y for _, y in loader]
+        np.testing.assert_array_equal(np.concatenate(batches), ds.labels)
+
+    def test_epoch_covers_dataset_once(self):
+        ds = make_dataset(64)
+        ds.images[:, 0, 0, 0] = np.arange(64)
+        loader = DataLoader(ds, 16, rng=np.random.default_rng(2))
+        seen = np.concatenate([x[:, 0, 0, 0] for x, _ in loader])
+        assert sorted(seen.astype(int).tolist()) == list(range(64))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(), 0)

@@ -1,0 +1,126 @@
+"""Tests for the synthetic MNIST and CIFAR generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (ANIMAL_CLASSES, CIFAR_CLASSES, DIGIT_GLYPHS,
+                        MACHINE_CLASSES, render_cifar_image, render_digit,
+                        synthetic_cifar, synthetic_mnist)
+
+
+class TestSyntheticMnist:
+    def test_shapes_and_range(self):
+        ds = synthetic_mnist(50, seed=0)
+        assert ds.images.shape == (50, 1, 28, 28)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+        assert ds.name == "synthetic-mnist"
+
+    def test_balanced_classes(self):
+        ds = synthetic_mnist(200, seed=1)
+        assert ds.is_balanced(tolerance=0.01)
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_mnist(30, seed=5)
+        b = synthetic_mnist(30, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_mnist(30, seed=5)
+        b = synthetic_mnist(30, seed=6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_within_class_variation(self):
+        rng = np.random.default_rng(0)
+        imgs = [render_digit(7, rng) for _ in range(5)]
+        for i in range(1, 5):
+            assert not np.array_equal(imgs[0], imgs[i])
+
+    def test_classes_are_visually_distinct(self):
+        # Mean images of different digits must differ substantially.
+        ds = synthetic_mnist(400, seed=2)
+        means = np.stack([ds.images[ds.labels == d].mean(axis=0)
+                          for d in range(10)])
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(means[i] - means[j]).mean() > 0.01
+
+    def test_glyphs_cover_all_digits(self):
+        assert set(DIGIT_GLYPHS) == set(range(10))
+        for glyph in DIGIT_GLYPHS.values():
+            assert glyph.shape == (7, 5)
+            assert glyph.sum() > 0
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(ValueError):
+            render_digit(10, np.random.default_rng(0))
+
+    def test_linearly_separable_enough_to_learn(self):
+        # A trivial nearest-mean classifier should beat chance by a lot,
+        # proving the task is learnable.
+        train = synthetic_mnist(400, seed=3)
+        test = synthetic_mnist(100, seed=4)
+        means = np.stack([train.images[train.labels == d].mean(axis=0)
+                          for d in range(10)]).reshape(10, -1)
+        flat = test.images.reshape(len(test), -1)
+        preds = np.argmin(
+            ((flat[:, None, :] - means[None, :, :]) ** 2).sum(-1), axis=1)
+        assert (preds == test.labels).mean() > 0.5
+
+
+class TestSyntheticCifar:
+    def test_shapes_and_range(self):
+        ds = synthetic_cifar(40, seed=0)
+        assert ds.images.shape == (40, 3, 32, 32)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_class_names_canonical(self):
+        ds = synthetic_cifar(20, seed=0)
+        assert ds.class_names == CIFAR_CLASSES
+        assert ds.class_names[0] == "airplane"
+
+    def test_superclass_partition(self):
+        ds = synthetic_cifar(20, seed=0)
+        machines = set(ds.superclasses["machines"])
+        animals = set(ds.superclasses["animals"])
+        assert machines | animals == set(range(10))
+        assert machines & animals == set()
+        assert len(machines) == len(MACHINE_CLASSES) == 4
+        assert len(animals) == len(ANIMAL_CLASSES) == 6
+
+    def test_balanced(self):
+        ds = synthetic_cifar(200, seed=1)
+        assert ds.is_balanced(tolerance=0.01)
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_cifar(20, seed=9)
+        b = synthetic_cifar(20, seed=9)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_every_class_renders(self):
+        rng = np.random.default_rng(0)
+        for name in CIFAR_CLASSES:
+            img = render_cifar_image(name, rng)
+            assert img.shape == (3, 32, 32)
+            assert np.isfinite(img).all()
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            render_cifar_image("submarine", np.random.default_rng(0))
+
+    def test_superclasses_share_background_statistics(self):
+        # Machine classes sit on sky backgrounds (blue-dominant top rows);
+        # animal classes sit on foliage (green-dominant).  This shared
+        # statistic is what lets Figure 9's specialization split along the
+        # superclass boundary.
+        rng = np.random.default_rng(0)
+
+        def blue_minus_green(name):
+            imgs = [render_cifar_image(name, rng) for _ in range(8)]
+            top = np.stack(imgs)[:, :, :6, :]  # top 6 rows
+            return float((top[:, 2] - top[:, 1]).mean())
+
+        for name in MACHINE_CLASSES:
+            assert blue_minus_green(name) > 0, f"{name} lost its sky"
+        for name in ANIMAL_CLASSES:
+            assert blue_minus_green(name) < 0, f"{name} lost its foliage"

@@ -1,0 +1,108 @@
+"""Tests for data augmentation transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.data.transforms import (AugmentedDataset, Compose, GaussianNoise,
+                                   RandomErasing, RandomHorizontalFlip,
+                                   RandomShift)
+
+
+@pytest.fixture
+def images(rng):
+    return rng.uniform(0, 1, (8, 3, 16, 16)).astype(np.float32)
+
+
+class TestRandomShift:
+    def test_preserves_shape_and_range(self, images, rng):
+        out = RandomShift(2)(images, rng)
+        assert out.shape == images.shape
+        assert out.min() >= 0 and out.max() <= 1
+
+    def test_zero_shift_is_identity(self, images, rng):
+        np.testing.assert_array_equal(RandomShift(0)(images, rng), images)
+
+    def test_mass_mostly_preserved(self, images, rng):
+        out = RandomShift(1)(images, rng)
+        # Only a 1-pixel border can be lost.
+        assert out.sum() > 0.7 * images.sum()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomShift(-1)
+
+
+class TestRandomHorizontalFlip:
+    def test_p1_flips_everything(self, images, rng):
+        out = RandomHorizontalFlip(1.0)(images, rng)
+        np.testing.assert_array_equal(out, images[:, :, :, ::-1])
+
+    def test_p0_is_identity(self, images, rng):
+        np.testing.assert_array_equal(
+            RandomHorizontalFlip(0.0)(images, rng), images)
+
+    def test_double_flip_is_identity(self, images, rng):
+        flip = RandomHorizontalFlip(1.0)
+        np.testing.assert_array_equal(flip(flip(images, rng), rng), images)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomHorizontalFlip(1.5)
+
+
+class TestGaussianNoise:
+    def test_changes_pixels_but_stays_in_range(self, images, rng):
+        out = GaussianNoise(0.05)(images, rng)
+        assert not np.array_equal(out, images)
+        assert out.min() >= 0 and out.max() <= 1
+        assert out.dtype == images.dtype
+
+    def test_zero_std_identity(self, images, rng):
+        np.testing.assert_array_equal(GaussianNoise(0.0)(images, rng),
+                                      images)
+
+
+class TestRandomErasing:
+    def test_creates_zero_patch(self, rng):
+        images = np.ones((4, 1, 16, 16), dtype=np.float32)
+        out = RandomErasing(p=1.0)(images, rng)
+        assert (out == 0).any()
+        assert out.shape == images.shape
+
+    def test_p0_identity(self, images, rng):
+        np.testing.assert_array_equal(RandomErasing(p=0.0)(images, rng),
+                                      images)
+
+
+class TestCompose:
+    def test_applies_in_order(self, images, rng):
+        pipeline = Compose([RandomHorizontalFlip(1.0),
+                            RandomHorizontalFlip(1.0)])
+        np.testing.assert_array_equal(pipeline(images, rng), images)
+
+    def test_full_pipeline_runs(self, images, rng):
+        pipeline = Compose([RandomShift(2), RandomHorizontalFlip(0.5),
+                            GaussianNoise(0.02), RandomErasing(0.3)])
+        out = pipeline(images, rng)
+        assert out.shape == images.shape
+        assert np.isfinite(out).all()
+
+
+class TestAugmentedDataset:
+    def test_augmented_batch(self, rng):
+        base = Dataset(rng.uniform(0, 1, (20, 1, 8, 8)),
+                       np.arange(20) % 4)
+        aug = AugmentedDataset(base, GaussianNoise(0.05), seed=0)
+        x, y = aug.augmented_batch([0, 1, 2])
+        assert x.shape == (3, 1, 8, 8)
+        np.testing.assert_array_equal(y, base.labels[:3])
+        assert not np.array_equal(x, base.images[:3])
+        assert x.dtype == base.images.dtype
+
+    def test_metadata_preserved(self, rng):
+        base = Dataset(rng.uniform(0, 1, (10, 1, 8, 8)),
+                       np.arange(10) % 2, class_names=("a", "b"))
+        aug = AugmentedDataset(base, GaussianNoise(0.01))
+        assert aug.class_names == ("a", "b")
+        assert aug.name.endswith("+aug")

@@ -1,0 +1,70 @@
+"""Tests for leader election and decentralized result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_group
+from repro.core import TeamInference, expert_forward
+from repro.distributed.election import decentralized_select, elect_leader
+from repro.nn import MLP
+
+
+class TestElectLeader:
+    @pytest.mark.parametrize("size", [2, 3, 5])
+    def test_all_ranks_agree(self, size):
+        leaders = run_group(size, elect_leader)
+        assert len(set(leaders)) == 1
+
+    @pytest.mark.parametrize("size", [2, 4])
+    def test_default_priority_elects_highest_rank(self, size):
+        leaders = run_group(size, elect_leader)
+        assert leaders[0] == size - 1
+
+    def test_custom_priority_wins(self):
+        # Rank 0 gets the highest priority and must win.
+        def work(comm):
+            priority = 100.0 if comm.rank == 0 else float(comm.rank)
+            return elect_leader(comm, priority)
+
+        leaders = run_group(3, work)
+        assert set(leaders) == {0}
+
+    def test_tie_broken_by_rank(self):
+        def work(comm):
+            return elect_leader(comm, priority=1.0)
+
+        leaders = run_group(3, work)
+        assert set(leaders) == {2}
+
+
+class TestDecentralizedSelect:
+    def test_matches_central_argmin(self, rng):
+        experts = [MLP(12, 4, depth=1, width=8,
+                       rng=np.random.default_rng(i)) for i in range(3)]
+        x = rng.standard_normal((6, 12)).astype(np.float32)
+        expected_preds, expected_winner = \
+            TeamInference(experts).predict_with_winner(x)
+
+        def work(comm):
+            output = expert_forward(experts[comm.rank], x)
+            return decentralized_select(comm, output)
+
+        results = run_group(3, work)
+        for preds, winners, leader in results:
+            np.testing.assert_array_equal(preds, expected_preds)
+            np.testing.assert_array_equal(winners, expected_winner)
+            assert leader == 2  # default priority: highest rank
+
+    def test_every_rank_gets_same_answer(self, rng):
+        experts = [MLP(8, 3, depth=1, width=4,
+                       rng=np.random.default_rng(10 + i)) for i in range(2)]
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+
+        def work(comm):
+            output = expert_forward(experts[comm.rank], x)
+            preds, winners, _ = decentralized_select(comm, output)
+            return preds, winners
+
+        results = run_group(2, work)
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+        np.testing.assert_array_equal(results[0][1], results[1][1])

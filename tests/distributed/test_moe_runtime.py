@@ -1,0 +1,71 @@
+"""Tests for the distributed SG-MoE runtimes (RPC and MPI)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_group
+from repro.distributed import MoEGrpcMaster, moe_mpi_forward, serve_expert
+from repro.moe import MixtureOfExperts, NoisyTopKGate
+from repro.nn import MLP
+
+
+@pytest.fixture(scope="module")
+def moe():
+    experts = [MLP(16, 4, depth=1, width=8, rng=np.random.default_rng(i))
+               for i in range(3)]
+    gate = NoisyTopKGate(16, 3, k=2, rng=np.random.default_rng(50))
+    model = MixtureOfExperts(experts, gate)
+    model.eval()
+    return model
+
+
+class TestGrpcRuntime:
+    def test_matches_local_prediction(self, moe, rng):
+        servers = [serve_expert(e) for e in moe.experts_list[1:]]
+        master = MoEGrpcMaster(moe, [s.address for s in servers])
+        try:
+            x = rng.standard_normal((10, 16)).astype(np.float32)
+            expected = moe.predict(x)
+            np.testing.assert_array_equal(master.predict(x), expected)
+        finally:
+            master.close()
+            for s in servers:
+                s.stop()
+
+    def test_round_trip_count_bounded_by_k(self, moe, rng):
+        servers = [serve_expert(e) for e in moe.experts_list[1:]]
+        master = MoEGrpcMaster(moe, [s.address for s in servers])
+        try:
+            x = rng.standard_normal((6, 16)).astype(np.float32)
+            _, round_trips = master.infer(x)
+            # At most one call per remote expert appearing in any top-k.
+            assert 0 <= round_trips <= moe.num_experts - 1
+        finally:
+            master.close()
+            for s in servers:
+                s.stop()
+
+    def test_address_count_validated(self, moe):
+        with pytest.raises(ValueError):
+            MoEGrpcMaster(moe, [])
+
+
+class TestMpiRuntime:
+    def test_matches_local_prediction(self, moe, rng):
+        x = rng.standard_normal((8, 16)).astype(np.float32)
+        expected = moe.predict(x)
+        results = run_group(
+            3, lambda comm: moe_mpi_forward(
+                moe, x if comm.rank == 0 else None, comm))
+        np.testing.assert_array_equal(results[0], expected)
+        assert results[1] is None and results[2] is None
+
+    def test_group_size_must_match_experts(self, moe, rng):
+        x = rng.standard_normal((2, 16)).astype(np.float32)
+
+        def work(comm):
+            with pytest.raises(ValueError):
+                moe_mpi_forward(moe, x if comm.rank == 0 else None, comm)
+            return True
+
+        assert all(run_group(2, work))

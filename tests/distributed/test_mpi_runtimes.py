@@ -1,0 +1,142 @@
+"""Tests for the MPI-Matrix / MPI-Kernel / MPI-Branch runtimes.
+
+The invariant for all three: the distributed forward equals the
+single-node eval forward bit-for-bit (up to float tolerance), regardless
+of how the computation is split.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_group
+from repro.distributed import (MpiBranchRunner, MpiKernelRunner,
+                               MpiMatrixRunner, count_blocks,
+                               count_conv_layers, mpi_branch_forward,
+                               mpi_kernel_forward, mpi_matrix_forward,
+                               split_linear_weights)
+from repro.nn import MLP, Conv2d, Linear, ShakeShakeCNN, Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    model = MLP(64, 10, depth=4, width=24, rng=np.random.default_rng(3))
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def cnn():
+    model = ShakeShakeCNN(3, 10, blocks_per_stage=1, base_width=8,
+                          rng=np.random.default_rng(4))
+    model.eval()
+    return model
+
+
+def reference(model, x):
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+class TestSplitLinear:
+    def test_chunks_reassemble(self, rng):
+        layer = Linear(8, 10, rng=rng)
+        chunks = split_linear_weights(layer, 3)
+        w = np.concatenate([c[0] for c in chunks], axis=0)
+        b = np.concatenate([c[1] for c in chunks], axis=0)
+        np.testing.assert_array_equal(w, layer.weight.data)
+        np.testing.assert_array_equal(b, layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 6, bias=False, rng=rng)
+        chunks = split_linear_weights(layer, 2)
+        assert all(c[1] is None for c in chunks)
+
+
+class TestMpiMatrix:
+    @pytest.mark.parametrize("size", [2, 4])
+    def test_equals_local_forward(self, mlp, size, rng):
+        x = rng.standard_normal((5, 64)).astype(np.float32)
+        expected = reference(mlp, x)
+        results = run_group(size,
+                            lambda comm: mpi_matrix_forward(mlp, x, comm))
+        for result in results:
+            np.testing.assert_allclose(result, expected, rtol=1e-4,
+                                       atol=1e-5)
+
+    def test_runner_predictions(self, mlp, rng):
+        x = rng.standard_normal((6, 64)).astype(np.float32)
+        expected = reference(mlp, x).argmax(axis=1)
+        results = run_group(
+            2, lambda comm: MpiMatrixRunner(mlp, comm).predict(x))
+        np.testing.assert_array_equal(results[0], expected)
+
+    def test_collective_count_is_one_per_linear(self, mlp):
+        def work(comm):
+            runner = MpiMatrixRunner(mlp, comm)
+            comm.reset_stats()
+            runner.predict(np.zeros((1, 64), dtype=np.float32))
+            analytic = runner.num_collectives_per_inference()
+            # allgather sends (K-1) messages per collective per rank.
+            assert comm.stats.messages_sent == analytic * (comm.size - 1)
+            return analytic
+
+        counts = run_group(2, work)
+        assert counts[0] == 4  # MLP-4 has 4 Linear layers
+
+
+class TestMpiKernel:
+    @pytest.mark.parametrize("size", [2, 4])
+    def test_equals_local_forward(self, cnn, size, rng):
+        x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+        expected = reference(cnn, x)
+        results = run_group(size,
+                            lambda comm: mpi_kernel_forward(cnn, x, comm))
+        for result in results:
+            np.testing.assert_allclose(result, expected, rtol=1e-3,
+                                       atol=1e-4)
+
+    def test_collective_count_is_one_per_conv(self, cnn):
+        def work(comm):
+            runner = MpiKernelRunner(cnn, comm)
+            comm.reset_stats()
+            runner.predict(np.zeros((1, 3, 32, 32), dtype=np.float32))
+            analytic = runner.num_collectives_per_inference()
+            assert comm.stats.messages_sent == analytic * (comm.size - 1)
+            return analytic
+
+        counts = run_group(2, work)
+        expected_convs = sum(
+            1 for m in cnn.modules() if isinstance(m, Conv2d))
+        assert counts[0] == expected_convs == count_conv_layers(cnn)
+
+
+class TestMpiBranch:
+    def test_equals_local_forward(self, cnn, rng):
+        x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+        expected = reference(cnn, x)
+        results = run_group(2,
+                            lambda comm: mpi_branch_forward(cnn, x, comm))
+        for result in results:
+            np.testing.assert_allclose(result, expected, rtol=1e-3,
+                                       atol=1e-4)
+
+    def test_requires_exactly_two_nodes(self, cnn, rng):
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+
+        def work(comm):
+            with pytest.raises(ValueError):
+                mpi_branch_forward(cnn, x, comm)
+            return True
+
+        assert all(run_group(3, work))
+
+    def test_exchange_count_is_one_per_block(self, cnn, rng):
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+
+        def work(comm):
+            comm.reset_stats()
+            MpiBranchRunner(cnn, comm).predict(x)
+            return comm.stats.messages_sent
+
+        sent = run_group(2, work)
+        assert sent[0] == count_blocks(cnn) == len(cnn.stages)

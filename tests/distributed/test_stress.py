@@ -1,0 +1,120 @@
+"""Concurrency stress tests for the distributed runtimes.
+
+Edge deployments serve overlapping requests; these tests hammer the
+worker/RPC servers from several client threads at once and check that
+nothing interleaves, deadlocks or corrupts (the thread-local autograd
+mode and per-connection server threads are what make this safe).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import RpcClient, RpcServer
+from repro.core import TeamInference
+from repro.distributed import TeamNetMaster, deploy_local_team, serve_expert
+from repro.nn import MLP
+
+
+class TestConcurrentTeamNetMasters:
+    def test_many_masters_one_worker_set(self, rng):
+        """Several masters (each its own connection) share the same
+        workers; all must get answers identical to local inference."""
+        experts = [MLP(12, 3, depth=1, width=6,
+                       rng=np.random.default_rng(i)) for i in range(3)]
+        _, workers = deploy_local_team(experts)
+        local = TeamInference(experts)
+        batches = [rng.standard_normal((4, 12)).astype(np.float32)
+                   for _ in range(6)]
+        errors = []
+        results = {}
+
+        def client(index):
+            try:
+                master = TeamNetMaster(
+                    experts[0], [w.address for w in workers])
+                try:
+                    for _ in range(5):
+                        preds, _, _ = master.infer(batches[index])
+                        results.setdefault(index, []).append(preds)
+                finally:
+                    master.close()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        for w in workers:
+            w.stop()
+        assert not errors, errors
+        for index, batch in enumerate(batches):
+            expected = local.predict(batch)
+            for preds in results[index]:
+                np.testing.assert_array_equal(preds, expected)
+
+
+class TestConcurrentRpc:
+    def test_interleaved_large_payloads(self, rng):
+        """Concurrent clients with distinct payloads must never receive
+        each other's replies (per-connection server threads)."""
+        server = RpcServer()
+        server.register("tag", lambda meta, arrays:
+                        (meta, {"echo": arrays["x"]}))
+        server.start()
+        errors = []
+
+        def client(tag):
+            try:
+                with RpcClient(*server.address) as rpc:
+                    payload = np.full((200, 200), float(tag),
+                                      dtype=np.float32)
+                    for i in range(8):
+                        meta, arrays = rpc.call("tag", {"tag": tag},
+                                                {"x": payload})
+                        assert meta["tag"] == tag
+                        assert (arrays["echo"] == float(tag)).all()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        server.stop()
+        assert not errors, errors
+
+
+class TestConcurrentExpertServers:
+    def test_moe_workers_under_parallel_load(self, rng):
+        expert = MLP(8, 3, depth=1, width=4, rng=np.random.default_rng(0))
+        server = serve_expert(expert)
+        from repro.core import expert_forward
+        x = rng.standard_normal((6, 8)).astype(np.float32)
+        expected = expert_forward(expert, x).probs
+        errors = []
+
+        def client():
+            try:
+                with RpcClient(*server.address) as rpc:
+                    for _ in range(10):
+                        _, arrays = rpc.call("expert_forward",
+                                             arrays={"x": x})
+                        np.testing.assert_allclose(arrays["probs"],
+                                                   expected, rtol=1e-5)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        server.stop()
+        assert not errors, errors

@@ -1,0 +1,83 @@
+"""Tests for the TeamNet socket runtime (master/worker protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TeamInference
+from repro.distributed import deploy_local_team
+from repro.nn import MLP
+
+
+@pytest.fixture
+def experts():
+    return [MLP(16, 4, depth=1, width=8, rng=np.random.default_rng(i))
+            for i in range(3)]
+
+
+@pytest.fixture
+def team(experts):
+    master, workers = deploy_local_team(experts)
+    yield master, workers, experts
+    master.close()
+    for worker in workers:
+        worker.stop()
+
+
+class TestProtocol:
+    def test_matches_local_inference(self, team, rng):
+        master, _, experts = team
+        x = rng.standard_normal((8, 16))
+        preds, winner, _ = master.infer(x)
+        local = TeamInference(experts)
+        expected_preds, expected_winner = local.predict_with_winner(x)
+        np.testing.assert_array_equal(preds, expected_preds)
+        np.testing.assert_array_equal(winner, expected_winner)
+
+    def test_message_pattern_is_two_per_worker(self, team, rng):
+        master, _, _ = team
+        _, _, stats = master.infer(rng.standard_normal((4, 16)))
+        # One broadcast out + one result back per worker.
+        assert stats.messages_sent == 2
+        assert stats.messages_received == 2
+
+    def test_repeated_inferences(self, team, rng):
+        master, _, experts = team
+        local = TeamInference(experts)
+        for _ in range(5):
+            x = rng.standard_normal((2, 16))
+            np.testing.assert_array_equal(master.predict(x),
+                                          local.predict(x))
+
+    def test_single_sample(self, team, rng):
+        master, _, _ = team
+        preds, winner, _ = master.infer(rng.standard_normal((1, 16)))
+        assert preds.shape == (1,) and winner.shape == (1,)
+
+    def test_team_size(self, team):
+        master, workers, _ = team
+        assert master.team_size == 3
+        assert len(workers) == 2
+
+
+class TestDeployment:
+    def test_needs_two_experts(self, rng):
+        with pytest.raises(ValueError):
+            deploy_local_team([MLP(4, 2, depth=1, width=4, rng=rng)])
+
+    def test_workers_listen_on_distinct_ports(self, team):
+        _, workers, _ = team
+        ports = {w.address[1] for w in workers}
+        assert len(ports) == len(workers)
+
+    def test_two_node_team(self, rng):
+        experts = [MLP(8, 3, depth=1, width=4,
+                       rng=np.random.default_rng(i)) for i in range(2)]
+        master, workers = deploy_local_team(experts)
+        try:
+            x = rng.standard_normal((3, 8))
+            np.testing.assert_array_equal(
+                master.predict(x), TeamInference(experts).predict(x))
+        finally:
+            master.close()
+            for w in workers:
+                w.stop()

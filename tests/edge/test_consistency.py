@@ -1,0 +1,96 @@
+"""Cross-checks: the analytic communication model must agree with the
+message counters measured on the real (localhost) runtimes.
+
+This is what makes the simulated tables trustworthy: the priced message
+patterns are the measured message patterns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_group
+from repro.distributed import (MpiKernelRunner, MpiMatrixRunner,
+                               deploy_local_team)
+from repro.nn import MLP, ShakeShakeCNN
+
+
+class TestTeamNetPattern:
+    def test_two_messages_per_peer(self, rng):
+        """teamnet_metrics prices: 1 broadcast + 1 reply per peer."""
+        for team_size in (2, 3, 4):
+            experts = [MLP(8, 3, depth=1, width=4,
+                           rng=np.random.default_rng(i))
+                       for i in range(team_size)]
+            master, workers = deploy_local_team(experts)
+            try:
+                _, _, stats = master.infer(
+                    rng.standard_normal((1, 8)).astype(np.float32))
+                peers = team_size - 1
+                assert stats.messages_sent == peers
+                assert stats.messages_received == peers
+            finally:
+                master.close()
+                for w in workers:
+                    w.stop()
+
+
+class TestMpiPattern:
+    def test_matrix_allgather_count(self):
+        """mpi_matrix_metrics prices one allgather per Linear layer; the
+        real communicator sends (K-1) messages per allgather per rank."""
+        model = MLP(16, 4, depth=3, width=8, rng=np.random.default_rng(0))
+        model.eval()
+
+        def work(comm):
+            runner = MpiMatrixRunner(model, comm)
+            comm.reset_stats()
+            runner.predict(np.zeros((1, 16), dtype=np.float32))
+            return comm.stats.messages_sent, \
+                runner.num_collectives_per_inference()
+
+        for size in (2, 3):
+            for sent, collectives in run_group(size, work):
+                assert sent == collectives * (size - 1)
+                assert collectives == 3
+
+    def test_kernel_allgather_count(self):
+        model = ShakeShakeCNN(3, 4, blocks_per_stage=1, base_width=4,
+                              rng=np.random.default_rng(0))
+        model.eval()
+
+        def work(comm):
+            runner = MpiKernelRunner(model, comm)
+            comm.reset_stats()
+            runner.predict(np.zeros((1, 3, 32, 32), dtype=np.float32))
+            return comm.stats.messages_sent, \
+                runner.num_collectives_per_inference()
+
+        for sent, collectives in run_group(2, work):
+            assert sent == collectives
+
+    def test_kernel_moves_more_bytes_than_teamnet(self):
+        """The core latency argument of Tables I/II: per-layer feature-map
+        allgathers move orders of magnitude more data than TeamNet's
+        broadcast-once pattern."""
+        model = ShakeShakeCNN(3, 4, blocks_per_stage=1, base_width=8,
+                              rng=np.random.default_rng(1))
+        model.eval()
+        x = np.zeros((1, 3, 32, 32), dtype=np.float32)
+
+        def work(comm):
+            comm.reset_stats()
+            MpiKernelRunner(model, comm).predict(x)
+            return comm.stats.bytes_sent
+
+        mpi_bytes = run_group(2, work)[0]
+        experts = [MLP(3 * 32 * 32, 4, depth=1, width=8,
+                       rng=np.random.default_rng(i)) for i in range(2)]
+        master, workers = deploy_local_team(experts)
+        try:
+            _, _, stats = master.infer(x)
+            teamnet_bytes = stats.bytes_sent + stats.bytes_received
+        finally:
+            master.close()
+            for w in workers:
+                w.stop()
+        assert mpi_bytes > 10 * teamnet_bytes

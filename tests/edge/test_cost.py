@@ -1,0 +1,101 @@
+"""Tests for the analytic model cost profiler."""
+
+import numpy as np
+import pytest
+
+from repro.edge import DTYPE_BYTES, ModelCost, profile_model
+from repro.nn import (MLP, Linear, Sequential, ShakeShakeCNN, build_model,
+                      mlp_spec, shake_shake_spec)
+
+
+class TestLinearCosts:
+    def test_single_linear_flops(self, rng):
+        cost = profile_model(Linear(100, 50, rng=rng), (100,))
+        layer = cost.layers[0]
+        assert layer.flops == 2 * 100 * 50
+        assert layer.param_bytes == (100 * 50 + 50) * DTYPE_BYTES
+        assert layer.out_shape == (50,)
+
+    def test_mlp_total(self, rng):
+        model = MLP(784, 10, depth=2, width=64, rng=rng)
+        cost = profile_model(model, (784,))
+        expected_flops = 2 * (784 * 64 + 64 * 10) + 64  # + relu
+        assert cost.total_flops == expected_flops
+        expected_params = ((784 * 64 + 64) + (64 * 10 + 10)) * DTYPE_BYTES
+        assert cost.param_bytes == expected_params
+
+    def test_param_bytes_match_model(self, rng):
+        model = build_model(mlp_spec(4, width=32), rng)
+        cost = profile_model(model, (784,))
+        assert cost.param_bytes == model.num_parameters() * DTYPE_BYTES
+
+
+class TestConvCosts:
+    def test_conv_flops_formula(self, rng):
+        from repro.nn import Conv2d
+        conv = Conv2d(3, 16, 3, padding=1, bias=False, rng=rng)
+        cost = profile_model(conv, (3, 32, 32))
+        layer = cost.layers[0]
+        assert layer.flops == 2 * 3 * 9 * 16 * 32 * 32
+        assert layer.out_shape == (16, 32, 32)
+
+    def test_stride_halves_output(self, rng):
+        from repro.nn import Conv2d
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        cost = profile_model(conv, (3, 32, 32))
+        assert cost.layers[0].out_shape == (8, 16, 16)
+
+    def test_shake_cnn_param_bytes_match_model(self, rng):
+        model = build_model(shake_shake_spec(8, width=8), rng)
+        cost = profile_model(model, (3, 32, 32))
+        assert cost.param_bytes == model.num_parameters() * DTYPE_BYTES
+
+    def test_deeper_costs_more(self, rng):
+        shallow = profile_model(
+            build_model(shake_shake_spec(8, width=8), rng), (3, 32, 32))
+        deep = profile_model(
+            build_model(shake_shake_spec(26, width=8), rng), (3, 32, 32))
+        assert deep.total_flops > 2 * shallow.total_flops
+        assert deep.param_bytes > shallow.param_bytes
+
+    def test_conv_layer_kinds_counted(self, rng):
+        from repro.nn import Conv2d
+        model = build_model(shake_shake_spec(8, width=8), rng)
+        cost = profile_model(model, (3, 32, 32))
+        conv_layers = cost.layers_of_kind("conv")
+        expected = sum(1 for m in model.modules() if isinstance(m, Conv2d))
+        assert len(conv_layers) == expected
+
+
+class TestAggregates:
+    def test_input_bytes(self, rng):
+        cost = profile_model(Linear(10, 2, rng=rng), (10,))
+        assert cost.input_bytes == 10 * DTYPE_BYTES
+
+    def test_peak_activation(self, rng):
+        model = Sequential(Linear(10, 1000, rng=rng), Linear(1000, 2, rng=rng))
+        cost = profile_model(model, (10,))
+        assert cost.peak_activation_bytes == 1000 * DTYPE_BYTES
+
+    def test_num_ops(self, rng):
+        model = MLP(10, 2, depth=2, width=4, rng=rng)
+        cost = profile_model(model, (10,))
+        assert cost.num_ops == 3  # linear, relu, linear
+
+    def test_empty_model_cost(self):
+        assert ModelCost().total_flops == 0
+        assert ModelCost().peak_activation_bytes == 0
+
+    def test_unknown_module_rejected(self):
+        class Weird:
+            pass
+
+        from repro.edge.cost import _Tracer
+        with pytest.raises(TypeError):
+            _Tracer().trace(Weird(), (3,))
+
+    def test_channel_mismatch_detected(self, rng):
+        from repro.nn import Conv2d
+        conv = Conv2d(3, 8, 3, rng=rng)
+        with pytest.raises(ValueError):
+            profile_model(conv, (4, 32, 32))

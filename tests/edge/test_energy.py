@@ -1,0 +1,44 @@
+"""Tests for the per-inference energy model."""
+
+import numpy as np
+import pytest
+
+from repro.edge import (JETSON_TX2_CPU, RASPBERRY_PI_3B, WIFI,
+                        baseline_metrics, profile_model, teamnet_metrics)
+from repro.nn import build_model, downsize, mlp_spec
+
+RNG = np.random.default_rng(0)
+
+
+def cost_of(spec):
+    return profile_model(build_model(spec, RNG), (spec.in_features,))
+
+
+class TestEnergyModel:
+    def test_energy_components(self):
+        energy = RASPBERRY_PI_3B.energy_joules(compute_s=1.0, comm_s=2.0)
+        expected = (1.0 * RASPBERRY_PI_3B.compute_power_w
+                    + 2.0 * RASPBERRY_PI_3B.comm_power_w)
+        np.testing.assert_allclose(energy, expected)
+
+    def test_baseline_energy_positive(self):
+        metrics = baseline_metrics(cost_of(mlp_spec(8, width=2048)),
+                                   JETSON_TX2_CPU)
+        assert metrics.energy_j > 0
+        np.testing.assert_allclose(metrics.energy_mj,
+                                   metrics.energy_j * 1e3)
+
+    def test_smaller_experts_use_less_energy(self):
+        """TeamNet's per-node energy falls with more experts: each node
+        computes a smaller model and idles (cheaply) on the radio."""
+        ref = mlp_spec(8, width=2048)
+        base = baseline_metrics(cost_of(ref), RASPBERRY_PI_3B)
+        two = teamnet_metrics(cost_of(downsize(ref, 2)), 2,
+                              RASPBERRY_PI_3B, WIFI)
+        four = teamnet_metrics(cost_of(downsize(ref, 4)), 4,
+                               RASPBERRY_PI_3B, WIFI)
+        assert base.energy_j > two.energy_j > four.energy_j
+
+    def test_comm_cheaper_than_compute_per_second(self):
+        for device in (RASPBERRY_PI_3B, JETSON_TX2_CPU):
+            assert device.comm_power_w < device.compute_power_w

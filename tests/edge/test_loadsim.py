@@ -1,0 +1,122 @@
+"""Tests for the event-driven load simulator."""
+
+import numpy as np
+import pytest
+
+from repro.edge.loadsim import (capacity_sweep, poisson_arrivals,
+                                simulate_queue, sustainable_rate,
+                                uniform_arrivals)
+
+
+class TestArrivals:
+    def test_poisson_rate_approximate(self):
+        arrivals = poisson_arrivals(100.0, 50.0, np.random.default_rng(0))
+        empirical = len(arrivals) / 50.0
+        assert 85 < empirical < 115
+
+    def test_poisson_sorted_within_duration(self):
+        arrivals = poisson_arrivals(10.0, 5.0, np.random.default_rng(1))
+        assert (np.diff(arrivals) > 0).all()
+        assert arrivals.max() < 5.0
+
+    def test_uniform_spacing(self):
+        arrivals = uniform_arrivals(4.0, 2.0)
+        np.testing.assert_allclose(np.diff(arrivals), 0.25)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 1.0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(-1.0, 1.0)
+
+
+class TestSimulateQueue:
+    def test_no_contention_sojourn_equals_service(self):
+        arrivals = uniform_arrivals(1.0, 10.0)  # far below capacity
+        report = simulate_queue(arrivals, service_time=0.01)
+        np.testing.assert_allclose(report.sojourn_times, 0.01, rtol=1e-9)
+        np.testing.assert_allclose(report.waiting_times, 0.0, atol=1e-12)
+
+    def test_utilization_matches_theory(self):
+        # M/D/1: utilization = lambda * service.
+        arrivals = poisson_arrivals(50.0, 100.0, np.random.default_rng(2))
+        report = simulate_queue(arrivals, service_time=0.01)
+        assert abs(report.utilization - 0.5) < 0.05
+
+    def test_waiting_grows_with_load(self):
+        rng = np.random.default_rng(3)
+        light = simulate_queue(poisson_arrivals(10, 60, rng), 0.01)
+        heavy = simulate_queue(
+            poisson_arrivals(90, 60, np.random.default_rng(3)), 0.01)
+        assert heavy.mean_sojourn > light.mean_sojourn
+        assert heavy.percentile(95) > light.percentile(95)
+
+    def test_overload_queues_grow_unbounded(self):
+        arrivals = uniform_arrivals(200.0, 5.0)  # 2x capacity
+        report = simulate_queue(arrivals, service_time=0.01)
+        # Later requests wait much longer than earlier ones.
+        first = report.waiting_times[:50].mean()
+        last = report.waiting_times[-50:].mean()
+        assert last > first + 1.0
+
+    def test_bounded_queue_drops(self):
+        arrivals = uniform_arrivals(200.0, 5.0)
+        report = simulate_queue(arrivals, service_time=0.01,
+                                queue_capacity=8)
+        assert report.dropped > 0
+        assert report.drop_rate > 0.2
+        # Served requests never wait absurdly long.
+        assert report.percentile(95) < 1.0
+
+    def test_more_servers_cut_waiting(self):
+        arrivals = poisson_arrivals(150, 30, np.random.default_rng(4))
+        one = simulate_queue(arrivals, 0.01, servers=1)
+        two = simulate_queue(arrivals, 0.01, servers=2)
+        assert two.mean_sojourn < one.mean_sojourn
+
+    def test_stochastic_service(self):
+        arrivals = uniform_arrivals(5.0, 10.0)
+        report = simulate_queue(
+            arrivals, service_time=lambda rng: rng.uniform(0.005, 0.015),
+            rng=np.random.default_rng(5))
+        assert 0.005 <= report.sojourn_times.min()
+        assert report.served == len(arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_queue(np.array([1.0]), 0.01, servers=0)
+        with pytest.raises(ValueError):
+            simulate_queue(np.array([1.0]), -0.5)
+
+
+class TestCapacityAnalysis:
+    def test_sustainable_rate(self):
+        assert sustainable_rate(0.01) == 100.0
+        assert sustainable_rate(0.01, servers=3) == 300.0
+        with pytest.raises(ValueError):
+            sustainable_rate(0.0)
+
+    def test_capacity_sweep_monotone_latency(self):
+        rows = capacity_sweep(0.01, rates=[20, 60, 95], duration=30.0)
+        assert rows[0]["mean_sojourn_ms"] <= rows[1]["mean_sojourn_ms"] \
+            <= rows[2]["mean_sojourn_ms"]
+        assert rows[0]["drop_rate"] == 0.0
+
+    def test_teamnet_capacity_advantage(self):
+        """The motivation for this module: TeamNet's lower per-inference
+        latency on CPU-class devices translates into a higher sustainable
+        request rate for the same fleet."""
+        from repro.edge import (RASPBERRY_PI_3B, WIFI, baseline_metrics,
+                                profile_model, teamnet_metrics)
+        from repro.nn import build_model, downsize, mlp_spec
+        rng = np.random.default_rng(0)
+        ref = mlp_spec(8, width=2048)
+        base = baseline_metrics(
+            profile_model(build_model(ref, rng), (ref.in_features,)),
+            RASPBERRY_PI_3B)
+        spec = downsize(ref, 4)
+        team = teamnet_metrics(
+            profile_model(build_model(spec, rng), (spec.in_features,)),
+            4, RASPBERRY_PI_3B, WIFI)
+        assert (sustainable_rate(team.latency_s)
+                > 2 * sustainable_rate(base.latency_s))

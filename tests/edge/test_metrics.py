@@ -1,0 +1,175 @@
+"""Tests for device/network models and the per-approach metric estimators.
+
+The assertions here encode the *shapes* of the paper's tables: orderings
+and monotone trends, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.edge import (ETHERNET, JETSON_TX2_CPU, JETSON_TX2_GPU,
+                        RASPBERRY_PI_3B, WIFI, baseline_metrics,
+                        moe_grpc_metrics, moe_mpi_metrics,
+                        mpi_branch_metrics, mpi_kernel_metrics,
+                        mpi_matrix_metrics, profile_model, teamnet_metrics)
+from repro.nn import build_model, downsize, mlp_spec, shake_shake_spec
+
+RNG = np.random.default_rng(0)
+
+
+def cost_of(spec):
+    shape = (spec.in_features,) if spec.family == "mlp" else spec.in_shape
+    return profile_model(build_model(spec, RNG), shape)
+
+
+@pytest.fixture(scope="module")
+def mnist_costs():
+    ref = mlp_spec(8, width=2048)
+    return {1: cost_of(ref), 2: cost_of(downsize(ref, 2)),
+            4: cost_of(downsize(ref, 4))}
+
+
+@pytest.fixture(scope="module")
+def cifar_costs():
+    ref = shake_shake_spec(26, width=96)
+    return {1: cost_of(ref), 2: cost_of(downsize(ref, 2)),
+            4: cost_of(downsize(ref, 4))}
+
+
+@pytest.fixture(scope="module")
+def gate_cost():
+    return cost_of(mlp_spec(1, width=8))
+
+
+class TestDeviceModel:
+    def test_compute_time_monotone_in_flops(self):
+        fast = JETSON_TX2_CPU.compute_time(1e6, 10)
+        slow = JETSON_TX2_CPU.compute_time(1e9, 10)
+        assert slow > fast
+
+    def test_gpu_faster_for_big_models(self, cifar_costs):
+        cost = cifar_costs[1]
+        cpu = JETSON_TX2_CPU.compute_time(cost.total_flops, cost.num_ops)
+        gpu = JETSON_TX2_GPU.compute_time(cost.total_flops, cost.num_ops)
+        assert gpu < cpu / 5
+
+    def test_rpi_slowest(self, mnist_costs):
+        cost = mnist_costs[1]
+        rpi = RASPBERRY_PI_3B.compute_time(cost.total_flops, cost.num_ops)
+        tx2 = JETSON_TX2_CPU.compute_time(cost.total_flops, cost.num_ops)
+        assert rpi > tx2
+
+
+class TestNetworkModel:
+    def test_transfer_time_monotone(self):
+        assert WIFI.transfer_time(1e6) > WIFI.transfer_time(1e3)
+
+    def test_ethernet_faster_than_wifi(self):
+        assert ETHERNET.transfer_time(1e5) < WIFI.transfer_time(1e5)
+
+    def test_broadcast_scales_with_peers(self):
+        one = WIFI.broadcast_time(1e4, 1)
+        three = WIFI.broadcast_time(1e4, 3)
+        assert three > one
+        assert WIFI.broadcast_time(1e4, 0) == 0.0
+
+    def test_allgather_grows_with_group(self):
+        assert (WIFI.allgather_time(1e4, 4)
+                > WIFI.allgather_time(1e4, 2)
+                > WIFI.allgather_time(1e4, 1) == 0.0)
+
+    def test_mpi_sync_penalty_applied(self):
+        base = ETHERNET.allgather_time(1e3, 2)
+        assert WIFI.allgather_time(1e3, 2) > base
+
+
+class TestTableShapes:
+    """Each test pins one qualitative claim from the paper's evaluation."""
+
+    def test_fig5_trends_on_rpi(self, mnist_costs):
+        base = baseline_metrics(mnist_costs[1], RASPBERRY_PI_3B)
+        two = teamnet_metrics(mnist_costs[2], 2, RASPBERRY_PI_3B, WIFI)
+        four = teamnet_metrics(mnist_costs[4], 4, RASPBERRY_PI_3B, WIFI)
+        assert base.latency_s > two.latency_s > four.latency_s
+        assert (base.memory_fraction > two.memory_fraction
+                > four.memory_fraction)
+        assert base.cpu_fraction > two.cpu_fraction > four.cpu_fraction
+
+    def test_table1a_teamnet_beats_baseline_on_cpu(self, mnist_costs):
+        base = baseline_metrics(mnist_costs[1], JETSON_TX2_CPU)
+        team = teamnet_metrics(mnist_costs[2], 2, JETSON_TX2_CPU, WIFI)
+        assert team.latency_s < base.latency_s
+
+    def test_table1_mpi_matrix_much_slower(self, mnist_costs):
+        base = baseline_metrics(mnist_costs[1], JETSON_TX2_CPU)
+        mpi2 = mpi_matrix_metrics(mnist_costs[1], 2, JETSON_TX2_CPU, WIFI)
+        mpi4 = mpi_matrix_metrics(mnist_costs[1], 4, JETSON_TX2_CPU, WIFI)
+        assert mpi2.latency_s > 10 * base.latency_s
+        assert mpi4.latency_s > mpi2.latency_s
+
+    def test_table1b_baseline_wins_on_gpu(self, mnist_costs):
+        # "The performance gain from a smaller model is overwhelmed by the
+        # communication cost" (Table I(b)).
+        base = baseline_metrics(mnist_costs[1], JETSON_TX2_GPU)
+        team = teamnet_metrics(mnist_costs[2], 2, JETSON_TX2_GPU, WIFI)
+        assert base.latency_s < team.latency_s
+
+    def test_fig7b_two_experts_fastest_on_gpu(self, cifar_costs):
+        # Figure 7(b): K=2 is the sweet spot on Jetson GPUs.
+        base = baseline_metrics(cifar_costs[1], JETSON_TX2_GPU)
+        two = teamnet_metrics(cifar_costs[2], 2, JETSON_TX2_GPU, WIFI)
+        four = teamnet_metrics(cifar_costs[4], 4, JETSON_TX2_GPU, WIFI)
+        assert two.latency_s < base.latency_s
+        assert two.latency_s < four.latency_s
+
+    def test_fig7a_latency_halves_on_cpu(self, cifar_costs):
+        base = baseline_metrics(cifar_costs[1], JETSON_TX2_CPU)
+        two = teamnet_metrics(cifar_costs[2], 2, JETSON_TX2_CPU, WIFI)
+        four = teamnet_metrics(cifar_costs[4], 4, JETSON_TX2_CPU, WIFI)
+        assert two.latency_s < 0.6 * base.latency_s
+        assert four.latency_s < two.latency_s
+
+    def test_table2_mpi_kernel_slowest_and_degrades(self, cifar_costs):
+        base = baseline_metrics(cifar_costs[1], JETSON_TX2_CPU)
+        branch = mpi_branch_metrics(cifar_costs[1], JETSON_TX2_CPU, WIFI)
+        kernel2 = mpi_kernel_metrics(cifar_costs[1], 2, JETSON_TX2_CPU, WIFI)
+        kernel4 = mpi_kernel_metrics(cifar_costs[1], 4, JETSON_TX2_CPU, WIFI)
+        assert base.latency_s < branch.latency_s < kernel2.latency_s
+        assert kernel2.latency_s < kernel4.latency_s
+
+    def test_moe_mpi_slower_than_moe_grpc(self, mnist_costs, gate_cost):
+        for size in (2, 4):
+            grpc = moe_grpc_metrics(mnist_costs[size], gate_cost, size,
+                                    JETSON_TX2_CPU, WIFI)
+            mpi = moe_mpi_metrics(mnist_costs[size], gate_cost, size,
+                                  JETSON_TX2_CPU, WIFI)
+            assert mpi.latency_s > grpc.latency_s
+
+    def test_memory_decreases_with_experts(self, cifar_costs):
+        fracs = [baseline_metrics(cifar_costs[1],
+                                  JETSON_TX2_CPU).memory_fraction,
+                 teamnet_metrics(cifar_costs[2], 2, JETSON_TX2_CPU,
+                                 WIFI).memory_fraction,
+                 teamnet_metrics(cifar_costs[4], 4, JETSON_TX2_CPU,
+                                 WIFI).memory_fraction]
+        assert fracs[0] > fracs[1] > fracs[2]
+
+    def test_gpu_fraction_only_on_gpu_device(self, mnist_costs):
+        cpu = baseline_metrics(mnist_costs[1], JETSON_TX2_CPU)
+        gpu = baseline_metrics(mnist_costs[1], JETSON_TX2_GPU)
+        assert cpu.gpu_fraction is None
+        assert gpu.gpu_fraction is not None and gpu.gpu_fraction > 0
+
+    def test_mpi_spin_keeps_cpu_busy(self, mnist_costs):
+        # MPI progress engines spin: CPU% stays moderate even though the
+        # runtime is communication bound (Table I row MPI-Matrix).
+        mpi = mpi_matrix_metrics(mnist_costs[1], 2, JETSON_TX2_CPU, WIFI)
+        assert mpi.cpu_fraction > 0.2
+
+    def test_teamnet_validates_team_size(self, mnist_costs):
+        with pytest.raises(ValueError):
+            teamnet_metrics(mnist_costs[2], 1, JETSON_TX2_CPU, WIFI)
+
+    def test_latency_ms_helper(self, mnist_costs):
+        m = baseline_metrics(mnist_costs[1], JETSON_TX2_CPU)
+        np.testing.assert_allclose(m.latency_ms, m.latency_s * 1e3)

@@ -1,0 +1,47 @@
+"""Tests for wall-clock measurement helpers."""
+
+import time
+
+import pytest
+
+from repro.edge import LatencySummary, measure_latency, measure_peak_memory
+
+
+class TestMeasureLatency:
+    def test_summary_fields(self):
+        summary = measure_latency(lambda: None, repeats=10, warmup=1)
+        assert summary.samples == 10
+        assert summary.minimum <= summary.p50 <= summary.p95
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.mean_ms == summary.mean * 1e3
+
+    def test_measures_real_time(self):
+        summary = measure_latency(lambda: time.sleep(0.005), repeats=3,
+                                  warmup=0)
+        assert summary.mean >= 0.004
+
+    def test_warmup_calls_discarded(self):
+        calls = []
+        measure_latency(lambda: calls.append(1), repeats=4, warmup=2)
+        assert len(calls) == 6
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure_latency(lambda: None, repeats=0)
+
+
+class TestMeasurePeakMemory:
+    def test_returns_result_and_peak(self):
+        result, peak = measure_peak_memory(lambda: [0] * 100000)
+        assert len(result) == 100000
+        assert peak > 100000  # at least a byte per element
+
+    def test_stops_tracing_on_error(self):
+        import tracemalloc
+
+        def boom():
+            raise RuntimeError
+
+        with pytest.raises(RuntimeError):
+            measure_peak_memory(boom)
+        assert not tracemalloc.is_tracing()

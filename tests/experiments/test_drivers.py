@@ -1,0 +1,142 @@
+"""Integration tests: every experiment driver runs and produces the
+right structure and the paper's qualitative shapes at tiny scale.
+
+All drivers share one Workloads cache (module-scoped), so the expensive
+training happens once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ALL_EXPERIMENTS, ExperimentScale, fig5, fig6,
+                               fig7, fig8, fig9, table1, table2)
+from repro.experiments.workloads import Workloads
+
+TINY = ExperimentScale(mnist_samples=400, cifar_samples=160,
+                       mnist_epochs=3, cifar_epochs=1,
+                       mlp_width=16, cnn_width=4, gate_iterations=8,
+                       batch_size=32, seed=11)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def shared_cache():
+    # Prime the shared cache so every driver reuses the same artifacts.
+    yield Workloads.shared(TINY)
+
+
+class TestFig5:
+    def test_structure_and_trends(self):
+        result = fig5.run(TINY)
+        table = result.tables["fig5"]
+        assert len(table.rows) == 3
+        latency = table.column("Inference Time (ms)")
+        memory = table.column("Memory Usage (%)")
+        cpu = table.column("CPU Usage (%)")
+        assert latency[0] > latency[1] > latency[2]
+        assert memory[0] > memory[1] > memory[2]
+        assert cpu[0] > cpu[1] > cpu[2]
+
+
+class TestTable1:
+    def test_structure(self):
+        result = table1.run(TINY)
+        for key in ("table1a", "table1b"):
+            table = result.tables[key]
+            approaches = table.column("Approach")
+            assert approaches.count("TeamNet") == 2
+            assert approaches.count("MPI-Matrix") == 2
+            assert approaches.count("SG-MoE-G") == 2
+            assert approaches.count("SG-MoE-M") == 2
+
+    def test_cpu_shape_claims(self):
+        table = table1.run(TINY).tables["table1a"]
+        lat = dict(zip(zip(table.column("Approach"), table.column("Nodes")),
+                       table.column("Inference Time (ms)")))
+        assert lat[("TeamNet", 2)] < lat[("Baseline", 1)]
+        assert lat[("MPI-Matrix", 2)] > 10 * lat[("Baseline", 1)]
+        assert lat[("MPI-Matrix", 4)] > lat[("MPI-Matrix", 2)]
+
+    def test_gpu_shape_claims(self):
+        table = table1.run(TINY).tables["table1b"]
+        lat = dict(zip(zip(table.column("Approach"), table.column("Nodes")),
+                       table.column("Inference Time (ms)")))
+        # Fixed WiFi cost dominates tiny models: baseline wins on GPU.
+        assert lat[("Baseline", 1)] < lat[("TeamNet", 2)]
+
+
+class TestFig6:
+    def test_convergence_series(self):
+        result = fig6.run(TINY)
+        for k in (2, 4):
+            series = result.series[f"proportions_k{k}"]
+            assert series.shape[1] == k
+            np.testing.assert_allclose(series.sum(axis=1), 1.0, atol=1e-9)
+            # Trailing proportions near the set point (dynamic gate works).
+            tail = series[-10:].mean(axis=0)
+            assert np.abs(tail - 1.0 / k).max() < 0.25
+
+
+class TestFig7:
+    def test_cpu_latency_decreases(self):
+        table = fig7.run(TINY).tables["fig7a"]
+        latency = table.column("Inference Time (ms)")
+        assert latency[0] > latency[1] > latency[2]
+
+    def test_gpu_two_experts_fastest(self):
+        table = fig7.run(TINY).tables["fig7b"]
+        latency = table.column("Inference Time (ms)")
+        assert latency[1] == min(latency)
+
+
+class TestTable2:
+    def test_structure_and_shapes(self):
+        result = table2.run(TINY)
+        table = result.tables["table2a"]
+        approaches = table.column("Approach")
+        assert approaches.count("MPI-Kernel") == 2
+        assert approaches.count("MPI-Branch") == 1  # 2 nodes only
+        lat = dict(zip(zip(table.column("Approach"), table.column("Nodes")),
+                       table.column("Inference Time (ms)")))
+        assert lat[("TeamNet", 2)] < lat[("Baseline", 1)]
+        assert lat[("MPI-Branch", 2)] > lat[("Baseline", 1)]
+        assert lat[("MPI-Kernel", 2)] > lat[("MPI-Branch", 2)]
+        assert lat[("MPI-Kernel", 4)] > lat[("MPI-Kernel", 2)]
+
+
+class TestFig8:
+    def test_series_present(self):
+        result = fig8.run(TINY)
+        assert result.series["proportions_k2"].shape[1] == 2
+        assert result.series["proportions_k4"].shape[1] == 4
+        assert len(result.notes) == 2
+
+
+class TestFig9:
+    def test_share_matrices(self):
+        result = fig9.run(TINY)
+        for k in (2, 4):
+            share = result.series[f"certainty_share_k{k}"]
+            assert share.shape == (k, 10)
+            np.testing.assert_allclose(share.sum(axis=0), 1.0, rtol=1e-9)
+        table = result.tables["fig9_k2"]
+        assert len(table.rows) == 2
+
+    def test_superclass_affinity_helper(self):
+        share = np.array([[0.9, 0.8, 0.1, 0.2],
+                          [0.1, 0.2, 0.9, 0.8]])
+        affinity = fig9.superclass_affinity(
+            share, {"machines": (0, 1), "animals": (2, 3)})
+        np.testing.assert_allclose(affinity["machines"], [0.85, 0.15])
+        np.testing.assert_allclose(affinity["animals"], [0.15, 0.85])
+
+    def test_specialization_score_bounds(self):
+        uniform = np.full((2, 4), 0.5)
+        assert fig9.specialization_score(uniform) == 0.0
+        owned = np.array([[1.0, 1.0, 0.0, 0.0], [0.0, 0.0, 1.0, 1.0]])
+        assert fig9.specialization_score(owned) == 1.0
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {"fig5", "table1", "fig6", "fig7",
+                                        "table2", "fig8", "fig9"}

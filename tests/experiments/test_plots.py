@@ -1,0 +1,62 @@
+"""Tests for the ASCII figure renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plots import convergence_chart, heatmap, line_chart
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        series = np.stack([np.linspace(0, 1, 50),
+                           np.linspace(1, 0, 50)], axis=1)
+        text = line_chart(series, title="Proportions")
+        assert "Proportions" in text
+        assert "1=expert1" in text and "2=expert2" in text
+
+    def test_empty_series(self):
+        text = line_chart(np.empty((0, 2)), title="E")
+        assert "empty" in text
+
+    def test_constant_series_no_crash(self):
+        text = line_chart(np.full((20, 2), 0.5))
+        assert "1" in text
+
+    def test_reference_line_drawn(self):
+        series = np.full((30, 1), 0.9)
+        text = line_chart(series, y_min=0.0, y_max=1.0, reference=0.5)
+        assert "-" in text
+
+    def test_width_bucketing(self):
+        series = np.random.default_rng(0).uniform(0, 1, (500, 2))
+        text = line_chart(series, width=40)
+        longest = max(len(line) for line in text.splitlines())
+        assert longest < 60
+
+
+class TestHeatmap:
+    def test_labels_rendered(self):
+        m = np.array([[0.0, 1.0], [0.5, 0.25]])
+        text = heatmap(m, row_labels=["expert1", "expert2"],
+                       col_labels=["cat", "dog"], title="share")
+        assert "share" in text
+        assert "expert1" in text and "ca" in text
+
+    def test_intensity_monotone(self):
+        m = np.array([[0.0, 1.0]])
+        text = heatmap(m)
+        row = text.splitlines()[0]
+        # The 1.0 cell uses a denser glyph than the 0.0 cell.
+        assert "@@" in row and "  " in row
+
+    def test_values_clipped(self):
+        text = heatmap(np.array([[-1.0, 2.0]]))
+        assert "@@" in text
+
+
+class TestConvergenceChart:
+    def test_shows_set_point(self):
+        history = np.stack([np.full(100, 0.5), np.full(100, 0.5)], axis=1)
+        text = convergence_chart(history, set_point=0.5, title="fig6")
+        assert "fig6" in text
+        assert "iterations" in text

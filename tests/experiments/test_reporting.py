@@ -1,0 +1,73 @@
+"""Tests for result tables and experiment result containers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult, ResultTable
+
+
+class TestResultTable:
+    def make(self):
+        table = ResultTable("T", ["Approach", "Latency (ms)"])
+        table.add_row("Baseline", 3.4)
+        table.add_row("TeamNet", 3.2)
+        return table
+
+    def test_add_and_column(self):
+        table = self.make()
+        assert table.column("Latency (ms)") == [3.4, 3.2]
+        assert table.column("Approach") == ["Baseline", "TeamNet"]
+
+    def test_row_length_validated(self):
+        table = self.make()
+        with pytest.raises(ValueError):
+            table.add_row("only-one-cell")
+
+    def test_lookup(self):
+        table = self.make()
+        assert table.lookup("TeamNet", "Latency (ms)") == 3.2
+        with pytest.raises(KeyError):
+            table.lookup("Nothing", "Latency (ms)")
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "T" in text
+        assert "Baseline" in text and "TeamNet" in text
+        assert "3.40" in text and "3.20" in text
+
+    def test_render_empty_table(self):
+        table = ResultTable("Empty", ["A", "B"])
+        text = table.render()
+        assert "Empty" in text and "A" in text
+
+    def test_float_formatting(self):
+        table = ResultTable("F", ["v"])
+        table.add_row(1234.5)
+        table.add_row(12.345)
+        table.add_row(0.00123)
+        text = table.render()
+        assert "1234.5" in text and "12.35" in text and "0.0012" in text
+
+    def test_to_dict(self):
+        d = self.make().to_dict()
+        assert d["title"] == "T"
+        assert len(d["rows"]) == 2
+
+
+class TestExperimentResult:
+    def test_tables_and_series(self):
+        result = ExperimentResult("exp")
+        table = ResultTable("t", ["a"])
+        table.add_row(1.0)
+        result.add_table("t", table)
+        result.add_series("s", [1, 2, 3])
+        result.note("hello")
+        assert result.tables["t"] is table
+        np.testing.assert_array_equal(result.series["s"], [1, 2, 3])
+        text = result.render()
+        assert "exp" in text and "hello" in text and "series s" in text
+
+    def test_render_empty_series(self):
+        result = ExperimentResult("e")
+        result.add_series("empty", [])
+        assert "empty" in result.render()

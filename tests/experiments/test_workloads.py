@@ -1,0 +1,92 @@
+"""Tests for the shared workload factory (caching, specs, costs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentScale, Workloads
+from repro.experiments.workloads import (PAPER_CIFAR_SPEC, PAPER_MNIST_SPEC,
+                                         model_accuracy, train_single_model)
+from repro.nn import mlp_spec
+
+TINY = ExperimentScale(mnist_samples=400, cifar_samples=120,
+                       mnist_epochs=5, cifar_epochs=1,
+                       mlp_width=24, cnn_width=4, gate_iterations=6,
+                       batch_size=32, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return Workloads(TINY)
+
+
+class TestScale:
+    def test_reference_specs(self):
+        scale = ExperimentScale(mlp_width=32, cnn_width=8)
+        assert scale.mnist_reference.name == "MLP-8"
+        assert scale.mnist_reference.width == 32
+        assert scale.cifar_reference.name == "SS-26"
+
+    def test_paper_specs_are_deployment_scale(self):
+        assert PAPER_MNIST_SPEC.width == 2048
+        assert PAPER_CIFAR_SPEC.width == 96
+
+
+class TestCaching:
+    def test_datasets_cached(self, workloads):
+        a = workloads.mnist()
+        b = workloads.mnist()
+        assert a is b
+
+    def test_baseline_cached(self, workloads):
+        a = workloads.baseline("mnist")
+        b = workloads.baseline("mnist")
+        assert a is b
+
+    def test_shared_instances_per_scale(self):
+        assert Workloads.shared(TINY) is Workloads.shared(TINY)
+
+    def test_paper_cost_cached_and_ordered(self, workloads):
+        c1 = workloads.paper_cost("mnist", 1)
+        c2 = workloads.paper_cost("mnist", 2)
+        c4 = workloads.paper_cost("mnist", 4)
+        assert c1.total_flops > c2.total_flops > c4.total_flops
+        assert workloads.paper_cost("mnist", 2) is c2
+
+
+class TestTrainedArtifacts:
+    def test_baseline_learns(self, workloads):
+        model, acc = workloads.baseline("mnist")
+        _, test = workloads.mnist()
+        assert acc == pytest.approx(model_accuracy(model, test))
+        assert acc > 0.3  # far above 10% chance, even at tiny scale
+
+    def test_teamnet_artifacts(self, workloads):
+        team, acc = workloads.teamnet("mnist", 2)
+        assert team.num_experts == 2
+        assert 0.0 <= acc <= 1.0
+        assert len(team.trainer.monitor) > 0
+
+    def test_moe_artifacts(self, workloads):
+        moe, acc = workloads.moe("mnist", 2)
+        assert moe.num_experts == 2
+        assert 0.0 <= acc <= 1.0
+
+    def test_gate_cost_smaller_than_expert(self, workloads):
+        gate = workloads.gate_cost("mnist", 4)
+        expert = workloads.paper_cost("mnist", 4)
+        assert gate.total_flops < expert.total_flops
+
+
+class TestTrainSingleModel:
+    def test_depth_aware_learning_rate(self):
+        # Deep plain MLPs get the gentler LR automatically and stay finite.
+        rng = np.random.default_rng(0)
+        from repro.data import Dataset
+        centers = rng.standard_normal((3, 784)) * 2
+        labels = np.arange(120) % 3
+        images = centers[labels] + rng.standard_normal((120, 784))
+        ds = Dataset(images.reshape(-1, 1, 28, 28), labels)
+        model = train_single_model(mlp_spec(8, width=16, num_classes=3),
+                                   ds, epochs=2, seed=0)
+        acc = model_accuracy(model, ds)
+        assert np.isfinite(acc) and acc > 0.3

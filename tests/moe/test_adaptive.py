@@ -1,0 +1,78 @@
+"""Tests for the Jacobs-1991 adaptive mixture baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.moe.adaptive import (AdaptiveMixture, AdaptiveMoEConfig,
+                                AdaptiveMoETrainer)
+from repro.nn import MLP, Tensor
+
+_CENTERS = np.random.default_rng(42).standard_normal((3, 12)) * 3
+
+
+def tiny_dataset(n=240, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 3
+    images = _CENTERS[labels] + rng.standard_normal((n, 12))
+    return Dataset(images.reshape(n, 1, 1, 12), labels)
+
+
+def make_mixture(k=2, seed=0):
+    experts = [MLP(12, 3, depth=1, width=8,
+                   rng=np.random.default_rng(seed + i)) for i in range(k)]
+    return AdaptiveMixture(experts, in_features=12,
+                           rng=np.random.default_rng(seed + 50))
+
+
+class TestModel:
+    def test_gate_is_dense_distribution(self, rng):
+        moe = make_mixture(3)
+        weights = moe.gate_weights(Tensor(rng.standard_normal((6, 12))))
+        np.testing.assert_allclose(weights.data.sum(axis=1), 1.0,
+                                   rtol=1e-5)
+        assert (weights.data > 0).all()  # dense, unlike Shazeer's top-k
+
+    def test_forward_is_distribution(self, rng):
+        moe = make_mixture()
+        out = moe(Tensor(rng.standard_normal((5, 12))))
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_needs_two_experts(self, rng):
+        with pytest.raises(ValueError):
+            AdaptiveMixture([MLP(12, 3, depth=1, width=4, rng=rng)], 12)
+
+    def test_localization_is_posterior(self, rng):
+        moe = make_mixture(3)
+        ds = tiny_dataset(30)
+        h = moe.localization(ds.images, ds.labels)
+        assert h.shape == (30, 3)
+        np.testing.assert_allclose(h.sum(axis=1), 1.0, rtol=1e-6)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        moe = make_mixture()
+        trainer = AdaptiveMoETrainer(moe, AdaptiveMoEConfig(
+            epochs=6, batch_size=32, lr=3e-3, seed=0))
+        losses = trainer.train(tiny_dataset(300))
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_learns_task(self):
+        moe = make_mixture()
+        trainer = AdaptiveMoETrainer(moe, AdaptiveMoEConfig(
+            epochs=10, batch_size=32, lr=3e-3, seed=0))
+        trainer.train(tiny_dataset(300))
+        assert trainer.accuracy(tiny_dataset(seed=1)) > 0.8
+
+    def test_responsibilities_sharpen_with_training(self):
+        # Jacobs' localization: posterior responsibilities become less
+        # uniform as experts specialize.
+        moe = make_mixture(seed=3)
+        ds = tiny_dataset(300, seed=3)
+        before = moe.localization(ds.images, ds.labels)
+        trainer = AdaptiveMoETrainer(moe, AdaptiveMoEConfig(
+            epochs=10, batch_size=32, lr=3e-3, seed=3))
+        trainer.train(ds)
+        after = moe.localization(ds.images, ds.labels)
+        assert after.max(axis=1).mean() > before.max(axis=1).mean()

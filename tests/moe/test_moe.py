@@ -1,0 +1,141 @@
+"""Tests for the Sparsely-Gated Mixture-of-Experts baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.moe import (MixtureOfExperts, MoEConfig, MoETrainer,
+                       NoisyTopKGate, importance_loss)
+from repro.nn import MLP, Tensor
+
+
+def make_moe(num_experts=3, k=2, in_features=12, classes=3, seed=0):
+    experts = [MLP(in_features, classes, depth=1, width=8,
+                   rng=np.random.default_rng(seed + i))
+               for i in range(num_experts)]
+    gate = NoisyTopKGate(in_features, num_experts, k=k,
+                         rng=np.random.default_rng(seed + 50))
+    return MixtureOfExperts(experts, gate)
+
+
+_CENTERS = np.random.default_rng(42).standard_normal((3, 12)) * 3
+
+
+def tiny_dataset(n=192, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 3
+    images = _CENTERS[labels] + rng.standard_normal((n, 12))
+    return Dataset(images.reshape(n, 1, 1, 12), labels)
+
+
+class TestNoisyTopKGate:
+    def test_exactly_k_nonzero_weights(self, rng):
+        gate = NoisyTopKGate(12, 4, k=2, rng=rng)
+        gate.eval()
+        weights, top_k = gate(Tensor(rng.standard_normal((10, 12))))
+        nonzero = (weights.data > 0).sum(axis=1)
+        np.testing.assert_array_equal(nonzero, 2)
+        assert top_k.shape == (10, 2)
+
+    def test_weights_sum_to_one(self, rng):
+        gate = NoisyTopKGate(12, 4, k=2, rng=rng)
+        weights, _ = gate(Tensor(rng.standard_normal((8, 12))))
+        np.testing.assert_allclose(weights.data.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_noise_only_in_training(self, rng):
+        gate = NoisyTopKGate(12, 3, k=1, rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((6, 12)))
+        gate.eval()
+        a = gate.gate_logits(x).data
+        b = gate.gate_logits(x).data
+        np.testing.assert_array_equal(a, b)
+        gate.train()
+        c = gate.gate_logits(x).data
+        d = gate.gate_logits(x).data
+        assert not np.array_equal(c, d)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            NoisyTopKGate(8, 3, k=0)
+        with pytest.raises(ValueError):
+            NoisyTopKGate(8, 3, k=4)
+
+    def test_topk_indices_match_weights(self, rng):
+        gate = NoisyTopKGate(12, 5, k=2, rng=rng)
+        gate.eval()
+        weights, top_k = gate(Tensor(rng.standard_normal((7, 12))))
+        for row, picks in zip(weights.data, top_k):
+            assert set(np.nonzero(row)[0]) == set(picks)
+
+
+class TestMixtureOfExperts:
+    def test_forward_is_distribution(self, rng):
+        moe = make_moe()
+        moe.eval()
+        out = moe(Tensor(rng.standard_normal((5, 12))))
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, rtol=1e-5)
+        assert (out.data >= 0).all()
+
+    def test_predict_shape(self, rng):
+        moe = make_moe()
+        preds = moe.predict(rng.standard_normal((9, 12)))
+        assert preds.shape == (9,)
+        assert set(np.unique(preds)) <= {0, 1, 2}
+
+    def test_expert_count_mismatch_rejected(self, rng):
+        experts = [MLP(12, 3, depth=1, width=8, rng=rng)]
+        gate = NoisyTopKGate(12, 2, rng=rng)
+        with pytest.raises(ValueError):
+            MixtureOfExperts(experts, gate)
+
+    def test_all_params_registered(self):
+        moe = make_moe(num_experts=2)
+        expert_params = sum(len(e.parameters())
+                            for e in moe.experts_list)
+        gate_params = len(moe.gate.parameters())
+        assert len(moe.parameters()) == expert_params + gate_params
+
+
+class TestImportanceLoss:
+    def test_zero_for_balanced(self):
+        weights = Tensor(np.full((10, 4), 0.25))
+        np.testing.assert_allclose(importance_loss(weights).item(), 0.0,
+                                   atol=1e-9)
+
+    def test_positive_for_collapsed(self):
+        w = np.zeros((10, 4))
+        w[:, 0] = 1.0
+        assert importance_loss(Tensor(w)).item() > 0.5
+
+
+class TestMoETrainer:
+    def test_loss_decreases(self):
+        moe = make_moe()
+        trainer = MoETrainer(moe, MoEConfig(epochs=6, batch_size=32,
+                                            lr=5e-3, seed=0))
+        losses = trainer.train(tiny_dataset())
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_learns_task(self):
+        moe = make_moe()
+        trainer = MoETrainer(moe, MoEConfig(epochs=10, batch_size=32,
+                                            lr=5e-3, seed=0))
+        trainer.train(tiny_dataset(n=300))
+        assert trainer.accuracy(tiny_dataset(seed=1)) > 0.8
+
+    def test_no_expert_starves_completely(self):
+        # The importance regularizer should keep all experts in play.
+        moe = make_moe(num_experts=3, k=1)
+        trainer = MoETrainer(moe, MoEConfig(epochs=8, batch_size=32,
+                                            lr=5e-3, w_importance=0.2,
+                                            seed=0))
+        ds = tiny_dataset(n=300)
+        trainer.train(ds)
+        moe.eval()
+        from repro.nn import no_grad
+        with no_grad():
+            weights, _ = moe.gate(Tensor(ds.images))
+        importance = weights.data.sum(axis=0)
+        # Top-1 routing can still starve one expert at tiny scale; the
+        # regularizer must at least keep a majority of experts alive.
+        assert (importance > 0).sum() >= 2

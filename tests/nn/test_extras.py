@@ -1,0 +1,97 @@
+"""Tests for LayerNorm, label-smoothing CE and cosine LR schedule."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (SGD, CosineAnnealingLR, LayerNorm, Tensor,
+                      cross_entropy, label_smoothing_cross_entropy)
+from repro.nn.layers import Parameter
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        layer = LayerNorm(16)
+        x = rng.standard_normal((8, 16)) * 5 + 3
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), 1, atol=1e-2)
+
+    def test_batch_size_one(self, rng):
+        # The point of LayerNorm on edge devices: batch of 1 works.
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.standard_normal((1, 8)))).data
+        np.testing.assert_allclose(out.mean(), 0, atol=1e-5)
+
+    def test_gradients_flow(self, rng):
+        layer = LayerNorm(4)
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert layer.weight.grad is not None
+
+    def test_affine_params(self, rng):
+        layer = LayerNorm(4)
+        layer.weight.data[:] = 2.0
+        layer.bias.data[:] = 1.0
+        out = layer(Tensor(rng.standard_normal((5, 4)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-5)
+
+
+class TestLabelSmoothing:
+    def test_zero_smoothing_equals_cross_entropy(self, rng):
+        logits = Tensor(rng.standard_normal((6, 5)))
+        y = rng.integers(0, 5, 6)
+        np.testing.assert_allclose(
+            label_smoothing_cross_entropy(logits, y, smoothing=0.0).item(),
+            cross_entropy(logits, y).item(), rtol=1e-6)
+
+    def test_smoothing_penalizes_overconfidence(self):
+        y = np.array([0])
+        confident = Tensor(np.array([[50.0, -50.0, -50.0]]))
+        calibrated = Tensor(np.array([[3.0, 0.0, 0.0]]))
+        smooth_conf = label_smoothing_cross_entropy(confident, y, 0.2)
+        smooth_cal = label_smoothing_cross_entropy(calibrated, y, 0.2)
+        # With smoothing, the extremely confident prediction is *worse*.
+        assert smooth_conf.item() > smooth_cal.item()
+
+    def test_reductions_and_validation(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)))
+        y = rng.integers(0, 3, 4)
+        none = label_smoothing_cross_entropy(logits, y, reduction="none")
+        assert none.shape == (4,)
+        with pytest.raises(ValueError):
+            label_smoothing_cross_entropy(logits, y, smoothing=1.0)
+        with pytest.raises(ValueError):
+            label_smoothing_cross_entropy(logits, y, reduction="bad")
+
+
+class TestCosineAnnealing:
+    def test_decays_to_min(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_steps=10, min_lr=0.1)
+        values = []
+        for _ in range(10):
+            sched.step()
+            values.append(opt.lr)
+        assert values[0] < 1.0
+        np.testing.assert_allclose(values[-1], 0.1, atol=1e-9)
+        # Monotone decreasing.
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_half_way_is_half(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=2.0)
+        sched = CosineAnnealingLR(opt, total_steps=2, min_lr=0.0)
+        sched.step()
+        np.testing.assert_allclose(opt.lr, 1.0, atol=1e-9)
+
+    def test_clamps_after_total_steps(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_steps=3)
+        for _ in range(10):
+            sched.step()
+        np.testing.assert_allclose(opt.lr, 0.0, atol=1e-12)
+
+    def test_validation(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, total_steps=0)

@@ -1,0 +1,178 @@
+"""Tests for the Module system and individual layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (BatchNorm1d, BatchNorm2d, Conv2d, Dropout, Flatten,
+                      GlobalAvgPool2d, Identity, Linear, MaxPool2d, AvgPool2d,
+                      Module, Parameter, ReLU, Sequential, Sigmoid, Tanh,
+                      Tensor)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert len(layer.parameters()) == 2
+
+    def test_nested_registration(self, rng):
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(),
+                           Linear(8, 2, rng=rng))
+        assert len(model.parameters()) == 4
+        names = [n for n, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+
+    def test_num_parameters(self, rng):
+        layer = Linear(10, 5, rng=rng)
+        assert layer.num_parameters() == 10 * 5 + 5
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Linear(2, 2, rng=rng), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.standard_normal((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Sequential(Linear(4, 4, rng=rng), BatchNorm1d(4))
+        b = Sequential(Linear(4, 4, rng=np.random.default_rng(99)),
+                       BatchNorm1d(4))
+        # Mutate a's running stats so buffers are non-trivial.
+        a.train()
+        a(Tensor(rng.standard_normal((16, 4))))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+        for (_, ba), (_, bb) in zip(a.named_buffers(), b.named_buffers()):
+            np.testing.assert_array_equal(ba, bb)
+
+    def test_load_state_dict_missing_key(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.standard_normal((5, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected,
+                                   rtol=1e-5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_deterministic_init(self):
+        a = Linear(4, 4, rng=np.random.default_rng(1))
+        b = Linear(4, 4, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestConv2dLayer:
+    def test_output_shape(self, rng):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_identity_kernel(self, rng):
+        conv = Conv2d(1, 1, 1, bias=False, rng=rng)
+        conv.weight.data[:] = 1.0
+        x = rng.standard_normal((1, 1, 4, 4))
+        np.testing.assert_allclose(conv(Tensor(x)).data, x, rtol=1e-6)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_train_mode(self, rng):
+        bn = BatchNorm2d(4)
+        x = rng.standard_normal((32, 4, 5, 5)) * 3 + 7
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1, atol=1e-2)
+
+    def test_running_stats_update(self, rng):
+        bn = BatchNorm1d(3)
+        x = rng.standard_normal((64, 3)) + 5.0
+        bn(Tensor(x))
+        assert (bn.running_mean > 0.1).all()
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(2)
+        x = rng.standard_normal((128, 2)) * 2 + 3
+        bn.train()
+        for _ in range(50):
+            bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x)).data
+        # After many updates the running stats approximate the batch stats.
+        np.testing.assert_allclose(out.mean(axis=0), 0, atol=0.1)
+
+    def test_eval_is_deterministic(self, rng):
+        bn = BatchNorm2d(2)
+        bn.eval()
+        x = rng.standard_normal((4, 2, 3, 3))
+        np.testing.assert_array_equal(bn(Tensor(x)).data, bn(Tensor(x)).data)
+
+
+class TestOtherLayers:
+    def test_activations(self, rng):
+        x = Tensor(rng.standard_normal((3, 3)))
+        np.testing.assert_allclose(ReLU()(x).data, np.maximum(x.data, 0))
+        np.testing.assert_allclose(Tanh()(x).data, np.tanh(x.data))
+        np.testing.assert_allclose(Sigmoid()(x).data,
+                                   1 / (1 + np.exp(-x.data)), rtol=1e-6)
+
+    def test_flatten(self, rng):
+        assert Flatten()(Tensor(np.zeros((2, 3, 4)))).shape == (2, 12)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.standard_normal(5))
+        assert Identity()(x) is x
+
+    def test_dropout_train_vs_eval(self, rng):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        drop.train()
+        out = drop(x).data
+        assert (out == 0).any()
+        # Inverted dropout keeps the expectation.
+        assert abs(out.mean() - 1.0) < 0.05
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_pools(self, rng):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2)(Tensor(x)).data
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+        out = AvgPool2d(2)(Tensor(x)).data
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        np.testing.assert_allclose(GlobalAvgPool2d()(Tensor(x)).data,
+                                   x.mean(axis=(2, 3)), rtol=1e-6)
+
+    def test_sequential_iteration(self, rng):
+        seq = Sequential(Linear(2, 2, rng=rng), ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], ReLU)
+        assert len(list(iter(seq))) == 2

@@ -1,0 +1,79 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, cross_entropy, mse_loss, nll_loss
+from repro.nn import functional as F
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.standard_normal((6, 4))
+        targets = rng.integers(0, 4, 6)
+        loss = cross_entropy(Tensor(logits), targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(1, keepdims=True))
+        expected = -log_probs[np.arange(6), targets].mean()
+        np.testing.assert_allclose(loss.item(), expected, rtol=1e-6)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((3, 5), -50.0)
+        logits[np.arange(3), [0, 2, 4]] = 50.0
+        loss = cross_entropy(Tensor(logits), np.array([0, 2, 4]))
+        assert loss.item() < 1e-6
+
+    def test_uniform_prediction_is_log_c(self):
+        logits = np.zeros((4, 10))
+        loss = cross_entropy(Tensor(logits), np.zeros(4, dtype=int))
+        np.testing.assert_allclose(loss.item(), np.log(10), rtol=1e-6)
+
+    def test_numerically_stable_with_huge_logits(self):
+        logits = np.array([[1e4, -1e4]])
+        loss = cross_entropy(Tensor(logits), np.array([0]))
+        assert np.isfinite(loss.item())
+
+    def test_reductions(self, rng):
+        logits = Tensor(rng.standard_normal((5, 3)))
+        y = rng.integers(0, 3, 5)
+        none = cross_entropy(logits, y, reduction="none")
+        assert none.shape == (5,)
+        np.testing.assert_allclose(
+            cross_entropy(logits, y, reduction="sum").item(),
+            none.data.sum(), rtol=1e-6)
+        with pytest.raises(ValueError):
+            cross_entropy(logits, y, reduction="bogus")
+
+    def test_gradient_direction(self, rng):
+        # Gradient should push the correct-class logit up.
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        loss = cross_entropy(logits, np.array([1]))
+        loss.backward()
+        assert logits.grad[0, 1] < 0  # descent raises logit 1
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+
+class TestNLL:
+    def test_picks_target_entries(self, rng):
+        log_probs = F.log_softmax(Tensor(rng.standard_normal((4, 3))))
+        y = np.array([0, 1, 2, 1])
+        loss = nll_loss(log_probs, y)
+        np.testing.assert_allclose(
+            loss.item(), -log_probs.data[np.arange(4), y].mean(), rtol=1e-6)
+
+
+class TestMSE:
+    def test_zero_for_identical(self, rng):
+        x = rng.standard_normal((3, 3))
+        assert mse_loss(Tensor(x), x).item() == 0.0
+
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((4, 2))
+        b = rng.standard_normal((4, 2))
+        np.testing.assert_allclose(mse_loss(Tensor(a), b).item(),
+                                   ((a - b) ** 2).mean(), rtol=1e-6)
+
+    def test_reduction_none_shape(self, rng):
+        a = rng.standard_normal((2, 3))
+        assert mse_loss(Tensor(a), np.zeros((2, 3)),
+                        reduction="none").shape == (2, 3)

@@ -1,0 +1,152 @@
+"""Tests for the model zoo and the paper's downsizing rule."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (MLP, ArchitectureSpec, ShakeShakeBlock, ShakeShakeCNN,
+                      Tensor, build_model, cross_entropy, downsize, mlp_spec,
+                      no_grad, shake_shake_spec)
+
+
+class TestSpecs:
+    def test_mlp_spec_names(self):
+        assert mlp_spec(8).name == "MLP-8"
+        assert shake_shake_spec(26).name == "SS-26"
+
+    def test_invalid_family(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec("rnn", 4, (10,), 10)
+
+    def test_invalid_shake_depth(self):
+        with pytest.raises(ValueError):
+            shake_shake_spec(10)  # not 2 + 6*b
+
+    @pytest.mark.parametrize("depth,blocks", [(8, 1), (14, 2), (26, 4)])
+    def test_blocks_per_stage(self, depth, blocks):
+        assert shake_shake_spec(depth).blocks_per_stage == blocks
+
+    def test_in_features(self):
+        assert mlp_spec(2, in_shape=(1, 28, 28)).in_features == 784
+
+
+class TestDownsize:
+    def test_paper_mlp_configs(self):
+        ref = mlp_spec(8)
+        assert downsize(ref, 2).depth == 4
+        assert downsize(ref, 4).depth == 2
+        assert downsize(ref, 2).name == "MLP-4"
+
+    def test_paper_shake_configs(self):
+        ref = shake_shake_spec(26)
+        assert downsize(ref, 2).depth == 14
+        assert downsize(ref, 4).depth == 8
+
+    def test_identity_for_one_expert(self):
+        ref = mlp_spec(8)
+        assert downsize(ref, 1) is ref
+
+    def test_invalid_expert_count(self):
+        with pytest.raises(ValueError):
+            downsize(mlp_spec(8), 0)
+
+    def test_width_preserved(self):
+        ref = mlp_spec(8, width=128)
+        assert downsize(ref, 2).width == 128
+
+    def test_downsized_model_is_smaller(self, rng):
+        ref = shake_shake_spec(26, width=8)
+        big = build_model(ref, rng)
+        small = build_model(downsize(ref, 4), rng)
+        assert small.num_parameters() < big.num_parameters() / 2
+
+
+class TestMLP:
+    def test_depth_counts_linear_layers(self, rng):
+        from repro.nn import Linear
+        for depth in (1, 2, 4, 8):
+            model = MLP(10, 3, depth=depth, width=16, rng=rng)
+            linears = sum(1 for m in model.modules()
+                          if isinstance(m, Linear))
+            assert linears == depth
+
+    def test_forward_shape(self, rng):
+        model = MLP(784, 10, depth=2, width=32, rng=rng)
+        out = model(Tensor(rng.standard_normal((5, 1, 28, 28))))
+        assert out.shape == (5, 10)
+
+    def test_learns_xor_like_task(self, rng):
+        # 2-layer MLP can fit a small nonlinear problem.
+        from repro.nn import SGD
+        x = rng.standard_normal((128, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+        model = MLP(2, 2, depth=2, width=16, rng=rng)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        for _ in range(300):
+            loss = cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        preds = model(Tensor(x)).argmax(axis=1)
+        assert (preds == y).mean() > 0.9
+
+
+class TestShakeShakeCNN:
+    def test_forward_shape(self, rng):
+        model = ShakeShakeCNN(3, 10, blocks_per_stage=1, base_width=4,
+                              rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_spatial_downsampling(self, rng):
+        # Stage strides reduce 32x32 -> 8x8 before pooling; check via an
+        # intermediate forward.
+        model = ShakeShakeCNN(3, 10, blocks_per_stage=1, base_width=4,
+                              rng=rng)
+        x = Tensor(rng.standard_normal((1, 3, 32, 32)))
+        h = model.stem_bn(model.stem(x)).relu()
+        h = model.stages(h)
+        assert h.shape == (1, 16, 8, 8)
+
+    def test_eval_deterministic_train_stochastic(self, rng):
+        model = ShakeShakeCNN(3, 10, blocks_per_stage=1, base_width=4,
+                              rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 3, 32, 32)))
+        model.train()
+        a = model(x).data.copy()
+        b = model(x).data.copy()
+        assert not np.allclose(a, b)  # shake-shake noise
+        model.eval()
+        with no_grad():
+            c = model(x).data.copy()
+            d = model(x).data.copy()
+        np.testing.assert_array_equal(c, d)
+
+    def test_block_shortcut_types(self, rng):
+        from repro.nn import Identity
+        from repro.nn.models import _Shortcut
+        same = ShakeShakeBlock(8, 8, stride=1, rng=rng)
+        assert isinstance(same.shortcut, Identity)
+        down = ShakeShakeBlock(8, 16, stride=2, rng=rng)
+        assert isinstance(down.shortcut, _Shortcut)
+
+    def test_block_count_matches_depth(self, rng):
+        for depth, blocks in ((8, 3), (14, 6), (26, 12)):
+            model = build_model(shake_shake_spec(depth, width=4), rng)
+            assert len(model.stages) == blocks
+
+
+class TestBuildModel:
+    def test_build_mlp(self, rng):
+        model = build_model(mlp_spec(4, width=16), rng)
+        assert isinstance(model, MLP)
+
+    def test_build_shake(self, rng):
+        model = build_model(shake_shake_spec(8, width=4), rng)
+        assert isinstance(model, ShakeShakeCNN)
+
+    def test_deterministic_build(self):
+        a = build_model(mlp_spec(2, width=8), np.random.default_rng(3))
+        b = build_model(mlp_spec(2, width=8), np.random.default_rng(3))
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)

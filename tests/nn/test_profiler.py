@@ -1,0 +1,67 @@
+"""Tests for the op-level profiler."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Tensor, cross_entropy
+from repro.nn.autograd import Function
+from repro.nn.profiler import OpProfiler
+
+
+class TestOpProfiler:
+    def test_records_forward_and_backward(self, rng):
+        model = MLP(32, 4, depth=2, width=16, rng=rng)
+        x = Tensor(rng.standard_normal((8, 32)).astype(np.float32))
+        with OpProfiler() as prof:
+            loss = cross_entropy(model(x), rng.integers(0, 4, 8))
+            loss.backward()
+        assert "MatMul" in prof.stats
+        matmul = prof.stats["MatMul"]
+        assert matmul.calls >= 2
+        assert matmul.forward_s > 0
+        assert matmul.backward_s > 0
+        assert prof.total_time() > 0
+
+    def test_restores_apply_on_exit(self, rng):
+        original = Function.__dict__["apply"]
+        with OpProfiler():
+            pass
+        assert Function.__dict__["apply"] is original
+        # Subclass dispatch still works after restore.
+        out = Tensor(np.ones(2), requires_grad=True) * 2.0
+        np.testing.assert_array_equal(out.data, [2.0, 2.0])
+
+    def test_restores_apply_on_exception(self):
+        original = Function.__dict__["apply"]
+        with pytest.raises(RuntimeError):
+            with OpProfiler():
+                raise RuntimeError("boom")
+        assert Function.__dict__["apply"] is original
+
+    def test_report_contains_ops(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)), requires_grad=True)
+        with OpProfiler() as prof:
+            (x * 2.0).sum().backward()
+        report = prof.report()
+        assert "Mul" in report and "Sum" in report
+        assert "total ms" in report
+
+    def test_no_recording_outside_context(self, rng):
+        prof = OpProfiler()
+        x = Tensor(rng.standard_normal(4))
+        _ = x * 2.0
+        assert not prof.stats
+
+    def test_heavier_ops_take_longer(self, rng):
+        """Sanity link to the analytic cost model: a much bigger matmul
+        must accumulate more time than a tiny one."""
+        big = Tensor(rng.standard_normal((256, 256)).astype(np.float32))
+        small = Tensor(rng.standard_normal((4, 4)).astype(np.float32))
+        with OpProfiler() as prof_big:
+            for _ in range(10):
+                _ = big @ big
+        with OpProfiler() as prof_small:
+            for _ in range(10):
+                _ = small @ small
+        assert (prof_big.stats["MatMul"].forward_s
+                > prof_small.stats["MatMul"].forward_s)

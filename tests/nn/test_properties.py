@@ -1,0 +1,119 @@
+"""Hypothesis property-based tests for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.autograd import unbroadcast
+
+finite = st.floats(-100, 100, allow_nan=False, allow_infinity=False,
+                   width=64)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(np.float64,
+                  array_shapes(min_dims=1, max_dims=max_dims,
+                               max_side=max_side),
+                  elements=finite)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), small_arrays())
+def test_add_commutes_with_broadcasting(a, b):
+    try:
+        np.broadcast_shapes(a.shape, b.shape)
+    except ValueError:
+        return
+    ab = (Tensor(a) + Tensor(b)).data
+    ba = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_array_equal(ab, ba)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_double_negation_is_identity(a):
+    np.testing.assert_array_equal((-(-Tensor(a))).data, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_grad_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mean_grad_sums_to_one(a):
+    t = Tensor(a, requires_grad=True)
+    t.mean().backward()
+    np.testing.assert_allclose(t.grad.sum(), 1.0, rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, array_shapes(min_dims=2, max_dims=2, max_side=6),
+              elements=finite))
+def test_softmax_rows_sum_to_one(a):
+    out = F.softmax(Tensor(a)).data
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+    assert (out >= 0).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, array_shapes(min_dims=2, max_dims=2, max_side=6),
+              elements=finite))
+def test_log_softmax_is_log_of_softmax(a):
+    lsm = F.log_softmax(Tensor(a)).data
+    sm = F.softmax(Tensor(a)).data
+    np.testing.assert_allclose(np.exp(lsm), sm, rtol=1e-7, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent(a):
+    once = Tensor(a).relu().data
+    twice = Tensor(once).relu().data
+    np.testing.assert_array_equal(once, twice)
+    assert (once >= 0).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2), small_arrays(max_dims=2))
+def test_unbroadcast_inverts_broadcast(a, b):
+    try:
+        shape = np.broadcast_shapes(a.shape, b.shape)
+    except ValueError:
+        return
+    grad = np.ones(shape)
+    ga = unbroadcast(grad, a.shape)
+    assert ga.shape == a.shape
+    # Summing over broadcast axes preserves total gradient mass.
+    np.testing.assert_allclose(ga.sum(), grad.sum(), rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 6), st.integers(1, 6),
+       st.integers(0, 1000))
+def test_linear_grad_shapes_match_params(batch, n_in, n_out, seed):
+    from repro.nn import Linear
+    rng = np.random.default_rng(seed)
+    layer = Linear(n_in, n_out, rng=rng)
+    out = layer(Tensor(rng.standard_normal((batch, n_in))))
+    out.sum().backward()
+    assert layer.weight.grad.shape == layer.weight.data.shape
+    assert layer.bias.grad.shape == layer.bias.data.shape
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 10), st.integers(2, 8), st.integers(0, 999))
+def test_one_hot_roundtrip(n, c, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, c, n)
+    oh = F.one_hot(labels, c)
+    assert oh.shape == (n, c)
+    np.testing.assert_array_equal(oh.argmax(axis=1), labels)
+    np.testing.assert_array_equal(oh.sum(axis=1), np.ones(n))

@@ -1,0 +1,54 @@
+"""Tests for model serialization (files and wire bytes)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Tensor, build_model, load_model, mlp_spec,
+                      model_from_bytes, model_to_bytes, no_grad, save_model,
+                      shake_shake_spec)
+
+
+def _outputs_equal(a, b, x):
+    a.eval()
+    b.eval()
+    with no_grad():
+        np.testing.assert_array_equal(a(Tensor(x)).data, b(Tensor(x)).data)
+
+
+class TestFileRoundtrip:
+    def test_mlp_roundtrip(self, rng, tmp_path):
+        spec = mlp_spec(4, width=16)
+        model = build_model(spec, rng)
+        save_model(model, spec, tmp_path / "m.npz")
+        loaded, loaded_spec = load_model(tmp_path / "m.npz")
+        assert loaded_spec == spec
+        _outputs_equal(model, loaded, rng.standard_normal((3, 784)))
+
+    def test_shake_roundtrip_includes_bn_buffers(self, rng, tmp_path):
+        spec = shake_shake_spec(8, width=4)
+        model = build_model(spec, rng)
+        # Push data through so running stats are non-default.
+        model.train()
+        model(Tensor(rng.standard_normal((8, 3, 32, 32))))
+        save_model(model, spec, tmp_path / "cnn.npz")
+        loaded, _ = load_model(tmp_path / "cnn.npz")
+        _outputs_equal(model, loaded, rng.standard_normal((2, 3, 32, 32)))
+
+
+class TestBytesRoundtrip:
+    def test_bytes_roundtrip(self, rng):
+        spec = mlp_spec(2, width=8)
+        model = build_model(spec, rng)
+        blob = model_to_bytes(model, spec)
+        assert isinstance(blob, bytes) and len(blob) > 100
+        loaded, loaded_spec = model_from_bytes(blob)
+        assert loaded_spec.name == "MLP-2"
+        _outputs_equal(model, loaded, rng.standard_normal((2, 784)))
+
+    def test_bytes_are_self_describing(self, rng):
+        # No out-of-band info needed: a fresh process could reconstruct.
+        spec = mlp_spec(2, width=8, num_classes=7)
+        blob = model_to_bytes(build_model(spec, rng), spec)
+        _, loaded_spec = model_from_bytes(blob)
+        assert loaded_spec.num_classes == 7
+        assert loaded_spec.in_shape == (1, 28, 28)

@@ -1,0 +1,136 @@
+"""Forward-semantics tests for the Tensor type."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, arange, no_grad, ones, randn, tensor, zeros
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = tensor([[1, 2], [3, 4]])
+        assert t.shape == (2, 2)
+        assert t.dtype.kind == "f"  # ints promote to float
+
+    def test_preserves_float_dtype(self):
+        t = tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+        t32 = tensor(np.zeros(3, dtype=np.float32))
+        assert t32.dtype == np.float32
+
+    def test_factories(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert float(ones(4).sum().item()) == 4.0
+        assert arange(5).shape == (5,)
+        assert randn(3, 2, rng=np.random.default_rng(0)).shape == (3, 2)
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(tensor([1.0]))
+
+
+class TestArithmetic:
+    def test_scalar_ops(self):
+        t = tensor([1.0, 2.0])
+        np.testing.assert_allclose((t + 1).data, [2, 3])
+        np.testing.assert_allclose((1 + t).data, [2, 3])
+        np.testing.assert_allclose((t - 1).data, [0, 1])
+        np.testing.assert_allclose((3 - t).data, [2, 1])
+        np.testing.assert_allclose((t * 2).data, [2, 4])
+        np.testing.assert_allclose((t / 2).data, [0.5, 1])
+        np.testing.assert_allclose((2 / t).data, [2, 1])
+        np.testing.assert_allclose((-t).data, [-1, -2])
+        np.testing.assert_allclose((t**2).data, [1, 4])
+
+    def test_comparisons_return_arrays(self):
+        t = tensor([1.0, 2.0, 3.0])
+        assert (t > 1.5).tolist() == [False, True, True]
+        assert (t <= 2.0).tolist() == [True, True, False]
+
+    def test_matmul_vector(self):
+        a = tensor([[1.0, 2.0], [3.0, 4.0]])
+        v = tensor([1.0, 1.0])
+        np.testing.assert_allclose((a @ v).data, [3, 7])
+
+
+class TestReductionsAndShape:
+    def test_sum_axes(self):
+        t = tensor(np.arange(24.0).reshape(2, 3, 4))
+        assert t.sum().shape == ()
+        assert t.sum(axis=0).shape == (3, 4)
+        assert t.sum(axis=(1, 2)).shape == (2,)
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1, 4)
+
+    def test_mean_matches_numpy(self):
+        a = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_allclose(tensor(a).mean(axis=1).data,
+                                   a.mean(axis=1))
+
+    def test_max_min_argminmax(self):
+        a = np.array([[1.0, 5.0], [7.0, 2.0]])
+        t = tensor(a)
+        assert t.max().item() == 7.0
+        assert t.min().item() == 1.0
+        assert t.argmax(axis=1).tolist() == [1, 0]
+        assert t.argmin(axis=0).tolist() == [0, 1]
+
+    def test_flatten(self):
+        t = tensor(np.zeros((2, 3, 4)))
+        assert t.flatten().shape == (2, 12)
+        assert t.flatten(start_dim=0).shape == (24,)
+
+    def test_transpose_axes(self):
+        t = tensor(np.zeros((2, 3, 4)))
+        assert t.transpose((2, 0, 1)).shape == (4, 2, 3)
+        assert t.T.shape == (4, 3, 2)
+
+    def test_squeeze_errors_on_non_unit_axis(self):
+        with pytest.raises(ValueError):
+            tensor(np.zeros((2, 3))).squeeze(0)
+
+
+class TestAutogradControls:
+    def test_detach_cuts_graph(self):
+        x = tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+        z = (y * 3).sum()
+        z.backward()
+        assert x.grad is None
+
+    def test_no_grad_context(self):
+        x = tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._ctx is None
+
+    def test_no_grad_restores_state(self):
+        from repro.nn.autograd import is_grad_enabled
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_retain_grad_on_intermediate(self):
+        x = tensor([3.0], requires_grad=True)
+        y = (x * 2).retain_grad()
+        (y * y).sum().backward()
+        np.testing.assert_allclose(y.grad, [12.0])
+
+    def test_zero_grad(self):
+        x = tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_backward_on_nonscalar_with_grad(self):
+        x = tensor([1.0, 2.0], requires_grad=True)
+        y = x * 3
+        y.backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+    def test_len_and_item(self):
+        assert len(tensor([1.0, 2.0, 3.0])) == 3
+        assert tensor([[42.0]]).item() == 42.0

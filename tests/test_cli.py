@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(
+            ["train", "--out", "/tmp/x"])
+        assert args.dataset == "mnist"
+        assert args.experts == 2
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "--id", "fig99"])
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--device", "cray-1"])
+
+
+class TestCommands:
+    def test_train_evaluate_serve_roundtrip(self, tmp_path, capsys):
+        team_dir = tmp_path / "team"
+        rc = main(["train", "--dataset", "mnist", "--experts", "2",
+                   "--epochs", "2", "--samples", "300", "--width", "16",
+                   "--out", str(team_dir)])
+        assert rc == 0
+        assert (team_dir / "expert_0.npz").exists()
+        assert (team_dir / "expert_1.npz").exists()
+        out = capsys.readouterr().out
+        assert "team accuracy" in out
+
+        rc = main(["evaluate", "--team", str(team_dir),
+                   "--samples", "100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "loaded 2x MLP-4" in out
+
+        rc = main(["serve", "--team", str(team_dir), "--requests", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("request ") == 3
+        assert "accuracy over 3 live requests" in out
+
+    def test_simulate(self, capsys):
+        rc = main(["simulate", "--dataset", "mnist",
+                   "--device", "raspberry-pi-3b+", "--experts", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MLP-8 baseline" in out
+        assert "TeamNet 2x MLP-4" in out
+
+    def test_experiment_small(self, capsys):
+        rc = main(["experiment", "--id", "fig5", "--scale", "small"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
