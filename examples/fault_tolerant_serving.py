@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
 """Fault-tolerant TeamNet serving + sustained-load capacity planning.
 
-Two extensions beyond the paper, built on its runtime:
+Three extensions beyond the paper, built on its runtime:
 
 1. **Graceful degradation** — kill a worker mid-stream and watch the
    master drop it from the team and keep answering from the survivors
-   (at reduced accuracy: each expert only knows its partition).
-2. **Capacity planning** — use the queueing simulator to find the request
+   (at reduced accuracy: each expert only knows its partition).  The
+   gather is concurrent with a single per-inference deadline
+   (``reply_timeout``), so even a dead or straggling worker costs at
+   most one deadline per inference — never one timeout per peer.
+2. **Automatic recovery** — restart the killed worker on the same port
+   and watch the master reconnect (capped exponential backoff, starting
+   at ``reconnect_backoff`` seconds) and fold it back into the team,
+   without redeploying anything.
+3. **Capacity planning** — use the queueing simulator to find the request
    rate each deployment sustains on Raspberry-Pi-class hardware.
 
 Run:  python examples/fault_tolerant_serving.py
 """
+
+import time
 
 import numpy as np
 
@@ -29,18 +38,20 @@ def main() -> None:
     dataset = synthetic_mnist(1600, seed=4)
     train, test = train_test_split(dataset, 0.2, rng=rng)
 
-    print("[1/3] training a 3-expert team ...")
+    print("[1/4] training a 3-expert team ...")
     team = TeamNet.from_reference(
         mlp_spec(depth=8, width=64), num_experts=3,
         config=TrainerConfig(epochs=8, seed=4), seed=4)
     team.fit(train)
     print(f"      full-team accuracy: {team.accuracy(test):.3f}")
 
-    print("\n[2/3] serving with degradation enabled, then killing a "
+    print("\n[2/4] serving with degradation enabled, then killing a "
           "worker ...")
     master, workers = deploy_local_team(team.experts,
                                         degrade_on_failure=True,
-                                        reply_timeout=2.0)
+                                        reply_timeout=2.0,
+                                        reconnect_backoff=0.1,
+                                        reconnect_backoff_max=1.0)
     try:
         batch = test.images[:64]
         labels = test.labels[:64]
@@ -55,12 +66,29 @@ def main() -> None:
               f"failed={master.failed_workers}): "
               f"accuracy {np.mean(preds == labels):.3f}")
         print(f"      surviving winners: {sorted(set(winner.tolist()))}")
+
+        print("\n[3/4] restarting the worker on the same port ...")
+        workers[0].start()
+        deadline = time.monotonic() + 10.0
+        while master.failed_workers and time.monotonic() < deadline:
+            time.sleep(0.1)  # give the backoff window a chance to elapse
+            preds, _, _ = master.infer(batch)
+        print(f"      recovered team ({master.live_team_size} nodes, "
+              f"failed={master.failed_workers}): "
+              f"accuracy {np.mean(preds == labels):.3f}")
+        for index, health in sorted(master.worker_health.items()):
+            mean = health.mean_reply_latency_s
+            print(f"      worker {index}: {health.replies} replies, "
+                  f"{health.failures} failures "
+                  f"({health.timeouts} timeouts), "
+                  f"{health.reconnects} reconnects, "
+                  f"mean reply {0.0 if mean is None else mean * 1e3:.1f} ms")
     finally:
         master.close()
         for worker in workers:
             worker.stop()
 
-    print("\n[3/3] sustainable request rates on Raspberry Pi 3B+ "
+    print("\n[4/4] sustainable request rates on Raspberry Pi 3B+ "
           "(deployment scale):")
     ref = mlp_spec(8, width=2048)
     base = baseline_metrics(
@@ -79,7 +107,8 @@ def main() -> None:
         print(f"      {name:<22} capacity {capacity:7.1f} req/s   "
               f"p95 @ 80% load {at80['p95_sojourn_ms']:6.1f} ms")
     print("\nDone: fewer, smaller experts per node -> more headroom per "
-          "device, and the team survives node failures.")
+          "device, the team survives node failures, and failed nodes "
+          "rejoin automatically when they come back.")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the full test suite with a per-test timeout so a
+# regressed gather (or any other hang) fails fast instead of wedging CI.
+#
+# Usage: scripts/ci.sh [extra pytest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PER_TEST_TIMEOUT="${PER_TEST_TIMEOUT:-120}"
+SUITE_TIMEOUT="${SUITE_TIMEOUT:-1800}"
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# The outer `timeout` is the backstop in case a hang happens outside a
+# test body (collection, fixtures); the pytest option catches the rest.
+exec timeout --signal=INT "$SUITE_TIMEOUT" \
+    python -m pytest -x -q --per-test-timeout="$PER_TEST_TIMEOUT" "$@"

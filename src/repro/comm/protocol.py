@@ -85,18 +85,55 @@ def decode(blob: bytes) -> Message:
     if not isinstance(header, dict) or "kind" not in header:
         raise ProtocolError("header missing 'kind'")
     payload = blob[header_end:]
+    manifest = header.get("arrays", [])
+    if not isinstance(manifest, list):
+        raise ProtocolError("array manifest must be a list")
     arrays = {}
-    for entry in header.get("arrays", []):
-        start = entry["offset"]
-        end = start + entry["nbytes"]
+    spans: list[tuple[int, int, str]] = []
+    for entry in manifest:
+        name, start, nbytes, shape = _validate_entry(entry)
+        end = start + nbytes
         if end > len(payload):
-            raise ProtocolError(f"array {entry['name']!r} out of bounds")
+            raise ProtocolError(f"array {name!r} out of bounds")
         dtype = np.dtype(entry["dtype"])
-        expected = int(np.prod(entry["shape"])) * dtype.itemsize
-        if expected != entry["nbytes"]:
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if expected != nbytes:
             raise ProtocolError(
-                f"array {entry['name']!r}: manifest nbytes {entry['nbytes']} "
+                f"array {name!r}: manifest nbytes {nbytes} "
                 f"inconsistent with shape/dtype ({expected})")
-        arrays[entry["name"]] = np.frombuffer(
-            payload[start:end], dtype=dtype).reshape(entry["shape"]).copy()
+        spans.append((start, end, name))
+        arrays[name] = np.frombuffer(
+            payload[start:end], dtype=dtype).reshape(shape).copy()
+    # Overlapping spans mean the manifest lies about the payload layout —
+    # a malformed (or malicious) peer; refuse rather than alias bytes.
+    spans.sort()
+    for (_, prev_end, prev_name), (start, _, name) in zip(spans, spans[1:]):
+        if start < prev_end:
+            raise ProtocolError(
+                f"arrays {prev_name!r} and {name!r} overlap in the payload")
     return Message(header["kind"], header.get("meta", {}), arrays)
+
+
+def _validate_entry(entry) -> tuple[str, int, int, list[int]]:
+    """Check one manifest entry's types and bounds before trusting it.
+
+    Negative offsets are the dangerous case: Python slicing would silently
+    read from the *end* of the payload instead of raising.
+    """
+    if not isinstance(entry, dict):
+        raise ProtocolError("array manifest entry must be an object")
+    name = entry.get("name")
+    if not isinstance(name, str):
+        raise ProtocolError("array manifest entry missing 'name'")
+    start = entry.get("offset")
+    nbytes = entry.get("nbytes")
+    if not isinstance(start, int) or isinstance(start, bool) or start < 0:
+        raise ProtocolError(f"array {name!r}: invalid offset {start!r}")
+    if not isinstance(nbytes, int) or isinstance(nbytes, bool) or nbytes < 0:
+        raise ProtocolError(f"array {name!r}: invalid nbytes {nbytes!r}")
+    shape = entry.get("shape")
+    if (not isinstance(shape, list)
+            or any(not isinstance(dim, int) or isinstance(dim, bool)
+                   or dim < 0 for dim in shape)):
+        raise ProtocolError(f"array {name!r}: invalid shape {shape!r}")
+    return name, start, nbytes, shape

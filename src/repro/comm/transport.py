@@ -164,12 +164,16 @@ class Listener:
 
 
 def connect(host: str, port: int, retries: int = 50,
-            delay: float = 0.05) -> MeteredSocket:
-    """Connect to a listener, retrying while it comes up."""
+            delay: float = 0.05, timeout: float = 10.0) -> MeteredSocket:
+    """Connect to a listener, retrying while it comes up.
+
+    ``timeout`` bounds each individual connection attempt — reconnect
+    paths pass a small value so probing a dead peer stays cheap.
+    """
     last_error: Exception | None = None
-    for _ in range(retries):
+    for _ in range(max(1, retries)):
         try:
-            sock = socket.create_connection((host, port), timeout=10.0)
+            sock = socket.create_connection((host, port), timeout=timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.settimeout(None)
             return MeteredSocket(sock)

@@ -15,11 +15,11 @@ from .mpi_kernel import (MpiKernelRunner, count_conv_layers,
 from .mpi_matrix import (MpiMatrixRunner, mpi_matrix_forward,
                          split_linear_weights)
 from .teamnet_runtime import (ExpertWorker, InferenceStats, TeamNetMaster,
-                              WorkerFailure, deploy_local_team)
+                              WorkerFailure, WorkerHealth, deploy_local_team)
 
 __all__ = [
     "TeamNetMaster", "ExpertWorker", "deploy_local_team", "InferenceStats",
-    "WorkerFailure",
+    "WorkerFailure", "WorkerHealth",
     "mpi_matrix_forward", "split_linear_weights", "MpiMatrixRunner",
     "mpi_kernel_forward", "kernel_split_conv", "count_conv_layers",
     "MpiKernelRunner", "mpi_branch_forward", "count_blocks",

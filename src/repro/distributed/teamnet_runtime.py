@@ -7,6 +7,15 @@ uncertainty) pair (Step 4) and selects the least-uncertain answer (Step 5).
 Communication is plain framed TCP — one message out and one small message
 back per worker, which is the paper's whole latency argument against MPI.
 
+The gather is *concurrent and fault-aware*: one reader thread per peer
+collects replies simultaneously under a single per-inference deadline
+(``reply_timeout``), so one slow or dead worker costs at most one deadline
+— never K× — and never blocks the reads from faster peers.  A peer that
+misses the deadline has its socket closed (a late reply on a reused
+connection would desync the frame stream) and is retried with capped
+exponential backoff on later inferences, so a worker that rejoins after a
+transient network blip is welcomed back instead of blacklisted forever.
+
 ``deploy_local_team`` spins a worker thread per expert on localhost so the
 whole protocol runs for real in tests and examples.
 """
@@ -14,27 +23,37 @@ whole protocol runs for real in tests and examples.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..comm import protocol
-from ..comm.transport import Listener, TransportStats, connect
+from ..comm.transport import Listener, MeteredSocket, TransportStats, connect
 from ..core.inference import ExpertOutput, argmin_select, expert_forward
 from ..nn import Module
 
-__all__ = ["ExpertWorker", "TeamNetMaster", "WorkerFailure",
+__all__ = ["ExpertWorker", "TeamNetMaster", "WorkerFailure", "WorkerHealth",
            "deploy_local_team", "InferenceStats"]
 
 
 @dataclass
 class InferenceStats:
-    """Traffic observed by the master for one inference."""
+    """Traffic and gather telemetry observed by the master for one
+    inference.
+
+    Byte/message counters include traffic to workers that later failed:
+    the broadcast bytes went on the wire whether or not a reply came back,
+    and the edge cost model must charge for them.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     messages_received: int = 0
     bytes_received: int = 0
+    gather_s: float = 0.0
+    reply_latency_s: dict[int, float] = field(default_factory=dict)
+    failures: int = 0
 
     @classmethod
     def from_transport(cls, stats: TransportStats) -> "InferenceStats":
@@ -42,33 +61,91 @@ class InferenceStats:
                    stats.messages_received, stats.bytes_received)
 
 
+@dataclass
+class WorkerHealth:
+    """Cumulative per-worker telemetry kept by the master across the
+    lifetime of the connection (survives reconnects)."""
+
+    index: int
+    address: tuple[str, int]
+    replies: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    reconnects: int = 0
+    last_reply_latency_s: float | None = None
+    total_reply_latency_s: float = 0.0
+
+    @property
+    def mean_reply_latency_s(self) -> float | None:
+        if not self.replies:
+            return None
+        return self.total_reply_latency_s / self.replies
+
+
+class _Peer:
+    """Connection state for one worker: socket (None while down) plus the
+    reconnect backoff clock and cumulative health counters."""
+
+    __slots__ = ("index", "address", "sock", "health", "backoff_s",
+                 "retry_at")
+
+    def __init__(self, index: int, address: tuple[str, int],
+                 sock: MeteredSocket | None):
+        self.index = index
+        self.address = address
+        self.sock = sock
+        self.health = WorkerHealth(index=index, address=address)
+        self.backoff_s = 0.0
+        self.retry_at = 0.0
+
+    @property
+    def alive(self) -> bool:
+        return self.sock is not None
+
+
 class ExpertWorker:
-    """An edge node hosting one expert behind a listening socket."""
+    """An edge node hosting one expert behind a listening socket.
+
+    ``stop()`` followed by ``start()`` restarts the worker on the *same*
+    port, so a master holding the old address can reconnect to it — this
+    is what makes recovery after a node reboot possible without
+    redeploying the team.
+    """
 
     def __init__(self, expert: Module, host: str = "127.0.0.1", port: int = 0):
         self.expert = expert
-        self._listener = Listener(host, port)
+        self._host = host
+        self._listener: Listener | None = Listener(host, port)
+        self._port = self._listener.port  # pin the port for restarts
         self._running = False
         self._threads: list[threading.Thread] = []
+        self._acceptor: threading.Thread | None = None
 
     @property
     def address(self) -> tuple[str, int]:
-        return self._listener.address
+        return (self._host, self._port)
 
     def start(self) -> None:
+        if self._running:
+            return
+        if self._listener is None:
+            self._listener = Listener(self._host, self._port)
         self._running = True
-        acceptor = threading.Thread(target=self._accept_loop, daemon=True)
-        acceptor.start()
-        self._threads.append(acceptor)
+        self._acceptor = threading.Thread(target=self._accept_loop,
+                                          args=(self._listener,), daemon=True)
+        self._acceptor.start()
 
-    def _accept_loop(self) -> None:
-        while self._running:
+    def _accept_loop(self, listener: Listener) -> None:
+        while self._running and listener is self._listener:
             try:
-                sock = self._listener.accept(timeout=0.2)
+                sock = listener.accept(timeout=0.2)
             except TimeoutError:
                 continue
             except OSError:
                 return
+            # Reap finished connection threads so the list stays bounded
+            # under heavy traffic instead of growing one entry per client.
+            self._threads = [t for t in self._threads if t.is_alive()]
             worker = threading.Thread(target=self._serve, args=(sock,),
                                       daemon=True)
             worker.start()
@@ -78,7 +155,15 @@ class ExpertWorker:
         with sock:
             try:
                 while self._running:
-                    msg = protocol.decode(sock.recv())
+                    try:
+                        msg = protocol.decode(sock.recv())
+                    except protocol.ProtocolError as exc:
+                        # Malformed manifest from an untrusted peer: tell it
+                        # why, then drop the connection rather than trust
+                        # anything further on this stream.
+                        sock.send(protocol.encode(
+                            "error", {"error": f"bad message: {exc}"}))
+                        return
                     if msg.kind == "shutdown":
                         return
                     if msg.kind != "infer":
@@ -95,7 +180,14 @@ class ExpertWorker:
 
     def stop(self) -> None:
         self._running = False
-        self._listener.close()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        if self._acceptor is not None:
+            # Wait out the acceptor's poll window so the kernel fully
+            # releases the listening port — a restart rebinds the same one.
+            self._acceptor.join(timeout=1.0)
+            self._acceptor = None
 
 
 class WorkerFailure(ConnectionError):
@@ -106,21 +198,35 @@ class TeamNetMaster:
     """The master node: local expert + connections to all workers.
 
     ``degrade_on_failure`` enables graceful degradation: if a worker dies
-    or misses ``reply_timeout``, the master drops it from the team and
+    or misses the gather deadline, the master drops it from the team and
     answers from the remaining experts (each expert only knows part of the
     data, so accuracy degrades — but the system keeps answering).  With
     degradation disabled, a worker failure raises :class:`WorkerFailure`.
+
+    ``reply_timeout`` is a single **per-inference** gather deadline: all
+    replies are read concurrently, so the total wait is bounded by one
+    deadline no matter how many workers straggle.  Failed workers are
+    retried with exponential backoff starting at ``reconnect_backoff``
+    seconds and capped at ``reconnect_backoff_max``; a worker that comes
+    back (same address) rejoins the team automatically.
     """
 
     def __init__(self, expert: Module,
                  worker_addresses: list[tuple[str, int]],
                  degrade_on_failure: bool = False,
-                 reply_timeout: float | None = None):
+                 reply_timeout: float | None = None,
+                 reconnect_backoff: float = 0.25,
+                 reconnect_backoff_max: float = 5.0,
+                 connect_timeout: float = 0.25):
         self.expert = expert
-        self._peers = [connect(host, port) for host, port in worker_addresses]
         self.degrade_on_failure = degrade_on_failure
         self.reply_timeout = reply_timeout
-        self.failed_workers: list[int] = []
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_backoff_max = reconnect_backoff_max
+        self.connect_timeout = connect_timeout
+        self._peers = [
+            _Peer(i, (host, port), connect(host, port))
+            for i, (host, port) in enumerate(worker_addresses, start=1)]
 
     @property
     def team_size(self) -> int:
@@ -130,16 +236,113 @@ class TeamNetMaster:
     def live_team_size(self) -> int:
         return self.team_size - len(self.failed_workers)
 
-    def _collect(self, peer, stats) -> ExpertOutput:
-        reply = protocol.decode(peer.recv(timeout=self.reply_timeout))
-        if reply.kind != "result":
-            raise WorkerFailure(
-                f"worker failure: {reply.meta.get('error', reply.kind)}")
-        stats.merge(peer.stats)
-        peer.stats.reset()
-        return ExpertOutput(probs=reply.arrays["probs"],
-                            entropy=reply.arrays["entropy"])
+    @property
+    def failed_workers(self) -> list[int]:
+        """Indices of workers currently down (they may yet rejoin)."""
+        return [peer.index for peer in self._peers if not peer.alive]
 
+    @property
+    def worker_health(self) -> dict[int, WorkerHealth]:
+        """Cumulative per-worker reply-latency and failure telemetry."""
+        return {peer.index: peer.health for peer in self._peers}
+
+    # ------------------------------------------------------------ recovery
+    def _maybe_reconnect(self) -> None:
+        """Retry down workers whose backoff window has elapsed."""
+        now = time.monotonic()
+        for peer in self._peers:
+            if peer.alive or now < peer.retry_at:
+                continue
+            try:
+                peer.sock = connect(*peer.address, retries=1, delay=0.0,
+                                    timeout=self.connect_timeout)
+                peer.health.reconnects += 1
+                peer.backoff_s = 0.0
+                peer.retry_at = 0.0
+            except (ConnectionError, OSError):
+                self._schedule_retry(peer)
+
+    def _schedule_retry(self, peer: _Peer) -> None:
+        peer.backoff_s = (self.reconnect_backoff if peer.backoff_s <= 0.0
+                          else min(peer.backoff_s * 2,
+                                   self.reconnect_backoff_max))
+        peer.retry_at = time.monotonic() + peer.backoff_s
+
+    # ------------------------------------------------------------- failure
+    def _fail(self, peer: _Peer, stats: TransportStats,
+              inference: InferenceStats, timed_out: bool = False) -> None:
+        """Record a worker failure: salvage its traffic counters, close its
+        socket (a late reply on a reused connection would desync the frame
+        stream), and arm the reconnect backoff."""
+        if peer.sock is not None:
+            stats.merge(peer.sock.stats)
+            peer.sock.close()
+            peer.sock = None
+        peer.health.failures += 1
+        if timed_out:
+            peer.health.timeouts += 1
+        inference.failures += 1
+        self._schedule_retry(peer)
+
+    # -------------------------------------------------------------- gather
+    def _gather(self, sent: list[_Peer], inference: InferenceStats
+                ) -> dict[int, ExpertOutput | Exception]:
+        """Read every pending reply concurrently under one deadline.
+
+        Returns ``{worker index: ExpertOutput or Exception}``.  A peer
+        whose reader is still running at the deadline is force-failed and
+        its socket shut down to unblock the reader thread.
+        """
+        deadline = (None if self.reply_timeout is None
+                    else time.monotonic() + self.reply_timeout)
+        results: dict[int, ExpertOutput | Exception] = {}
+        lock = threading.Lock()
+        timed_out: set[int] = set()
+
+        def read(peer: _Peer) -> None:
+            start = time.monotonic()
+            try:
+                reply = protocol.decode(
+                    peer.sock.recv(timeout=self.reply_timeout))
+                if reply.kind != "result":
+                    raise WorkerFailure("worker failure: "
+                                        f"{reply.meta.get('error', reply.kind)}")
+                latency = time.monotonic() - start
+                outcome: ExpertOutput | Exception = ExpertOutput(
+                    probs=reply.arrays["probs"],
+                    entropy=reply.arrays["entropy"])
+                with lock:
+                    if peer.index not in timed_out:
+                        results[peer.index] = outcome
+                        inference.reply_latency_s[peer.index] = latency
+                        peer.health.replies += 1
+                        peer.health.last_reply_latency_s = latency
+                        peer.health.total_reply_latency_s += latency
+            except Exception as exc:  # noqa: BLE001 - surfaced to caller
+                with lock:
+                    results.setdefault(peer.index, exc)
+
+        threads = [threading.Thread(target=read, args=(peer,), daemon=True)
+                   for peer in sent]
+        for thread in threads:
+            thread.start()
+        for peer, thread in zip(sent, threads):
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            thread.join(remaining)
+            if thread.is_alive():
+                with lock:
+                    if peer.index not in results:
+                        timed_out.add(peer.index)
+                        results[peer.index] = TimeoutError(
+                            f"worker {peer.index} missed the "
+                            f"{self.reply_timeout}s gather deadline")
+                if peer.index in timed_out:
+                    peer.sock.close()  # wakes the blocked reader
+                    thread.join(1.0)
+        return results
+
+    # --------------------------------------------------------------- infer
     def infer(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray,
                                             InferenceStats]:
         """One collaborative inference over the team.
@@ -151,38 +354,61 @@ class TeamNetMaster:
         """
         x = np.asarray(x)
         stats = TransportStats()
+        inference = InferenceStats()
+        self._maybe_reconnect()
+        if not self.degrade_on_failure:
+            down = self.failed_workers
+            if down:
+                raise WorkerFailure(f"workers {down} are down and "
+                                    "degradation is disabled")
         request = protocol.encode("infer", {}, {"x": x})
         # Step 2: broadcast the sensor data to every live peer.
-        live = [(i, peer) for i, peer in enumerate(self._peers, start=1)
-                if i not in self.failed_workers]
         sent = []
-        for index, peer in live:
+        for peer in self._peers:
+            if not peer.alive:
+                continue
             try:
-                peer.send(request)
-                sent.append((index, peer))
+                peer.sock.send(request)
+                sent.append(peer)
             except (ConnectionError, OSError) as exc:
-                self._handle_failure(index, exc)
+                self._fail(peer, stats, inference)
+                if not self.degrade_on_failure:
+                    raise WorkerFailure(
+                        f"worker {peer.index} failed: {exc}") from exc
         # Step 3: run the local expert while the workers compute.
         outputs = [expert_forward(self.expert, x)]
         indices = [0]
-        # Step 4: gather (prediction, uncertainty) from every worker.
-        for index, peer in sent:
-            try:
-                outputs.append(self._collect(peer, stats))
-                indices.append(index)
-            except (WorkerFailure, ConnectionError, OSError,
-                    TimeoutError) as exc:
-                self._handle_failure(index, exc)
+        # Step 4: gather (prediction, uncertainty) from every worker —
+        # concurrently, under a single per-inference deadline.
+        gather_start = time.monotonic()
+        results = self._gather(sent, inference)
+        inference.gather_s = time.monotonic() - gather_start
+        first_error: tuple[_Peer, Exception] | None = None
+        for peer in sent:
+            outcome = results.get(peer.index)
+            if isinstance(outcome, ExpertOutput):
+                stats.merge(peer.sock.stats)
+                peer.sock.stats.reset()
+                outputs.append(outcome)
+                indices.append(peer.index)
+            else:
+                exc = outcome if isinstance(outcome, Exception) \
+                    else ConnectionError(f"worker {peer.index}: no reply")
+                self._fail(peer, stats, inference,
+                           timed_out=isinstance(exc, TimeoutError))
+                if first_error is None:
+                    first_error = (peer, exc)
+        if first_error is not None and not self.degrade_on_failure:
+            peer, exc = first_error
+            raise WorkerFailure(f"worker {peer.index} failed: {exc}") from exc
         # Step 5: least-uncertainty selection.
         preds, winner = argmin_select(outputs)
         winner = np.asarray(indices)[winner]
-        return preds, winner, InferenceStats.from_transport(stats)
-
-    def _handle_failure(self, index: int, exc: Exception) -> None:
-        if not self.degrade_on_failure:
-            raise WorkerFailure(f"worker {index} failed: {exc}") from exc
-        if index not in self.failed_workers:
-            self.failed_workers.append(index)
+        combined = InferenceStats.from_transport(stats)
+        combined.gather_s = inference.gather_s
+        combined.reply_latency_s = inference.reply_latency_s
+        combined.failures = inference.failures
+        return preds, winner, combined
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         preds, _, _ = self.infer(x)
@@ -190,15 +416,20 @@ class TeamNetMaster:
 
     def close(self) -> None:
         for peer in self._peers:
+            if peer.sock is None:
+                continue
             try:
-                peer.send(protocol.encode("shutdown"))
+                peer.sock.send(protocol.encode("shutdown"))
             except (ConnectionError, OSError):
                 pass
-            peer.close()
+            peer.sock.close()
+            peer.sock = None
 
 
 def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
-                      reply_timeout: float | None = None
+                      reply_timeout: float | None = None,
+                      reconnect_backoff: float = 0.25,
+                      reconnect_backoff_max: float = 5.0
                       ) -> tuple[TeamNetMaster, list[ExpertWorker]]:
     """Deploy expert 0 as master and the rest as localhost workers.
 
@@ -213,5 +444,7 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
         workers.append(worker)
     master = TeamNetMaster(experts[0], [w.address for w in workers],
                            degrade_on_failure=degrade_on_failure,
-                           reply_timeout=reply_timeout)
+                           reply_timeout=reply_timeout,
+                           reconnect_backoff=reconnect_backoff,
+                           reconnect_backoff_max=reconnect_backoff_max)
     return master, workers

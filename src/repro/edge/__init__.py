@@ -11,8 +11,10 @@ from .loadsim import (LoadReport, capacity_sweep, poisson_arrivals,
 from .device import (DEVICES, JETSON_TX2_CPU, JETSON_TX2_GPU,
                      RASPBERRY_PI_3B, DeviceProfile)
 from .metrics import (Metrics, RESULT_BYTES, baseline_metrics,
-                      moe_grpc_metrics, moe_mpi_metrics, mpi_branch_metrics,
-                      mpi_kernel_metrics, mpi_matrix_metrics, teamnet_metrics)
+                      gather_stall_time, moe_grpc_metrics, moe_mpi_metrics,
+                      mpi_branch_metrics, mpi_kernel_metrics,
+                      mpi_matrix_metrics, teamnet_metrics,
+                      teamnet_straggler_metrics)
 from .monitor import LatencySummary, measure_latency, measure_peak_memory
 from .network import ETHERNET, WIFI, NetworkProfile
 
@@ -20,7 +22,8 @@ __all__ = [
     "DeviceProfile", "RASPBERRY_PI_3B", "JETSON_TX2_CPU", "JETSON_TX2_GPU",
     "DEVICES", "NetworkProfile", "WIFI", "ETHERNET", "profile_model",
     "ModelCost", "LayerCost", "DTYPE_BYTES", "Metrics", "RESULT_BYTES",
-    "baseline_metrics", "teamnet_metrics", "mpi_matrix_metrics",
+    "baseline_metrics", "teamnet_metrics", "teamnet_straggler_metrics",
+    "gather_stall_time", "mpi_matrix_metrics",
     "mpi_kernel_metrics", "mpi_branch_metrics", "moe_grpc_metrics",
     "moe_mpi_metrics", "LatencySummary", "measure_latency",
     "measure_peak_memory", "LoadReport", "poisson_arrivals",

@@ -25,6 +25,7 @@ from .device import DeviceProfile
 from .network import NetworkProfile
 
 __all__ = ["Metrics", "baseline_metrics", "teamnet_metrics",
+           "teamnet_straggler_metrics", "gather_stall_time",
            "mpi_matrix_metrics", "mpi_kernel_metrics", "mpi_branch_metrics",
            "moe_grpc_metrics", "moe_mpi_metrics", "SPIN_FRACTION",
            "RESULT_BYTES"]
@@ -102,6 +103,55 @@ def teamnet_metrics(expert_cost: ModelCost, team_size: int,
             + net.gather_time(RESULT_BYTES, peers))
     return _make_metrics(f"teamnet-{team_size}", device, expert_cost,
                          compute, comm)
+
+
+def gather_stall_time(straggler_s: float, reply_timeout_s: float,
+                      num_stragglers: int = 1,
+                      parallel_gather: bool = True) -> float:
+    """Extra master wait caused by stragglers during the reply gather.
+
+    With the runtime's concurrent gather all replies are read under one
+    per-inference deadline, so any number of stragglers costs the master
+    at most ``min(straggler_s, reply_timeout_s)`` *once*.  A serialized
+    gather (read peers in connection order with a per-peer timeout) pays
+    that stall once per straggler — the K× pathology the concurrent
+    collector exists to avoid.
+    """
+    if num_stragglers < 0:
+        raise ValueError("num_stragglers must be >= 0")
+    if not num_stragglers:
+        return 0.0
+    stall = min(straggler_s, reply_timeout_s)
+    return stall if parallel_gather else num_stragglers * stall
+
+
+def teamnet_straggler_metrics(expert_cost: ModelCost, team_size: int,
+                              device: DeviceProfile, net: NetworkProfile,
+                              straggler_s: float, reply_timeout_s: float,
+                              num_stragglers: int = 1,
+                              parallel_gather: bool = True) -> Metrics:
+    """TeamNet master metrics with ``num_stragglers`` slow/dead workers.
+
+    Prices the same broadcast+gather pattern as :func:`teamnet_metrics`
+    plus the gather stall from :func:`gather_stall_time` — used by the
+    straggler-tolerance benchmark to compare the concurrent collector
+    against the serialized-gather pathology.
+    """
+    if team_size < 2:
+        raise ValueError("TeamNet needs >= 2 nodes")
+    if num_stragglers > team_size - 1:
+        raise ValueError("more stragglers than workers")
+    compute = device.compute_time(expert_cost.total_flops,
+                                  expert_cost.num_ops)
+    peers = team_size - 1
+    healthy = peers - num_stragglers
+    comm = (net.broadcast_time(expert_cost.input_bytes, peers)
+            + net.gather_time(RESULT_BYTES, healthy)
+            + gather_stall_time(straggler_s, reply_timeout_s,
+                                num_stragglers, parallel_gather))
+    mode = "parallel" if parallel_gather else "serial"
+    return _make_metrics(f"teamnet-{team_size}-straggler-{mode}", device,
+                         expert_cost, compute, comm)
 
 
 def _scaled_cost(cost: ModelCost, size: int, kinds: tuple[str, ...]) -> float:

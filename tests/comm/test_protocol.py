@@ -91,6 +91,68 @@ class TestMalformed:
         with pytest.raises(ProtocolError):
             decode(struct.pack(">I", len(header)) + header + b"\x00" * 8)
 
+    def test_negative_offset(self):
+        # A negative offset would silently slice from the payload's END.
+        header = json.dumps({
+            "kind": "x", "meta": {},
+            "arrays": [{"name": "a", "dtype": "uint8",
+                        "shape": [4], "offset": -4, "nbytes": 4}],
+        }).encode()
+        with pytest.raises(ProtocolError):
+            decode(struct.pack(">I", len(header)) + header + b"\x07" * 8)
+
+    def test_overlapping_arrays(self):
+        header = json.dumps({
+            "kind": "x", "meta": {},
+            "arrays": [
+                {"name": "a", "dtype": "uint8", "shape": [8],
+                 "offset": 0, "nbytes": 8},
+                {"name": "b", "dtype": "uint8", "shape": [8],
+                 "offset": 4, "nbytes": 8},
+            ],
+        }).encode()
+        with pytest.raises(ProtocolError):
+            decode(struct.pack(">I", len(header)) + header + b"\x00" * 12)
+
+    def test_adjacent_arrays_do_not_overlap(self):
+        # Back-to-back spans (what encode emits) must stay accepted.
+        header = json.dumps({
+            "kind": "x", "meta": {},
+            "arrays": [
+                {"name": "a", "dtype": "uint8", "shape": [4],
+                 "offset": 0, "nbytes": 4},
+                {"name": "b", "dtype": "uint8", "shape": [4],
+                 "offset": 4, "nbytes": 4},
+            ],
+        }).encode()
+        msg = decode(struct.pack(">I", len(header)) + header
+                     + bytes(range(8)))
+        assert msg.arrays["b"].tolist() == [4, 5, 6, 7]
+
+    def test_non_integer_offset(self):
+        header = json.dumps({
+            "kind": "x", "meta": {},
+            "arrays": [{"name": "a", "dtype": "uint8",
+                        "shape": [4], "offset": "0", "nbytes": 4}],
+        }).encode()
+        with pytest.raises(ProtocolError):
+            decode(struct.pack(">I", len(header)) + header + b"\x00" * 4)
+
+    def test_negative_shape_dimension(self):
+        header = json.dumps({
+            "kind": "x", "meta": {},
+            "arrays": [{"name": "a", "dtype": "uint8",
+                        "shape": [-4], "offset": 0, "nbytes": 4}],
+        }).encode()
+        with pytest.raises(ProtocolError):
+            decode(struct.pack(">I", len(header)) + header + b"\x00" * 4)
+
+    def test_manifest_not_a_list(self):
+        header = json.dumps({"kind": "x", "meta": {},
+                             "arrays": {"name": "a"}}).encode()
+        with pytest.raises(ProtocolError):
+            decode(struct.pack(">I", len(header)) + header)
+
 
 class TestMessage:
     def test_repr(self):

@@ -1,4 +1,12 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and the opt-in per-test timeout.
+
+``--per-test-timeout SECONDS`` aborts any single test that runs longer
+than the limit (SIGALRM-based; no third-party plugin needed).  CI enables
+it so a regressed gather hang fails fast instead of wedging the run.
+"""
+
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -8,3 +16,29 @@ import pytest
 def rng():
     """A deterministic random generator for tests."""
     return np.random.default_rng(12345)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--per-test-timeout", type=float, default=None, metavar="SECONDS",
+        help="fail any single test exceeding this many seconds")
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    limit = item.config.getoption("--per-test-timeout")
+    usable = (limit and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        return (yield)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded --per-test-timeout={limit}s")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
