@@ -2,7 +2,12 @@
 # Tier-1 CI gate: the full test suite with a per-test timeout so a
 # regressed gather (or any other hang) fails fast instead of wedging CI.
 #
-# Usage: scripts/ci.sh [extra pytest args...]
+# Usage:
+#   scripts/ci.sh [extra pytest args...]     # tier-1 suite
+#   scripts/ci.sh --testkit                  # simulation/property suite:
+#       runs tests/testkit for each seed in TESTKIT_SEEDS (default "0 1 2"),
+#       exporting TESTKIT_SEED per run; failing differential cases leave
+#       repro artifacts in TESTKIT_REPRO_DIR (default .testkit-repro/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +15,19 @@ PER_TEST_TIMEOUT="${PER_TEST_TIMEOUT:-120}"
 SUITE_TIMEOUT="${SUITE_TIMEOUT:-1800}"
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [[ "${1:-}" == "--testkit" ]]; then
+    shift
+    export TESTKIT_REPRO_DIR="${TESTKIT_REPRO_DIR:-.testkit-repro}"
+    for seed in ${TESTKIT_SEEDS:-0 1 2}; do
+        echo "=== testkit sweep: TESTKIT_SEED=$seed ==="
+        TESTKIT_SEED="$seed" \
+            timeout --signal=INT "$SUITE_TIMEOUT" \
+            python -m pytest -x -q tests/testkit \
+            --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
+    done
+    exit 0
+fi
 
 # The outer `timeout` is the backstop in case a hang happens outside a
 # test body (collection, fixtures); the pytest option catches the rest.

@@ -7,15 +7,16 @@ real traffic against a WiFi model.
 """
 
 from . import protocol
+from .base import Transport
 from .mpi import Communicator, LocalGroup, run_group
 from .protocol import Message, ProtocolError, decode, encode
 from .rpc import RemoteError, RpcClient, RpcServer
-from .transport import (FrameError, Listener, MeteredSocket, TransportStats,
-                        connect, recv_frame, send_frame)
+from .transport import (FrameError, Listener, MeteredSocket, TcpTransport,
+                        TransportStats, connect, recv_frame, send_frame)
 
 __all__ = [
     "protocol", "Message", "ProtocolError", "encode", "decode",
     "Communicator", "LocalGroup", "run_group", "RpcServer", "RpcClient",
     "RemoteError", "Listener", "MeteredSocket", "TransportStats", "connect",
-    "send_frame", "recv_frame", "FrameError",
+    "send_frame", "recv_frame", "FrameError", "Transport", "TcpTransport",
 ]

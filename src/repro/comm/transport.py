@@ -15,8 +15,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from .base import Transport
+
 __all__ = ["FrameError", "TransportStats", "send_frame", "recv_frame",
-           "Listener", "connect", "MeteredSocket"]
+           "Listener", "connect", "MeteredSocket", "TcpTransport"]
 
 _HEADER = struct.Struct(">Q")  # 8-byte big-endian length prefix
 MAX_FRAME_BYTES = 1 << 31      # 2 GiB sanity bound
@@ -181,3 +183,20 @@ def connect(host: str, port: int, retries: int = 50,
             last_error = exc
             time.sleep(delay)
     raise ConnectionError(f"could not connect to {host}:{port}: {last_error}")
+
+
+class TcpTransport(Transport):
+    """The production transport: framed TCP sockets (see module docstring).
+
+    This is the default wired into the distributed runtimes; the
+    simulation testkit swaps in ``repro.testkit.SimTransport`` instead.
+    """
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0,
+               backlog: int = 16) -> Listener:
+        return Listener(host, port, backlog)
+
+    def connect(self, host: str, port: int, retries: int = 50,
+                delay: float = 0.05, timeout: float = 10.0) -> MeteredSocket:
+        return connect(host, port, retries=retries, delay=delay,
+                       timeout=timeout)

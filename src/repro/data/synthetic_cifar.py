@@ -314,14 +314,19 @@ def render_cifar_image(class_name: str, rng: np.random.Generator) -> np.ndarray:
     return np.clip(img, 0.0, 1.0).transpose(2, 0, 1)
 
 
-def synthetic_cifar(num_samples: int = 2000, seed: int = 0) -> Dataset:
+def synthetic_cifar(num_samples: int = 2000, seed: int = 0,
+                    rng: np.random.Generator | None = None) -> Dataset:
     """Generate a balanced synthetic CIFAR-10 dataset.
 
     Class order matches the canonical CIFAR-10 label order.  The returned
     dataset carries the machine/animal superclass map used by the
     specialization experiment (Figure 9).
+
+    All randomness flows through one ``Generator``: pass ``rng`` to
+    compose with a caller-owned stream, or ``seed`` to own a fresh one
+    (``rng`` wins when both are given).
     """
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     images = np.empty((num_samples, 3, _SIZE, _SIZE))
     labels = np.empty(num_samples, dtype=np.int64)
     for i in range(num_samples):

@@ -95,13 +95,18 @@ def render_digit(digit: int, rng: np.random.Generator,
 
 
 def synthetic_mnist(num_samples: int = 2000, seed: int = 0,
-                    image_size: int = 28) -> Dataset:
+                    image_size: int = 28,
+                    rng: np.random.Generator | None = None) -> Dataset:
     """Generate a balanced synthetic-MNIST dataset of ``num_samples`` images.
 
     Samples are generated class-round-robin so every prefix of the dataset is
     (nearly) balanced, satisfying the paper's balanced-data assumption.
+
+    All randomness flows through one ``Generator``: pass ``rng`` to
+    compose with a caller-owned stream, or ``seed`` to own a fresh one
+    (``rng`` wins when both are given).
     """
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     images = np.empty((num_samples, 1, image_size, image_size))
     labels = np.empty(num_samples, dtype=np.int64)
     for i in range(num_samples):

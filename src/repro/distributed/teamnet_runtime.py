@@ -29,7 +29,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..comm import protocol
-from ..comm.transport import Listener, MeteredSocket, TransportStats, connect
+from ..comm.base import Transport
+from ..comm.transport import (MeteredSocket, TcpTransport, TransportStats)
 from ..core.inference import ExpertOutput, argmin_select, expert_forward
 from ..nn import Module
 
@@ -112,10 +113,12 @@ class ExpertWorker:
     redeploying the team.
     """
 
-    def __init__(self, expert: Module, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, expert: Module, host: str = "127.0.0.1", port: int = 0,
+                 transport: Transport | None = None):
         self.expert = expert
         self._host = host
-        self._listener: Listener | None = Listener(host, port)
+        self._transport = transport if transport is not None else TcpTransport()
+        self._listener = self._transport.listen(host, port)
         self._port = self._listener.port  # pin the port for restarts
         self._running = False
         self._threads: list[threading.Thread] = []
@@ -129,13 +132,13 @@ class ExpertWorker:
         if self._running:
             return
         if self._listener is None:
-            self._listener = Listener(self._host, self._port)
+            self._listener = self._transport.listen(self._host, self._port)
         self._running = True
         self._acceptor = threading.Thread(target=self._accept_loop,
                                           args=(self._listener,), daemon=True)
         self._acceptor.start()
 
-    def _accept_loop(self, listener: Listener) -> None:
+    def _accept_loop(self, listener) -> None:
         while self._running and listener is self._listener:
             try:
                 sock = listener.accept(timeout=0.2)
@@ -217,16 +220,22 @@ class TeamNetMaster:
                  reply_timeout: float | None = None,
                  reconnect_backoff: float = 0.25,
                  reconnect_backoff_max: float = 5.0,
-                 connect_timeout: float = 0.25):
+                 connect_timeout: float = 0.25,
+                 transport: Transport | None = None):
         self.expert = expert
         self.degrade_on_failure = degrade_on_failure
         self.reply_timeout = reply_timeout
         self.reconnect_backoff = reconnect_backoff
         self.reconnect_backoff_max = reconnect_backoff_max
         self.connect_timeout = connect_timeout
+        self._transport = transport if transport is not None else TcpTransport()
         self._peers = [
-            _Peer(i, (host, port), connect(host, port))
+            _Peer(i, (host, port), self._transport.connect(host, port))
             for i, (host, port) in enumerate(worker_addresses, start=1)]
+        # Golden-trace capture for the differential testkit: the expert
+        # outputs and original team indices that fed the last selection.
+        self.last_outputs: dict[int, ExpertOutput] = {}
+        self.last_participants: list[int] = []
 
     @property
     def team_size(self) -> int:
@@ -254,8 +263,9 @@ class TeamNetMaster:
             if peer.alive or now < peer.retry_at:
                 continue
             try:
-                peer.sock = connect(*peer.address, retries=1, delay=0.0,
-                                    timeout=self.connect_timeout)
+                peer.sock = self._transport.connect(
+                    *peer.address, retries=1, delay=0.0,
+                    timeout=self.connect_timeout)
                 peer.health.reconnects += 1
                 peer.backoff_s = 0.0
                 peer.retry_at = 0.0
@@ -404,6 +414,8 @@ class TeamNetMaster:
         # Step 5: least-uncertainty selection.
         preds, winner = argmin_select(outputs)
         winner = np.asarray(indices)[winner]
+        self.last_outputs = dict(zip(indices, outputs))
+        self.last_participants = list(indices)
         combined = InferenceStats.from_transport(stats)
         combined.gather_s = inference.gather_s
         combined.reply_latency_s = inference.reply_latency_s
@@ -429,22 +441,27 @@ class TeamNetMaster:
 def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
                       reply_timeout: float | None = None,
                       reconnect_backoff: float = 0.25,
-                      reconnect_backoff_max: float = 5.0
+                      reconnect_backoff_max: float = 5.0,
+                      transport: Transport | None = None, host: str = "127.0.0.1"
                       ) -> tuple[TeamNetMaster, list[ExpertWorker]]:
     """Deploy expert 0 as master and the rest as localhost workers.
 
-    Callers must ``master.close()`` then ``worker.stop()`` when done.
+    ``transport`` selects the fabric (real TCP by default; the testkit
+    passes a :class:`repro.testkit.SimTransport` to run the identical
+    protocol in-process).  Callers must ``master.close()`` then
+    ``worker.stop()`` when done.
     """
     if len(experts) < 2:
         raise ValueError("a team needs >= 2 experts")
     workers = []
     for expert in experts[1:]:
-        worker = ExpertWorker(expert)
+        worker = ExpertWorker(expert, host=host, transport=transport)
         worker.start()
         workers.append(worker)
     master = TeamNetMaster(experts[0], [w.address for w in workers],
                            degrade_on_failure=degrade_on_failure,
                            reply_timeout=reply_timeout,
                            reconnect_backoff=reconnect_backoff,
-                           reconnect_backoff_max=reconnect_backoff_max)
+                           reconnect_backoff_max=reconnect_backoff_max,
+                           transport=transport)
     return master, workers

@@ -41,11 +41,15 @@ class MoEConfig:
 class MoETrainer:
     """Trains the gate and all experts jointly by backprop."""
 
-    def __init__(self, model: MixtureOfExperts, config: MoEConfig | None = None):
+    def __init__(self, model: MixtureOfExperts, config: MoEConfig | None = None,
+                 rng: np.random.Generator | None = None):
         self.model = model
         self.config = config or MoEConfig()
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
-        self.rng = np.random.default_rng(self.config.seed)
+        # Shuffling randomness flows through one Generator: a caller-owned
+        # ``rng`` wins over the config seed.
+        self.rng = rng if rng is not None else \
+            np.random.default_rng(self.config.seed)
         self.losses: list[float] = []
 
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:

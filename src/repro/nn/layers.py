@@ -165,9 +165,14 @@ class Linear(Module):
 
 
 class Conv2d(Module):
-    """2-D convolution layer (NCHW layout)."""
+    """2-D convolution layer (NCHW layout).
 
-    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+    ``kernel_size`` is an int or an ``(kh, kw)`` pair; non-square kernels
+    are fully supported by :func:`repro.nn.functional.conv2d`.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel_size: int | tuple[int, int],
                  stride: int = 1, padding: int = 0, bias: bool = True,
                  rng: np.random.Generator | None = None):
         super().__init__()
@@ -177,9 +182,11 @@ class Conv2d(Module):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        fan_in = in_channels * kernel_size * kernel_size
+        kh, kw = ((kernel_size, kernel_size)
+                  if isinstance(kernel_size, int) else tuple(kernel_size))
+        fan_in = in_channels * kh * kw
         self.weight = Parameter(init.kaiming_uniform(
-            (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng))
+            (out_channels, in_channels, kh, kw), fan_in, rng))
         if bias:
             bound = 1.0 / np.sqrt(max(1, fan_in))
             self.bias = Parameter(init.uniform((out_channels,), -bound,

@@ -1,0 +1,45 @@
+"""``repro.testkit`` — deterministic simulation testkit.
+
+Correctness tooling for the collaboration protocol: the paper's headline
+claim (arg-min-entropy selection over K experts matches the deep
+baseline while cutting latency) only holds if the distributed runtime
+computes *bit-for-bit* what the single-process reference computes, under
+faults as well as on the happy path.  This package makes that property
+cheap to check thousands of times:
+
+* :mod:`~repro.testkit.sim_transport` — an in-process implementation of
+  the :class:`repro.comm.base.Transport` interface with scriptable
+  latency / drop / duplicate / reorder / mid-frame-kill faults driven by
+  a seeded RNG.  No real sockets, no wall-clock sleeps: scripted latency
+  lives on a virtual clock and is compared against recv deadlines
+  instead of being slept.
+* :mod:`~repro.testkit.faults` — declarative fault schedules with
+  deterministic per-link decision streams.
+* :mod:`~repro.testkit.cluster` — :class:`SimCluster`: a real
+  ``TeamNetMaster`` + K real ``ExpertWorker`` threads wired over the sim
+  fabric, so the entire gather/recovery state machine runs in
+  milliseconds.
+* :mod:`~repro.testkit.differential` — golden-trace differential
+  checker: the same inputs through ``core.inference.TeamInference`` and
+  the simulated distributed path must produce byte-identical
+  predictions, entropies and winner indices whenever a quorum survives.
+* :mod:`~repro.testkit.strategies` — hypothesis-free, pure-numpy
+  property-based generators (shapes, dtypes, probability rows, fault
+  schedules, layer configs) shared by the property test suites.
+* :mod:`~repro.testkit.guards` — :func:`forbid_sockets`, which proves a
+  simulation run never touched the real network stack.
+"""
+
+from .clock import SimClock
+from .cluster import SimCluster
+from .differential import (DifferentialMismatch, differential_sweep,
+                           run_differential_case)
+from .faults import FaultSchedule, LinkFaults
+from .guards import forbid_sockets
+from .sim_transport import SimNetwork, SimTransport
+
+__all__ = [
+    "SimClock", "SimCluster", "SimNetwork", "SimTransport",
+    "FaultSchedule", "LinkFaults", "forbid_sockets",
+    "DifferentialMismatch", "run_differential_case", "differential_sweep",
+]

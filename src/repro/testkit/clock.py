@@ -1,0 +1,43 @@
+"""Virtual time for the simulation fabric.
+
+Scripted message latency never sleeps: a delayed message is stamped with
+a virtual arrival time, and a receiver with a deadline either jumps the
+clock forward to the arrival (delivery) or forward by its timeout
+(virtual ``TimeoutError``).  The clock is shared per :class:`SimNetwork`
+and only ever moves forward, so telemetry reads like a monotonic trace
+even though no real time passed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically-advancing virtual clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    @property
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move forward by ``dt`` seconds; returns the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by negative dt {dt}")
+        with self._lock:
+            self._now += dt
+            return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to ``t`` if it is in the future; never rewinds
+        (concurrent receivers may have already pushed time past it)."""
+        with self._lock:
+            self._now = max(self._now, t)
+            return self._now

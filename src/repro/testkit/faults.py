@@ -1,0 +1,164 @@
+"""Scriptable fault schedules for the simulation fabric.
+
+A :class:`FaultSchedule` describes *what can go wrong* on the wire —
+latency, silent drops, duplicates, reorders, and connections killed mid
+frame — and turns one integer seed into deterministic per-link decision
+streams.  Determinism is the whole point: a failing (input, schedule)
+pair found by a randomized sweep can be written down as (seed, case
+index) and replayed exactly.
+
+Decisions are drawn per *link* (one direction of one connection) from an
+RNG seeded by ``(schedule seed, connection id, direction)``, so the
+stream a link sees does not depend on what any other link consumed, nor
+on thread interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LinkFaults", "Delivery", "FaultSchedule", "LinkStream",
+           "REQUEST", "REPLY"]
+
+REQUEST = "request"   # client -> server (master -> worker in TeamNet)
+REPLY = "reply"       # server -> client (worker -> master)
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault rates for one direction of traffic.
+
+    * ``drop`` — probability a message is silently lost in transit.
+    * ``duplicate`` — probability a message is delivered twice.
+    * ``reorder`` — probability a message jumps ahead of queued ones.
+    * ``latency`` — ``(lo, hi)`` uniform *virtual* seconds added in
+      transit; a delay beyond the receiver's deadline is a timeout, but
+      no real time is ever slept.
+    * ``kill_after`` — kill the connection mid-frame on the Nth send
+      (0-based); the receiver sees a frame error, both ends go dead.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    latency: tuple[float, float] = (0.0, 0.0)
+    kill_after: int | None = None
+
+    def __post_init__(self):
+        for name in ("drop", "duplicate", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        lo, hi = self.latency
+        if lo < 0 or hi < lo:
+            raise ValueError(f"latency must be 0 <= lo <= hi, got {self.latency}")
+
+    def to_dict(self) -> dict:
+        return {"drop": self.drop, "duplicate": self.duplicate,
+                "reorder": self.reorder, "latency": list(self.latency),
+                "kill_after": self.kill_after}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LinkFaults":
+        return cls(drop=d.get("drop", 0.0), duplicate=d.get("duplicate", 0.0),
+                   reorder=d.get("reorder", 0.0),
+                   latency=tuple(d.get("latency", (0.0, 0.0))),
+                   kill_after=d.get("kill_after"))
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """The fate of one message, decided at send time."""
+
+    drop: bool = False
+    duplicate: bool = False
+    reorder: bool = False
+    delay: float = 0.0
+    kill: bool = False
+
+
+class LinkStream:
+    """Deterministic sequence of :class:`Delivery` decisions for one link."""
+
+    def __init__(self, config: LinkFaults, rng: np.random.Generator):
+        self.config = config
+        self._rng = rng
+        self._sent = 0
+
+    def next(self) -> Delivery:
+        cfg = self.config
+        index = self._sent
+        self._sent += 1
+        if cfg.kill_after is not None and index >= cfg.kill_after:
+            return Delivery(kill=True)
+        # One draw per knob, always consumed, so the stream stays aligned
+        # with the seed regardless of which faults are enabled.
+        u_drop, u_dup, u_reorder, u_delay = self._rng.random(4)
+        lo, hi = cfg.latency
+        return Delivery(
+            drop=u_drop < cfg.drop,
+            duplicate=u_dup < cfg.duplicate,
+            reorder=u_reorder < cfg.reorder,
+            delay=lo + (hi - lo) * u_delay,
+        )
+
+
+@dataclass
+class FaultSchedule:
+    """A seeded, declarative description of network misbehaviour.
+
+    ``request`` / ``reply`` are the default fault rates per direction;
+    ``per_address`` overrides both directions for connections dialed to
+    a specific listener address (keyed by ``(host, port)``), which is how
+    a single worker is targeted.
+    """
+
+    seed: int = 0
+    request: LinkFaults = field(default_factory=LinkFaults)
+    reply: LinkFaults = field(default_factory=LinkFaults)
+    per_address: dict[tuple[str, int], dict[str, LinkFaults]] = \
+        field(default_factory=dict)
+
+    def link(self, conn_id: int, direction: str,
+             address: tuple[str, int]) -> LinkStream:
+        """The decision stream for one direction of connection ``conn_id``
+        dialed to ``address``."""
+        if direction not in (REQUEST, REPLY):
+            raise ValueError(f"unknown direction {direction!r}")
+        override = self.per_address.get(tuple(address))
+        if override is not None and direction in override:
+            config = override[direction]
+        else:
+            config = self.request if direction == REQUEST else self.reply
+        stream_id = 0 if direction == REQUEST else 1
+        rng = np.random.default_rng((self.seed, conn_id, stream_id))
+        return LinkStream(config, rng)
+
+    def to_dict(self) -> dict:
+        """JSON-safe description, sufficient to reconstruct the schedule
+        (used by the differential checker's repro artifacts)."""
+        return {
+            "seed": self.seed,
+            "request": self.request.to_dict(),
+            "reply": self.reply.to_dict(),
+            "per_address": [
+                {"address": list(addr),
+                 "directions": {d: cfg.to_dict() for d, cfg in dirs.items()}}
+                for addr, dirs in self.per_address.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSchedule":
+        per_address = {
+            tuple(entry["address"]): {
+                direction: LinkFaults.from_dict(cfg)
+                for direction, cfg in entry["directions"].items()}
+            for entry in d.get("per_address", [])
+        }
+        return cls(seed=d.get("seed", 0),
+                   request=LinkFaults.from_dict(d.get("request", {})),
+                   reply=LinkFaults.from_dict(d.get("reply", {})),
+                   per_address=per_address)

@@ -1,0 +1,40 @@
+"""Guards proving a simulation run stayed in-process.
+
+The acceptance bar for the testkit is "zero real sockets opened": the
+whole value of the simulated fabric evaporates if some code path quietly
+falls back to TCP.  :func:`forbid_sockets` makes that a hard failure
+instead of a silent regression.
+"""
+
+from __future__ import annotations
+
+import socket
+from contextlib import contextmanager
+
+__all__ = ["SocketOpened", "forbid_sockets"]
+
+
+class SocketOpened(AssertionError):
+    """A real socket was constructed inside a simulation-only section."""
+
+
+@contextmanager
+def forbid_sockets():
+    """Fail the enclosed block if anything constructs a real socket.
+
+    Patches ``socket.socket`` (which ``create_connection``, listeners and
+    friends all go through) for the duration of the block.  Thread-global:
+    do not run alongside tests that legitimately open sockets.
+    """
+    real_socket = socket.socket
+
+    class _ForbiddenSocket(real_socket):
+        def __init__(self, *args, **kwargs):
+            raise SocketOpened(
+                "a real socket was opened during a simulation-only section")
+
+    socket.socket = _ForbiddenSocket
+    try:
+        yield
+    finally:
+        socket.socket = real_socket

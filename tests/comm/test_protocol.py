@@ -154,6 +154,34 @@ class TestMalformed:
             decode(struct.pack(">I", len(header)) + header)
 
 
+class TestRoundtripProperty:
+    """encode-then-decode is the identity over randomized manifests:
+    arbitrary dtypes, scalars, empties, odd shapes, and many arrays per
+    message (via ``repro.testkit.strategies.array_spec``)."""
+
+    SEED = 424242
+    CASES = 60
+
+    def test_encode_decode_identity(self):
+        from repro.testkit import strategies
+
+        for case in range(self.CASES):
+            rng = strategies.rng_from(self.SEED, case)
+            arrays = {f"a{i}": strategies.array_spec(rng)
+                      for i in range(int(rng.integers(0, 5)))}
+            meta = {"case": case, "tag": f"t{int(rng.integers(0, 99))}"}
+            msg = decode(encode("prop", meta, arrays))
+            assert msg.kind == "prop", f"case {case}"
+            assert msg.meta == meta, f"case {case}"
+            assert set(msg.arrays) == set(arrays), f"case {case}"
+            for name, original in arrays.items():
+                got = msg.arrays[name]
+                assert got.dtype == original.dtype, f"case {case}/{name}"
+                assert got.shape == original.shape, f"case {case}/{name}"
+                assert got.tobytes() == original.tobytes(), \
+                    f"case {case}/{name}"
+
+
 class TestMessage:
     def test_repr(self):
         msg = Message("test", {"a": 1}, {"x": np.zeros(2)})

@@ -1,0 +1,211 @@
+"""Property-based coverage for the entropy/gate core (satellite of the
+testkit PR).  Pure-numpy properties driven by ``repro.testkit.strategies``
+— every case reproduces from ``(SEED, case index)`` alone."""
+
+import numpy as np
+import pytest
+
+from repro.core.entropy import (abs_deviation, entropy_from_probs,
+                                mean_entropy, predictive_entropy,
+                                relative_mean_abs_deviation)
+from repro.core.gate import (DynamicGate, assignment_fractions,
+                             hard_assignments, kronecker_approx, soft_argmin)
+from repro.nn import Tensor
+from repro.testkit import strategies
+
+SEED = 20250806
+CASES = 50
+
+
+def cases(n=CASES):
+    """Derived-seed RNGs, one per property case."""
+    return [(i, strategies.rng_from(SEED, i)) for i in range(n)]
+
+
+class TestEntropyProperties:
+    def test_non_negative(self):
+        for i, rng in cases():
+            H = predictive_entropy(
+                strategies.logits(rng, strategies.batch_size(rng),
+                                  strategies.num_classes(rng),
+                                  dtype=strategies.float_dtype(rng)))
+            assert np.all(H >= -1e-9), f"case {i}: negative entropy"
+
+    def test_permutation_invariant(self):
+        """Entropy measures the distribution, not the class labels."""
+        for i, rng in cases():
+            logits = strategies.logits(rng, strategies.batch_size(rng),
+                                       strategies.num_classes(rng))
+            perm = rng.permutation(logits.shape[1])
+            np.testing.assert_allclose(
+                predictive_entropy(logits[:, perm]),
+                predictive_entropy(logits), rtol=1e-10, atol=1e-12,
+                err_msg=f"case {i}")
+
+    def test_shift_invariant(self):
+        """Softmax entropy ignores per-row additive constants."""
+        for i, rng in cases():
+            logits = strategies.logits(rng, strategies.batch_size(rng),
+                                       strategies.num_classes(rng))
+            shift = rng.standard_normal((logits.shape[0], 1)) * 5
+            np.testing.assert_allclose(
+                predictive_entropy(logits + shift),
+                predictive_entropy(logits), rtol=1e-9, atol=1e-9,
+                err_msg=f"case {i}")
+
+    def test_maximal_at_uniform(self):
+        """No distribution beats uniform; uniform hits exactly ln C."""
+        for i, rng in cases():
+            c = strategies.num_classes(rng)
+            rows = strategies.prob_rows(rng, strategies.batch_size(rng), c)
+            assert np.all(entropy_from_probs(rows) <= np.log(c) + 1e-6), \
+                f"case {i}"
+            uniform = np.full((1, c), 1.0 / c)
+            np.testing.assert_allclose(entropy_from_probs(uniform),
+                                       np.log(c), rtol=1e-6)
+
+    def test_one_hot_has_zero_entropy(self):
+        for _, rng in cases(10):
+            c = strategies.num_classes(rng)
+            one_hot = np.eye(c)[rng.integers(0, c, size=4)]
+            np.testing.assert_allclose(entropy_from_probs(one_hot), 0.0,
+                                       atol=1e-9)
+
+    def test_matches_explicit_probability_entropy(self):
+        """predictive_entropy(logits) == entropy(softmax(logits))."""
+        for i, rng in cases():
+            logits = strategies.logits(rng, strategies.batch_size(rng),
+                                       strategies.num_classes(rng))
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            probs = np.exp(shifted) / np.exp(shifted).sum(axis=1,
+                                                          keepdims=True)
+            np.testing.assert_allclose(predictive_entropy(logits),
+                                       entropy_from_probs(probs),
+                                       rtol=1e-6, atol=1e-8,
+                                       err_msg=f"case {i}")
+
+    def test_accepts_tensor_input(self):
+        rng = strategies.rng_from(SEED, 999)
+        logits = strategies.logits(rng, 3, 4)
+        np.testing.assert_array_equal(predictive_entropy(Tensor(logits)),
+                                      predictive_entropy(logits))
+
+
+class TestDiversityStatistics:
+    def test_deviation_non_negative_and_zero_iff_agreeing(self):
+        for _, rng in cases(20):
+            H = strategies.entropy_matrix(rng, strategies.batch_size(rng),
+                                          int(rng.integers(2, 6)))
+            assert np.all(abs_deviation(H) >= 0)
+            assert np.all(mean_entropy(H) >= 0)
+        agreeing = np.tile(np.array([[0.7], [1.3]]), (1, 4))
+        assert np.all(abs_deviation(agreeing) == 0)
+        assert relative_mean_abs_deviation(agreeing) == 0.0
+
+    def test_delta_is_scale_invariant(self):
+        """D(x)/E(x) is a *relative* deviation: scaling all entropies by a
+        positive constant must not change it."""
+        for i, rng in cases(20):
+            H = strategies.entropy_matrix(rng, 4, 3) + 0.1
+            scale = float(rng.uniform(0.5, 10.0))
+            np.testing.assert_allclose(relative_mean_abs_deviation(H * scale),
+                                       relative_mean_abs_deviation(H),
+                                       rtol=1e-9, err_msg=f"case {i}")
+
+
+class TestSoftArgmin:
+    def test_output_within_index_range(self):
+        for i, rng in cases():
+            k = int(rng.integers(2, 7))
+            H = strategies.entropy_matrix(rng, strategies.batch_size(rng), k)
+            b = strategies.temperature(rng)
+            g = soft_argmin(Tensor(H), b).data
+            assert np.all(g >= -1e-9) and np.all(g <= k - 1 + 1e-9), \
+                f"case {i}: soft index left [0, {k - 1}]"
+
+    def test_softmax_weights_sum_to_one(self):
+        """All-tied rows make the weights exactly uniform, so the soft
+        index must equal the mean index (K-1)/2 — a direct consequence of
+        the weights summing to 1."""
+        for _, rng in cases(20):
+            k = int(rng.integers(2, 7))
+            tied = np.full((3, k), float(rng.uniform(0.1, 2.0)))
+            np.testing.assert_allclose(soft_argmin(Tensor(tied), 5.0).data,
+                                       (k - 1) / 2.0, rtol=1e-9)
+
+    def test_converges_to_hard_argmin_at_low_temperature(self):
+        """As b grows (temperature drops) the soft index must approach the
+        hard argmin whenever the minimum is unambiguous."""
+        for i, rng in cases():
+            k = int(rng.integers(2, 7))
+            H = rng.uniform(0.0, 2.0, size=(strategies.batch_size(rng), k))
+            winners = rng.integers(0, k, size=H.shape[0])
+            H[np.arange(H.shape[0]), winners] = -1.0  # clear gap >= 1
+            g = soft_argmin(Tensor(H), 400.0).data
+            np.testing.assert_allclose(g, winners, atol=1e-3,
+                                       err_msg=f"case {i}")
+
+    def test_low_b_is_softer_than_high_b(self):
+        """Distance to the hard argmin shrinks monotonically in b."""
+        rng = strategies.rng_from(SEED, 777)
+        H = rng.uniform(0.0, 2.0, size=(6, 4))
+        H[:, 1] -= 2.5  # expert 1 wins every row
+        errors = [np.abs(soft_argmin(Tensor(H), b).data - 1.0).max()
+                  for b in (0.5, 2.0, 8.0, 32.0, 128.0)]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+
+
+class TestKroneckerAndAssignments:
+    def test_kronecker_bump_shape(self):
+        g = Tensor(np.array([0.0, 0.49, 0.5, 1.0, 2.3]))
+        bump = kronecker_approx(g, 0).data
+        assert bump[0] == pytest.approx(np.tanh(5.0))  # dead-center
+        assert bump[1] > 0.0
+        assert bump[2] == 0.0                          # boundary
+        assert bump[3] == 0.0 and bump[4] == 0.0       # other integers
+        assert np.all((0.0 <= bump) & (bump <= 1.0))
+
+    def test_hard_assignments_reduce_to_argmin_at_unit_delta(self):
+        for _, rng in cases(20):
+            k = int(rng.integers(2, 6))
+            H = strategies.entropy_matrix(rng, strategies.batch_size(rng), k)
+            np.testing.assert_array_equal(
+                hard_assignments(H, np.ones(k)), np.argmin(H, axis=1))
+
+    def test_assignment_fractions_form_a_distribution(self):
+        for _, rng in cases(20):
+            k = int(rng.integers(2, 6))
+            assignments = rng.integers(0, k, size=int(rng.integers(1, 30)))
+            fractions = assignment_fractions(assignments, k)
+            assert fractions.shape == (k,)
+            assert np.all(fractions >= 0)
+            assert fractions.sum() == pytest.approx(1.0)
+
+
+class TestGateProperties:
+    def test_gate_outputs_are_well_formed(self):
+        """Randomized entropy matrices: assignments stay in range, the
+        reported fractions are consistent, delta stays positive."""
+        for i, rng in cases(8):
+            k = int(rng.integers(2, 5))
+            n = int(rng.integers(8, 40))
+            H = strategies.entropy_matrix(rng, n, k)
+            gate = DynamicGate(num_experts=k, max_iterations=15, seed=i)
+            result = gate.train_batch(H)
+            assert result.assignments.shape == (n,)
+            assert np.all((0 <= result.assignments)
+                          & (result.assignments < k)), f"case {i}"
+            np.testing.assert_allclose(
+                result.gamma_bar,
+                assignment_fractions(result.assignments, k))
+            assert np.all(result.delta > 0), f"case {i}"
+            assert result.b > 0
+
+    def test_gate_is_deterministic_given_seed(self):
+        rng = strategies.rng_from(SEED, 4242)
+        H = strategies.entropy_matrix(rng, 16, 3)
+        runs = [DynamicGate(num_experts=3, max_iterations=10,
+                            seed=7).train_batch(H) for _ in range(2)]
+        np.testing.assert_array_equal(runs[0].assignments,
+                                      runs[1].assignments)
+        np.testing.assert_array_equal(runs[0].delta, runs[1].delta)

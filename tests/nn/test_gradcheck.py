@@ -8,8 +8,9 @@ float64.  These tests are the foundation the whole reproduction rests on.
 import numpy as np
 import pytest
 
-from repro.nn import Tensor
+from repro.nn import Conv2d, Tensor
 from repro.nn import functional as F
+from repro.testkit import strategies
 
 
 def numeric_grad(fn, arrays, index, eps=1e-6):
@@ -312,6 +313,67 @@ class TestShakeShakeGrad:
                                    rtol=1e-6)
         # beta is random, not 0.5
         assert not np.allclose(a.grad, 0.5)
+
+
+class TestRandomizedShapeSweep:
+    """Randomized shape sweep via ``repro.testkit.strategies``: the
+    sampler is deliberately biased toward batch 1, odd feature dims, and
+    non-square kernels.  A failing case reproduces from
+    ``(SWEEP_SEED, case index)`` alone.
+    """
+
+    SWEEP_SEED = 1729
+
+    def test_linear_random_shapes(self):
+        for case in range(8):
+            rng = strategies.rng_from(self.SWEEP_SEED, case)
+            cfg = strategies.linear_case(rng)
+            x = rng.standard_normal((cfg["batch"], cfg["in_features"]))
+            w = rng.standard_normal((cfg["in_features"],
+                                     cfg["out_features"]))
+            b = rng.standard_normal((cfg["out_features"],))
+            try:
+                check(lambda xt, wt, bt: ((xt @ wt + bt) ** 2).sum(),
+                      lambda xa, wa, ba: ((xa @ wa + ba) ** 2).sum(),
+                      [x, w, b], rtol=1e-3, atol=1e-6)
+            except AssertionError as exc:
+                raise AssertionError(
+                    f"linear case {case} (seed {self.SWEEP_SEED}) "
+                    f"config {cfg}: {exc}") from exc
+
+    def test_conv2d_random_shapes(self):
+        for case in range(6):
+            rng = strategies.rng_from(self.SWEEP_SEED, 100 + case)
+            cfg = strategies.conv_case(rng)
+            kh, kw = cfg["kernel"]
+            stride, padding = cfg["stride"], cfg["padding"]
+            x = rng.standard_normal((cfg["batch"], cfg["in_channels"],
+                                     cfg["height"], cfg["width"]))
+            w = rng.standard_normal((cfg["out_channels"],
+                                     cfg["in_channels"], kh, kw))
+            b = rng.standard_normal((cfg["out_channels"],))
+
+            def tensor_fn(xt, wt, bt):
+                return (F.conv2d(xt, wt, bt, stride=stride,
+                                 padding=padding) ** 2).sum()
+
+            def numpy_fn(xa, wa, ba):
+                out = F.conv2d(Tensor(xa), Tensor(wa), Tensor(ba),
+                               stride=stride, padding=padding).data
+                return float((out ** 2).sum())
+
+            try:
+                check(tensor_fn, numpy_fn, [x, w, b], rtol=1e-3, atol=1e-5)
+            except AssertionError as exc:
+                raise AssertionError(
+                    f"conv case {case} (seed {self.SWEEP_SEED}) "
+                    f"config {cfg}: {exc}") from exc
+
+    def test_conv2d_layer_accepts_rectangular_kernels(self, rng):
+        layer = Conv2d(2, 3, kernel_size=(1, 3), padding=1, rng=rng)
+        assert layer.weight.shape == (3, 2, 1, 3)
+        out = layer(Tensor(rng.standard_normal((2, 2, 5, 5))))
+        assert out.shape == (2, 3, 7, 5)
 
 
 class TestAccumulation:

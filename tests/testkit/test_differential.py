@@ -1,0 +1,109 @@
+"""The differential golden-trace sweep: hundreds of randomized
+(input, fault-schedule) cases, byte-identical wherever a quorum
+survives, zero real sockets, repro artifacts on failure.
+
+``TESTKIT_SEED`` selects the sweep seed (CI runs several); the sweep
+itself enforces the no-sockets guard internally.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP
+from repro.testkit import (DifferentialMismatch, FaultSchedule,
+                           run_differential_case)
+from repro.testkit.differential import (_case_inputs, _dump_repro,
+                                        differential_sweep, replay)
+from repro.testkit import strategies
+
+SWEEP_SEED = int(os.environ.get("TESTKIT_SEED", "0"))
+SWEEP_CASES = int(os.environ.get("TESTKIT_CASES", "200"))
+
+
+class TestSweep:
+    def test_randomized_sweep_is_byte_identical(self, tmp_path):
+        summary = differential_sweep(seed=SWEEP_SEED, cases=SWEEP_CASES,
+                                     repro_dir=str(tmp_path))
+        assert summary.cases == SWEEP_CASES
+        # The sweep must actually exercise the failure machinery, not
+        # coast through benign schedules.
+        assert summary.faulted_cases > SWEEP_CASES // 4
+        assert summary.degraded_cases > 0
+        assert summary.full_team_cases > 0
+        # No artifacts on a clean sweep.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_sweep_is_deterministic(self):
+        a = differential_sweep(seed=SWEEP_SEED, cases=25)
+        b = differential_sweep(seed=SWEEP_SEED, cases=25)
+        assert a.to_dict() == b.to_dict()
+
+    def test_case_inputs_reproducible(self):
+        experts_a, x_a, sched_a = _case_inputs(5, 7)
+        experts_b, x_b, sched_b = _case_inputs(5, 7)
+        assert x_a.tobytes() == x_b.tobytes()
+        assert sched_a == sched_b
+        for ea, eb in zip(experts_a, experts_b):
+            for pa, pb in zip(ea.parameters(), eb.parameters()):
+                assert pa.data.tobytes() == pb.data.tobytes()
+
+
+class TestSingleCase:
+    def test_benign_case_uses_full_team(self):
+        rng = strategies.rng_from(99)
+        experts, x = strategies.expert_team(rng, num_experts=3)
+        report = run_differential_case(experts, x)
+        assert report.participants == [0, 1, 2]
+        assert not report.degraded
+
+    def test_mismatch_raises(self):
+        """A non-deterministic expert breaks byte-identity: the gathered
+        reply and the local reference recompute must diverge."""
+        rng = strategies.rng_from(100)
+        experts, x = strategies.expert_team(rng, num_experts=3)
+
+        class Jittery(type(experts[1])):
+            def forward(self, inputs):
+                out = super().forward(inputs)
+                out.data = out.data + np.random.default_rng().uniform(
+                    1e-3, 1e-2, size=out.data.shape)
+                return out
+
+        experts[1].__class__ = Jittery
+        with pytest.raises(DifferentialMismatch):
+            run_differential_case(experts, x)
+
+
+class TestReproArtifacts:
+    def test_dump_and_replay_roundtrip(self, tmp_path):
+        seed, index = 3, 12
+        _, _, schedule = _case_inputs(seed, index)
+        path = _dump_repro(str(tmp_path), seed, index, schedule,
+                           AssertionError("synthetic"))
+        artifact = json.loads(open(path).read())
+        assert artifact["sweep_seed"] == seed
+        assert artifact["case_index"] == index
+        assert FaultSchedule.from_dict(artifact["schedule"]) == schedule
+        # Replaying a healthy case passes the same differential check.
+        report = replay(path)
+        assert report.participants[0] == 0
+
+    def test_failing_sweep_writes_artifact(self, tmp_path, monkeypatch):
+        """Force a mismatch mid-sweep and check the artifact lands."""
+        import repro.testkit.differential as diff
+
+        real = diff.run_differential_case
+
+        def sabotaged(experts, x, schedule=None, reply_timeout=1.0):
+            raise DifferentialMismatch("injected failure")
+
+        monkeypatch.setattr(diff, "run_differential_case", sabotaged)
+        with pytest.raises(DifferentialMismatch, match="case 0 of sweep"):
+            diff.differential_sweep(seed=1, cases=5, repro_dir=str(tmp_path))
+        monkeypatch.setattr(diff, "run_differential_case", real)
+        artifacts = list(tmp_path.iterdir())
+        assert len(artifacts) == 1
+        assert artifacts[0].name == "differential-seed1-case0.json"
