@@ -8,6 +8,11 @@
 #       runs tests/testkit for each seed in TESTKIT_SEEDS (default "0 1 2"),
 #       exporting TESTKIT_SEED per run; failing differential cases leave
 #       repro artifacts in TESTKIT_REPRO_DIR (default .testkit-repro/).
+#   scripts/ci.sh --chaos                    # chaos soak: long seeded
+#       flap/partition/crash-restart storms on the simulated fabric, one
+#       soak per seed in CHAOS_SEEDS (default "0 1 2 3"), CHAOS_ROUNDS
+#       rounds each (default 60); a failing round writes its fault
+#       schedule to CHAOS_REPRO_DIR (default .chaos-repro/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +29,20 @@ if [[ "${1:-}" == "--testkit" ]]; then
         TESTKIT_SEED="$seed" \
             timeout --signal=INT "$SUITE_TIMEOUT" \
             python -m pytest -x -q tests/testkit \
+            --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
+    done
+    exit 0
+fi
+
+if [[ "${1:-}" == "--chaos" ]]; then
+    shift
+    export CHAOS_REPRO_DIR="${CHAOS_REPRO_DIR:-.chaos-repro}"
+    export CHAOS_ROUNDS="${CHAOS_ROUNDS:-60}"
+    for seed in ${CHAOS_SEEDS:-0 1 2 3}; do
+        echo "=== chaos soak: CHAOS_SEED=$seed (CHAOS_ROUNDS=$CHAOS_ROUNDS) ==="
+        CHAOS_SEED="$seed" \
+            timeout --signal=INT "$SUITE_TIMEOUT" \
+            python -m pytest -x -q tests/testkit/test_chaos.py \
             --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
     done
     exit 0

@@ -21,6 +21,12 @@ Endpoint contract (duck-typed; see :class:`repro.comm.transport.MeteredSocket`):
 * ``close() -> None`` — idempotent teardown; unblocks pending ``recv``.
 * ``stats`` — a :class:`repro.comm.transport.TransportStats` with
   message/byte counters including framing overhead.
+* ``last_recv_latency_s`` — how long the most recent successful ``recv``
+  waited for its message, in the transport's own notion of time: wall
+  clock for real sockets, *scripted transit delay* for the simulated
+  fabric.  The resilience control plane reads this instead of timing
+  ``recv`` itself, so latency telemetry stays deterministic under the
+  simulation's virtual clock.
 
 Listener contract (see :class:`repro.comm.transport.Listener`):
 

@@ -17,9 +17,23 @@ import struct
 
 import numpy as np
 
-__all__ = ["Message", "encode", "decode", "ProtocolError"]
+__all__ = ["Message", "encode", "decode", "ProtocolError",
+           "INFER", "RESULT", "ERROR", "SHUTDOWN", "PING", "PONG"]
 
 _LEN = struct.Struct(">I")
+
+# Message kinds spoken by the TeamNet runtime.  ``kind`` is a free-form
+# string on the wire; these constants are the vocabulary the
+# master/worker state machines agree on.  PING/PONG are the failure
+# detector's heartbeat: a ping carries a ``seq`` meta field which the
+# pong must echo, so a late pong from an earlier probe cannot satisfy a
+# newer one.
+INFER = "infer"        # master -> worker: broadcast input, arrays={"x"}
+RESULT = "result"      # worker -> master: arrays={"probs", "entropy"}
+ERROR = "error"        # worker -> master: meta={"error": reason}
+SHUTDOWN = "shutdown"  # master -> worker: close this connection
+PING = "ping"          # master -> worker: heartbeat probe, meta={"seq"}
+PONG = "pong"          # worker -> master: heartbeat reply, meta={"seq"}
 
 
 class ProtocolError(ValueError):

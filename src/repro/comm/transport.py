@@ -98,6 +98,7 @@ class MeteredSocket:
                  stats: TransportStats | None = None):
         self.sock = sock
         self.stats = stats if stats is not None else TransportStats()
+        self.last_recv_latency_s = 0.0
 
     def send(self, payload: bytes) -> None:
         send_frame(self.sock, payload, self.stats)
@@ -105,13 +106,19 @@ class MeteredSocket:
     def recv(self, timeout: float | None = None) -> bytes:
         """Read one frame; with ``timeout`` set, raises TimeoutError if no
         complete frame arrives in time (the connection should then be
-        considered dead — a partial frame may have been consumed)."""
+        considered dead — a partial frame may have been consumed).
+        ``last_recv_latency_s`` records how long the read waited."""
+        start = time.perf_counter()
         if timeout is None:
-            return recv_frame(self.sock, self.stats)
+            payload = recv_frame(self.sock, self.stats)
+            self.last_recv_latency_s = time.perf_counter() - start
+            return payload
         previous = self.sock.gettimeout()
         self.sock.settimeout(timeout)
         try:
-            return recv_frame(self.sock, self.stats)
+            payload = recv_frame(self.sock, self.stats)
+            self.last_recv_latency_s = time.perf_counter() - start
+            return payload
         finally:
             try:
                 self.sock.settimeout(previous)

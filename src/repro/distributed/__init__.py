@@ -9,6 +9,9 @@ the edge simulator can replay it against device/WiFi profiles.
 
 from .moe_runtime import (MoEGrpcMaster, MoEMpiRunner, moe_mpi_forward,
                           serve_expert)
+from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
+                         PeerResilience, QuorumError, ResilienceConfig,
+                         SuspicionTracker)
 from .mpi_branch import MpiBranchRunner, count_blocks, mpi_branch_forward
 from .mpi_kernel import (MpiKernelRunner, count_conv_layers,
                          kernel_split_conv, mpi_kernel_forward)
@@ -20,6 +23,8 @@ from .teamnet_runtime import (ExpertWorker, InferenceStats, TeamNetMaster,
 __all__ = [
     "TeamNetMaster", "ExpertWorker", "deploy_local_team", "InferenceStats",
     "WorkerFailure", "WorkerHealth",
+    "CircuitBreaker", "SuspicionTracker", "LatencyTracker",
+    "ResilienceConfig", "DegradationPolicy", "QuorumError", "PeerResilience",
     "mpi_matrix_forward", "split_linear_weights", "MpiMatrixRunner",
     "mpi_kernel_forward", "kernel_split_conv", "count_conv_layers",
     "MpiKernelRunner", "mpi_branch_forward", "count_blocks",

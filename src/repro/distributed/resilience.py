@@ -1,0 +1,326 @@
+"""Resilience control plane for the TeamNet runtime.
+
+The paper's latency argument (Section III, Figure 1(d)) assumes one
+broadcast and one small reply per peer — a single slow or flapping edge
+node erodes exactly the advantage TeamNet claims over MPI partitioning.
+This module gives the master the machinery to keep answering *through*
+crashes, flaps and stragglers, with a visible accuracy cost instead of a
+silent one:
+
+* :class:`SuspicionTracker` — a lightweight failure detector per peer:
+  an EWMA of reply latency plus a miss counter folded into a suspicion
+  score (a φ-accrual detector reduced to the two signals the gather
+  actually produces).  Heartbeat ``ping``/``pong`` exchanges and gather
+  outcomes both feed it.
+* :class:`CircuitBreaker` — per-peer closed → open → half-open breaker
+  replacing the bare reconnect-backoff clock: a flapping worker stops
+  eating broadcast bytes and gather slots the moment it trips, and is
+  only re-admitted after a successful probe.
+* :class:`LatencyTracker` — sliding window of team reply latencies; its
+  quantiles derive the *hedge delay* after which the master stops
+  waiting on a suspected-slow peer and proceeds with the quorum it has.
+* :class:`DegradationPolicy` — how degraded an answer may get before it
+  is flagged (or refused): a minimum quorum of participating experts and
+  an optional ceiling on the winning entropy.  Each expert only knows
+  part of the data, so the caller must be able to see degradation.
+
+Everything here is runtime-agnostic state machinery (no sockets, no
+threads); :mod:`repro.distributed.teamnet_runtime` wires it into the
+broadcast/gather loop, and the deterministic testkit
+(:mod:`repro.testkit`) exercises every transition without real sockets.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN",
+           "CircuitBreaker", "SuspicionTracker", "LatencyTracker",
+           "ResilienceConfig", "DegradationPolicy", "QuorumError",
+           "PeerResilience"]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class QuorumError(RuntimeError):
+    """A degradation-policy violation under ``on_violation="raise"``:
+    too few experts answered, or the winning entropy breached the
+    ceiling.  The answer was computable but not trustworthy enough to
+    return silently."""
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning knobs for the failure detector, breakers and hedging.
+
+    * ``failure_threshold`` — consecutive failures before a peer's
+      breaker trips from closed to open.
+    * ``reset_timeout`` / ``reset_timeout_max`` — how long an open
+      breaker blocks traffic before allowing a half-open probe; doubles
+      per re-trip up to the cap (this replaces the old reconnect
+      backoff clock).  ``0`` means "probe immediately", which the
+      simulation testkit uses so rejoin needs no real waiting.
+    * ``hedging`` — master-side hedged gathers on/off.
+    * ``hedge_quantile`` / ``hedge_multiplier`` / ``hedge_floor_s`` —
+      the hedge delay is ``max(multiplier × Q(quantile), floor)`` over
+      the recent team reply latencies.  The default (3 × median) keeps
+      healthy peers unhedged — their latency sits near the median, well
+      under the delay — while a 10× straggler is cut off early.
+    * ``hedge_min_samples`` / ``latency_window`` — hedging only arms
+      once the window holds enough samples to trust the quantile.
+    * ``ewma_alpha`` / ``success_decay`` / ``suspicion_threshold`` —
+      failure-detector smoothing: each miss adds 1 to the suspicion
+      score, each success multiplies it by ``success_decay``; a peer is
+      *suspect* at ``score >= suspicion_threshold``.
+    * ``heartbeat_timeout`` — per-probe reply deadline for
+      :meth:`~repro.distributed.teamnet_runtime.TeamNetMaster.heartbeat`.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout: float = 0.25
+    reset_timeout_max: float = 5.0
+    hedging: bool = True
+    hedge_quantile: float = 0.5
+    hedge_multiplier: float = 3.0
+    hedge_floor_s: float = 0.02
+    hedge_min_samples: int = 8
+    latency_window: int = 128
+    ewma_alpha: float = 0.2
+    success_decay: float = 0.5
+    suspicion_threshold: float = 2.0
+    heartbeat_timeout: float = 0.25
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout < 0 or self.reset_timeout_max < self.reset_timeout:
+            raise ValueError("need 0 <= reset_timeout <= reset_timeout_max")
+        if not 0.0 < self.hedge_quantile < 1.0:
+            raise ValueError("hedge_quantile must be in (0, 1)")
+        if self.hedge_multiplier <= 0 or self.hedge_floor_s < 0:
+            raise ValueError("hedge_multiplier must be > 0 and "
+                             "hedge_floor_s >= 0")
+        if self.hedge_min_samples < 1 or self.latency_window < 1:
+            raise ValueError("hedge_min_samples and latency_window "
+                             "must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 <= self.success_decay < 1.0:
+            raise ValueError("success_decay must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """How degraded an answer may get before it stops being silent.
+
+    * ``min_quorum`` — minimum number of participating experts
+      (master included) required for an answer.
+    * ``max_entropy`` — per-sample ceiling on the *winning* predictive
+      entropy; an answer whose least-uncertain expert is still this
+      uncertain is no answer at all.  ``None`` disables the check.
+    * ``on_violation`` — ``"flag"`` records the violations in
+      ``InferenceStats.violations`` and returns the degraded answer;
+      ``"raise"`` refuses it with :class:`QuorumError`.
+    """
+
+    min_quorum: int = 1
+    max_entropy: float | None = None
+    on_violation: str = "flag"
+
+    def __post_init__(self):
+        if self.min_quorum < 1:
+            raise ValueError("min_quorum must be >= 1 (the master always "
+                             "participates)")
+        if self.max_entropy is not None and self.max_entropy < 0:
+            raise ValueError("max_entropy must be >= 0 or None")
+        if self.on_violation not in ("flag", "raise"):
+            raise ValueError("on_violation must be 'flag' or 'raise', "
+                             f"got {self.on_violation!r}")
+
+    def violations(self, participants: int,
+                   max_winner_entropy: float | None) -> list[str]:
+        """Human-readable policy breaches for one inference (empty =
+        the answer is acceptable)."""
+        found = []
+        if participants < self.min_quorum:
+            found.append(f"quorum: {participants} participant(s) < "
+                         f"min_quorum {self.min_quorum}")
+        if (self.max_entropy is not None and max_winner_entropy is not None
+                and max_winner_entropy > self.max_entropy):
+            found.append(f"entropy: winning entropy {max_winner_entropy:.4f} "
+                         f"> ceiling {self.max_entropy:.4f}")
+        return found
+
+
+class CircuitBreaker:
+    """Per-peer circuit breaker: closed → open → half-open.
+
+    CLOSED admits traffic and counts consecutive failures; at
+    ``failure_threshold`` it trips OPEN.  OPEN admits nothing until
+    ``reset_timeout`` elapses (doubling per re-trip, capped at
+    ``reset_timeout_max``), then HALF-OPEN admits a single probe: a
+    success closes the breaker and resets the timeout, a failure
+    re-opens it with a longer one.  ``clock`` is injectable so the
+    state machine is unit-testable without sleeping.
+    """
+
+    __slots__ = ("failure_threshold", "reset_timeout", "reset_timeout_max",
+                 "_clock", "_state", "_consecutive_failures", "_opened_at",
+                 "_timeout", "trips")
+
+    def __init__(self, failure_threshold: int = 3, reset_timeout: float = 0.25,
+                 reset_timeout_max: float = 5.0, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.reset_timeout_max = reset_timeout_max
+        self._clock = clock
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._timeout = 0.0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; an elapsed OPEN window promotes to HALF-OPEN."""
+        if (self._state == BREAKER_OPEN
+                and self._clock() >= self._opened_at + self._timeout):
+            self._state = BREAKER_HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    @property
+    def open_timeout_s(self) -> float:
+        """The current OPEN window length (grows per re-trip)."""
+        return self._timeout
+
+    def allow(self) -> bool:
+        """May traffic (a broadcast, a reconnect, a probe) flow now?"""
+        return self.state != BREAKER_OPEN
+
+    def record_success(self) -> None:
+        """A round-trip succeeded: close the breaker and reset."""
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._timeout = 0.0
+
+    def record_failure(self) -> None:
+        """A round-trip failed; trips the breaker at the threshold, and
+        a half-open probe failure re-opens immediately."""
+        self._consecutive_failures += 1
+        if (self._state == BREAKER_HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold):
+            self._timeout = (self.reset_timeout if self._timeout <= 0.0
+                             else min(self._timeout * 2,
+                                      self.reset_timeout_max))
+            self._opened_at = self._clock()
+            self._state = BREAKER_OPEN
+            self.trips += 1
+
+
+class SuspicionTracker:
+    """Failure-detector state for one peer.
+
+    Two signals, both produced by the gather/heartbeat loop anyway: the
+    EWMA of observed reply latency (how slow the peer has been) and a
+    decaying miss count (how flaky it has been).  Each miss adds 1 to
+    the score; each success multiplies it by ``decay``; ``suspect``
+    trips at ``threshold``.  The EWMA is only updated from real reply
+    latencies — heartbeat pongs carry no expert compute, so they decay
+    the score without polluting the latency estimate.
+    """
+
+    __slots__ = ("alpha", "decay", "threshold", "score", "ewma_latency_s",
+                 "misses", "observations")
+
+    def __init__(self, alpha: float = 0.2, decay: float = 0.5,
+                 threshold: float = 2.0):
+        self.alpha = alpha
+        self.decay = decay
+        self.threshold = threshold
+        self.score = 0.0
+        self.ewma_latency_s: float | None = None
+        self.misses = 0
+        self.observations = 0
+
+    def observe(self, latency_s: float | None = None) -> None:
+        """Record a successful round-trip (optionally with its reply
+        latency); successes decay the suspicion score."""
+        self.score *= self.decay
+        self.observations += 1
+        if latency_s is not None:
+            latency_s = float(latency_s)
+            if self.ewma_latency_s is None:
+                self.ewma_latency_s = latency_s
+            else:
+                self.ewma_latency_s += self.alpha * (latency_s
+                                                     - self.ewma_latency_s)
+
+    def miss(self) -> None:
+        """Record a miss (timeout, connection failure, hedge cutoff)."""
+        self.misses += 1
+        self.score += 1.0
+
+    @property
+    def suspect(self) -> bool:
+        return self.score >= self.threshold
+
+
+class LatencyTracker:
+    """Sliding window of reply latencies with quantile queries.
+
+    The master feeds every successful reply latency (all peers pooled)
+    into one tracker; its quantile derives the hedge delay, so the
+    definition of "slow" tracks the team's current conditions instead of
+    a hand-tuned constant.
+    """
+
+    def __init__(self, window: int = 128):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._samples: deque[float] = deque(maxlen=window)
+
+    def add(self, latency_s: float) -> None:
+        self._samples.append(float(latency_s))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the window (requires >= 1 sample)."""
+        if not self._samples:
+            raise ValueError("no latency samples recorded yet")
+        return float(np.quantile(np.fromiter(self._samples, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class PeerResilience:
+    """Read-only snapshot of one peer's control-plane state, as exposed
+    by ``TeamNetMaster.resilience_snapshot()`` and rendered by
+    :func:`repro.edge.monitor.resilience_table`."""
+
+    index: int
+    address: tuple[str, int]
+    alive: bool
+    breaker_state: str
+    consecutive_failures: int
+    breaker_trips: int
+    suspicion_score: float
+    suspect: bool
+    ewma_reply_latency_s: float | None
+    replies: int
+    failures: int
+    timeouts: int
+    hedges: int
+    reconnects: int

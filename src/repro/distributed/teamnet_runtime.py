@@ -10,11 +10,24 @@ back per worker, which is the paper's whole latency argument against MPI.
 The gather is *concurrent and fault-aware*: one reader thread per peer
 collects replies simultaneously under a single per-inference deadline
 (``reply_timeout``), so one slow or dead worker costs at most one deadline
-— never K× — and never blocks the reads from faster peers.  A peer that
-misses the deadline has its socket closed (a late reply on a reused
-connection would desync the frame stream) and is retried with capped
-exponential backoff on later inferences, so a worker that rejoins after a
-transient network blip is welcomed back instead of blacklisted forever.
+— never K× — and never blocks the reads from faster peers.  On top of
+that sits a resilience control plane (:mod:`repro.distributed.resilience`):
+
+* a **failure detector** — per-peer suspicion scores fed by reply
+  latencies, misses, and explicit ``ping``/``pong`` heartbeats
+  (:meth:`TeamNetMaster.heartbeat`);
+* per-peer **circuit breakers** (closed → open → half-open) gating both
+  reconnect attempts and broadcasts, so a flapping worker receives zero
+  bytes while its breaker is open and is only re-admitted by a
+  successful probe;
+* **hedged gathers** — a suspected-slow peer gets a latency-quantile
+  derived hedge deadline instead of the full ``reply_timeout``; when it
+  misses, the master answers from the quorum it has and records
+  ``hedged=True`` in :class:`InferenceStats`;
+* a **quorum-aware degradation policy** — answers below ``min_quorum``
+  participants or above the entropy ceiling are flagged in the stats or
+  refused with :class:`~repro.distributed.resilience.QuorumError`,
+  never silently returned.
 
 ``deploy_local_team`` spins a worker thread per expert on localhost so the
 whole protocol runs for real in tests and examples.
@@ -33,6 +46,9 @@ from ..comm.base import Transport
 from ..comm.transport import (MeteredSocket, TcpTransport, TransportStats)
 from ..core.inference import ExpertOutput, argmin_select, expert_forward
 from ..nn import Module
+from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
+                         PeerResilience, QuorumError, ResilienceConfig,
+                         SuspicionTracker)
 
 __all__ = ["ExpertWorker", "TeamNetMaster", "WorkerFailure", "WorkerHealth",
            "deploy_local_team", "InferenceStats"]
@@ -40,12 +56,16 @@ __all__ = ["ExpertWorker", "TeamNetMaster", "WorkerFailure", "WorkerHealth",
 
 @dataclass
 class InferenceStats:
-    """Traffic and gather telemetry observed by the master for one
-    inference.
+    """Traffic, gather and degradation telemetry observed by the master
+    for one inference.
 
     Byte/message counters include traffic to workers that later failed:
     the broadcast bytes went on the wire whether or not a reply came back,
-    and the edge cost model must charge for them.
+    and the edge cost model must charge for them.  ``participants`` is
+    the number of experts (master included) whose output fed the answer;
+    ``degraded`` is set whenever that is less than the full team, and
+    ``violations`` lists any :class:`DegradationPolicy` breaches when the
+    policy flags instead of raising.
     """
 
     messages_sent: int = 0
@@ -55,6 +75,15 @@ class InferenceStats:
     gather_s: float = 0.0
     reply_latency_s: dict[int, float] = field(default_factory=dict)
     failures: int = 0
+    hedged: bool = False
+    hedged_workers: list[int] = field(default_factory=list)
+    hedge_delay_s: float | None = None
+    participants: int = 0
+    degraded: bool = False
+    violations: list[str] = field(default_factory=list)
+    #: stale frames (duplicated/reordered replies to *earlier* requests)
+    #: discarded by seq correlation during this gather
+    stale_replies: int = 0
 
     @classmethod
     def from_transport(cls, stats: TransportStats) -> "InferenceStats":
@@ -65,7 +94,10 @@ class InferenceStats:
 @dataclass
 class WorkerHealth:
     """Cumulative per-worker telemetry kept by the master across the
-    lifetime of the connection (survives reconnects)."""
+    lifetime of the connection (survives reconnects).  ``detector`` is
+    the failure-detector state (suspicion score, latency EWMA); the
+    ``suspicion_score`` / ``suspect`` / ``ewma_reply_latency_s``
+    properties are its dashboard-friendly readouts."""
 
     index: int
     address: tuple[str, int]
@@ -73,8 +105,10 @@ class WorkerHealth:
     failures: int = 0
     timeouts: int = 0
     reconnects: int = 0
+    hedges: int = 0
     last_reply_latency_s: float | None = None
     total_reply_latency_s: float = 0.0
+    detector: SuspicionTracker = field(default_factory=SuspicionTracker)
 
     @property
     def mean_reply_latency_s(self) -> float | None:
@@ -82,22 +116,41 @@ class WorkerHealth:
             return None
         return self.total_reply_latency_s / self.replies
 
+    @property
+    def ewma_reply_latency_s(self) -> float | None:
+        return self.detector.ewma_latency_s
+
+    @property
+    def suspicion_score(self) -> float:
+        return self.detector.score
+
+    @property
+    def suspect(self) -> bool:
+        return self.detector.suspect
+
 
 class _Peer:
-    """Connection state for one worker: socket (None while down) plus the
-    reconnect backoff clock and cumulative health counters."""
+    """Connection state for one worker: socket (None while down), the
+    circuit breaker gating its traffic, and cumulative health counters
+    (including the failure-detector state)."""
 
-    __slots__ = ("index", "address", "sock", "health", "backoff_s",
-                 "retry_at")
+    __slots__ = ("index", "address", "sock", "health", "breaker")
 
     def __init__(self, index: int, address: tuple[str, int],
-                 sock: MeteredSocket | None):
+                 sock: MeteredSocket | None, resilience: ResilienceConfig):
         self.index = index
         self.address = address
         self.sock = sock
-        self.health = WorkerHealth(index=index, address=address)
-        self.backoff_s = 0.0
-        self.retry_at = 0.0
+        self.health = WorkerHealth(
+            index=index, address=address,
+            detector=SuspicionTracker(
+                alpha=resilience.ewma_alpha,
+                decay=resilience.success_decay,
+                threshold=resilience.suspicion_threshold))
+        self.breaker = CircuitBreaker(
+            failure_threshold=resilience.failure_threshold,
+            reset_timeout=resilience.reset_timeout,
+            reset_timeout_max=resilience.reset_timeout_max)
 
     @property
     def alive(self) -> bool:
@@ -110,7 +163,9 @@ class ExpertWorker:
     ``stop()`` followed by ``start()`` restarts the worker on the *same*
     port, so a master holding the old address can reconnect to it — this
     is what makes recovery after a node reboot possible without
-    redeploying the team.
+    redeploying the team.  Besides ``infer`` requests the worker answers
+    ``ping`` heartbeats (echoing the probe's ``seq``), which is what the
+    master's failure detector and half-open circuit breakers probe with.
     """
 
     def __init__(self, expert: Module, host: str = "127.0.0.1", port: int = 0,
@@ -154,6 +209,16 @@ class ExpertWorker:
             worker.start()
             self._threads.append(worker)
 
+    @staticmethod
+    def _safe_send(sock, blob: bytes) -> bool:
+        """Best-effort send: a peer that hangs up right before our reply
+        (e.g. after sending garbage) must not crash the serve thread."""
+        try:
+            sock.send(blob)
+            return True
+        except (ConnectionError, OSError):
+            return False
+
     def _serve(self, sock) -> None:
         with sock:
             try:
@@ -164,17 +229,38 @@ class ExpertWorker:
                         # Malformed manifest from an untrusted peer: tell it
                         # why, then drop the connection rather than trust
                         # anything further on this stream.
-                        sock.send(protocol.encode(
-                            "error", {"error": f"bad message: {exc}"}))
+                        self._safe_send(sock, protocol.encode(
+                            protocol.ERROR, {"error": f"bad message: {exc}"}))
                         return
-                    if msg.kind == "shutdown":
+                    if msg.kind == protocol.SHUTDOWN:
                         return
-                    if msg.kind != "infer":
-                        sock.send(protocol.encode(
-                            "error", {"error": f"unexpected {msg.kind!r}"}))
+                    if msg.kind == protocol.PING:
+                        if not self._safe_send(sock, protocol.encode(
+                                protocol.PONG,
+                                {"seq": msg.meta.get("seq")})):
+                            return
                         continue
-                    output = expert_forward(self.expert, msg.arrays["x"])
-                    sock.send(protocol.encode("result", {}, {
+                    # Replies echo the request's seq so the master can
+                    # correlate them: a duplicated or reordered reply from
+                    # an earlier request must never be mistaken for the
+                    # answer to the current one.
+                    seq = msg.meta.get("seq")
+                    if msg.kind != protocol.INFER:
+                        self._safe_send(sock, protocol.encode(
+                            protocol.ERROR,
+                            {"error": f"unexpected {msg.kind!r}",
+                             "seq": seq}))
+                        continue
+                    try:
+                        output = expert_forward(self.expert, msg.arrays["x"])
+                    except Exception as exc:  # noqa: BLE001 - reply, don't die
+                        # A bad input (wrong shape, missing array) must cost
+                        # the sender an error reply, not this serve thread.
+                        self._safe_send(sock, protocol.encode(
+                            protocol.ERROR,
+                            {"error": f"inference: {exc}", "seq": seq}))
+                        continue
+                    sock.send(protocol.encode(protocol.RESULT, {"seq": seq}, {
                         "probs": output.probs,
                         "entropy": output.entropy,
                     }))
@@ -205,13 +291,26 @@ class TeamNetMaster:
     answers from the remaining experts (each expert only knows part of the
     data, so accuracy degrades — but the system keeps answering).  With
     degradation disabled, a worker failure raises :class:`WorkerFailure`.
+    How degraded an answer may get before it is flagged or refused is the
+    ``degradation`` policy's call (quorum and entropy ceiling).
 
     ``reply_timeout`` is a single **per-inference** gather deadline: all
     replies are read concurrently, so the total wait is bounded by one
-    deadline no matter how many workers straggle.  Failed workers are
-    retried with exponential backoff starting at ``reconnect_backoff``
-    seconds and capped at ``reconnect_backoff_max``; a worker that comes
-    back (same address) rejoins the team automatically.
+    deadline no matter how many workers straggle.  A *suspected-slow*
+    peer gets a shorter, latency-quantile-derived hedge deadline instead
+    (see :class:`~repro.distributed.resilience.ResilienceConfig`), so a
+    known straggler costs the gather its hedge delay, not the full
+    deadline.
+
+    Failed workers are gated by per-peer circuit breakers: below the
+    failure threshold a reconnect is attempted on the next inference;
+    once the breaker trips open, the worker receives nothing until the
+    open window (``reconnect_backoff`` seconds, doubling per re-trip up
+    to ``reconnect_backoff_max``) elapses and a probe succeeds.  A
+    worker that comes back (same address) rejoins the team automatically.
+
+    The master is not thread-safe: ``infer``/``heartbeat`` calls must not
+    overlap.
     """
 
     def __init__(self, expert: Module,
@@ -221,17 +320,32 @@ class TeamNetMaster:
                  reconnect_backoff: float = 0.25,
                  reconnect_backoff_max: float = 5.0,
                  connect_timeout: float = 0.25,
-                 transport: Transport | None = None):
+                 transport: Transport | None = None,
+                 resilience: ResilienceConfig | None = None,
+                 degradation: DegradationPolicy | None = None):
         self.expert = expert
         self.degrade_on_failure = degrade_on_failure
         self.reply_timeout = reply_timeout
-        self.reconnect_backoff = reconnect_backoff
-        self.reconnect_backoff_max = reconnect_backoff_max
         self.connect_timeout = connect_timeout
+        self.resilience = resilience if resilience is not None else \
+            ResilienceConfig(reset_timeout=reconnect_backoff,
+                             reset_timeout_max=reconnect_backoff_max)
+        self.degradation = degradation if degradation is not None else \
+            DegradationPolicy()
         self._transport = transport if transport is not None else TcpTransport()
         self._peers = [
-            _Peer(i, (host, port), self._transport.connect(host, port))
+            _Peer(i, (host, port), self._transport.connect(host, port),
+                  self.resilience)
             for i, (host, port) in enumerate(worker_addresses, start=1)]
+        self._latencies = LatencyTracker(self.resilience.latency_window)
+        # One seq counter shared by infers and pings: every request gets
+        # a unique seq, every reply echoes it, and readers discard any
+        # frame whose seq does not match the request they are waiting on
+        # (duplicated/reordered deliveries leave stale frames queued on
+        # long-lived connections).
+        self._request_seq = 0
+        #: cumulative traffic spent on heartbeat probes (not per-inference)
+        self.heartbeat_traffic = TransportStats()
         # Golden-trace capture for the differential testkit: the expert
         # outputs and original team indices that fed the last selection.
         self.last_outputs: dict[int, ExpertOutput] = {}
@@ -255,35 +369,51 @@ class TeamNetMaster:
         """Cumulative per-worker reply-latency and failure telemetry."""
         return {peer.index: peer.health for peer in self._peers}
 
+    def resilience_snapshot(self) -> dict[int, PeerResilience]:
+        """Control-plane state per worker: breaker, suspicion, latency.
+
+        Render with :func:`repro.edge.monitor.resilience_table`.
+        """
+        return {
+            peer.index: PeerResilience(
+                index=peer.index, address=peer.address, alive=peer.alive,
+                breaker_state=peer.breaker.state,
+                consecutive_failures=peer.breaker.consecutive_failures,
+                breaker_trips=peer.breaker.trips,
+                suspicion_score=peer.health.suspicion_score,
+                suspect=peer.health.suspect,
+                ewma_reply_latency_s=peer.health.ewma_reply_latency_s,
+                replies=peer.health.replies,
+                failures=peer.health.failures,
+                timeouts=peer.health.timeouts,
+                hedges=peer.health.hedges,
+                reconnects=peer.health.reconnects)
+            for peer in self._peers}
+
     # ------------------------------------------------------------ recovery
     def _maybe_reconnect(self) -> None:
-        """Retry down workers whose backoff window has elapsed."""
-        now = time.monotonic()
+        """Retry down workers whose circuit breaker admits a probe."""
         for peer in self._peers:
-            if peer.alive or now < peer.retry_at:
+            if peer.alive or not peer.breaker.allow():
                 continue
             try:
                 peer.sock = self._transport.connect(
                     *peer.address, retries=1, delay=0.0,
                     timeout=self.connect_timeout)
                 peer.health.reconnects += 1
-                peer.backoff_s = 0.0
-                peer.retry_at = 0.0
+                # A successful dial is not yet a successful round-trip:
+                # the breaker stays where it is (half-open after a trip)
+                # until a reply or a pong actually comes back.
             except (ConnectionError, OSError):
-                self._schedule_retry(peer)
-
-    def _schedule_retry(self, peer: _Peer) -> None:
-        peer.backoff_s = (self.reconnect_backoff if peer.backoff_s <= 0.0
-                          else min(peer.backoff_s * 2,
-                                   self.reconnect_backoff_max))
-        peer.retry_at = time.monotonic() + peer.backoff_s
+                peer.breaker.record_failure()
 
     # ------------------------------------------------------------- failure
     def _fail(self, peer: _Peer, stats: TransportStats,
-              inference: InferenceStats, timed_out: bool = False) -> None:
+              inference: InferenceStats, timed_out: bool = False,
+              hedged: bool = False) -> None:
         """Record a worker failure: salvage its traffic counters, close its
         socket (a late reply on a reused connection would desync the frame
-        stream), and arm the reconnect backoff."""
+        stream), arm the breaker and bump the suspicion score."""
         if peer.sock is not None:
             stats.merge(peer.sock.stats)
             peer.sock.close()
@@ -291,43 +421,104 @@ class TeamNetMaster:
         peer.health.failures += 1
         if timed_out:
             peer.health.timeouts += 1
+        if hedged:
+            peer.health.hedges += 1
+        peer.health.detector.miss()
+        peer.breaker.record_failure()
         inference.failures += 1
-        self._schedule_retry(peer)
+
+    # -------------------------------------------------------------- success
+    def _record_reply(self, peer: _Peer, latency: float,
+                      inference: InferenceStats) -> None:
+        """Book-keep one successful reply (caller holds the gather lock)."""
+        inference.reply_latency_s[peer.index] = latency
+        peer.health.replies += 1
+        peer.health.last_reply_latency_s = latency
+        peer.health.total_reply_latency_s += latency
+        peer.health.detector.observe(latency)
+        peer.breaker.record_success()
+        self._latencies.add(latency)
+
+    # -------------------------------------------------------------- hedging
+    def _hedge_plan(self, sent: list[_Peer]) -> tuple[float | None, set[int]]:
+        """Decide the hedge delay and which of ``sent`` get it.
+
+        Hedging arms once the latency window holds enough samples; the
+        delay is ``max(multiplier × Q(quantile), floor)``.  A peer is
+        hedged when the failure detector marks it suspect (misses) or its
+        latency EWMA already exceeds the hedge delay (it is *expected* to
+        miss it).  Hedging is skipped entirely when cutting the suspects
+        loose could leave the answer below the quorum — better to burn
+        the deadline than to refuse an answer we could have had.
+        """
+        cfg = self.resilience
+        if not cfg.hedging or len(self._latencies) < cfg.hedge_min_samples:
+            return None, set()
+        delay = max(cfg.hedge_multiplier
+                    * self._latencies.quantile(cfg.hedge_quantile),
+                    cfg.hedge_floor_s)
+        if self.reply_timeout is not None and delay >= self.reply_timeout:
+            return None, set()
+        suspects = {
+            peer.index for peer in sent
+            if peer.health.suspect
+            or (peer.health.ewma_reply_latency_s is not None
+                and peer.health.ewma_reply_latency_s > delay)}
+        if not suspects:
+            return None, set()
+        if 1 + len(sent) - len(suspects) < self.degradation.min_quorum:
+            return None, set()
+        return delay, suspects
 
     # -------------------------------------------------------------- gather
-    def _gather(self, sent: list[_Peer], inference: InferenceStats
+    def _gather(self, sent: list[_Peer], seq: int,
+                inference: InferenceStats
                 ) -> dict[int, ExpertOutput | Exception]:
         """Read every pending reply concurrently under one deadline.
 
-        Returns ``{worker index: ExpertOutput or Exception}``.  A peer
-        whose reader is still running at the deadline is force-failed and
-        its socket shut down to unblock the reader thread.
+        Returns ``{worker index: ExpertOutput or Exception}``.  Suspected
+        slow peers read under the hedge delay instead of the full
+        deadline; a peer whose reader is still running at the deadline is
+        force-failed and its socket shut down to unblock the reader.
+        Frames whose echoed seq is not this inference's ``seq`` are stale
+        leftovers (duplicated or reordered deliveries) and are discarded,
+        not answered with.
         """
         deadline = (None if self.reply_timeout is None
                     else time.monotonic() + self.reply_timeout)
+        hedge_delay, hedged_set = self._hedge_plan(sent)
+        inference.hedge_delay_s = hedge_delay
         results: dict[int, ExpertOutput | Exception] = {}
         lock = threading.Lock()
         timed_out: set[int] = set()
 
         def read(peer: _Peer) -> None:
-            start = time.monotonic()
+            timeout = (hedge_delay if peer.index in hedged_set
+                       else self.reply_timeout)
+            read_deadline = (None if timeout is None
+                             else time.monotonic() + timeout)
             try:
-                reply = protocol.decode(
-                    peer.sock.recv(timeout=self.reply_timeout))
-                if reply.kind != "result":
+                while True:
+                    remaining = (None if read_deadline is None
+                                 else max(0.0,
+                                          read_deadline - time.monotonic()))
+                    reply = protocol.decode(peer.sock.recv(timeout=remaining))
+                    if reply.meta.get("seq") != seq:
+                        with lock:
+                            inference.stale_replies += 1
+                        continue
+                    break
+                if reply.kind != protocol.RESULT:
                     raise WorkerFailure("worker failure: "
                                         f"{reply.meta.get('error', reply.kind)}")
-                latency = time.monotonic() - start
+                latency = float(getattr(peer.sock, "last_recv_latency_s", 0.0))
                 outcome: ExpertOutput | Exception = ExpertOutput(
                     probs=reply.arrays["probs"],
                     entropy=reply.arrays["entropy"])
                 with lock:
                     if peer.index not in timed_out:
                         results[peer.index] = outcome
-                        inference.reply_latency_s[peer.index] = latency
-                        peer.health.replies += 1
-                        peer.health.last_reply_latency_s = latency
-                        peer.health.total_reply_latency_s += latency
+                        self._record_reply(peer, latency, inference)
             except Exception as exc:  # noqa: BLE001 - surfaced to caller
                 with lock:
                     results.setdefault(peer.index, exc)
@@ -341,15 +532,28 @@ class TeamNetMaster:
                          else max(0.0, deadline - time.monotonic()))
             thread.join(remaining)
             if thread.is_alive():
+                closed = False
                 with lock:
                     if peer.index not in results:
                         timed_out.add(peer.index)
                         results[peer.index] = TimeoutError(
                             f"worker {peer.index} missed the "
                             f"{self.reply_timeout}s gather deadline")
-                if peer.index in timed_out:
-                    peer.sock.close()  # wakes the blocked reader
+                    # Close under the lock, guarding against a concurrent
+                    # _fail/close() having already dropped the socket —
+                    # the bare `peer.sock.close()` here used to race into
+                    # an AttributeError on None.
+                    if peer.index in timed_out and peer.sock is not None:
+                        peer.sock.close()  # wakes the blocked reader
+                        closed = True
+                if closed:
                     thread.join(1.0)
+        hedge_missed = sorted(
+            index for index in hedged_set
+            if isinstance(results.get(index), TimeoutError))
+        if hedge_missed:
+            inference.hedged = True
+            inference.hedged_workers = hedge_missed
         return results
 
     # --------------------------------------------------------------- infer
@@ -371,11 +575,14 @@ class TeamNetMaster:
             if down:
                 raise WorkerFailure(f"workers {down} are down and "
                                     "degradation is disabled")
-        request = protocol.encode("infer", {}, {"x": x})
-        # Step 2: broadcast the sensor data to every live peer.
+        self._request_seq += 1
+        seq = self._request_seq
+        request = protocol.encode(protocol.INFER, {"seq": seq}, {"x": x})
+        # Step 2: broadcast the sensor data to every live peer whose
+        # breaker admits traffic — an open breaker means zero bytes.
         sent = []
         for peer in self._peers:
-            if not peer.alive:
+            if not peer.alive or not peer.breaker.allow():
                 continue
             try:
                 peer.sock.send(request)
@@ -389,9 +596,10 @@ class TeamNetMaster:
         outputs = [expert_forward(self.expert, x)]
         indices = [0]
         # Step 4: gather (prediction, uncertainty) from every worker —
-        # concurrently, under a single per-inference deadline.
+        # concurrently, under a single per-inference deadline, hedging
+        # the suspected-slow ones.
         gather_start = time.monotonic()
-        results = self._gather(sent, inference)
+        results = self._gather(sent, seq, inference)
         inference.gather_s = time.monotonic() - gather_start
         first_error: tuple[_Peer, Exception] | None = None
         for peer in sent:
@@ -405,7 +613,8 @@ class TeamNetMaster:
                 exc = outcome if isinstance(outcome, Exception) \
                     else ConnectionError(f"worker {peer.index}: no reply")
                 self._fail(peer, stats, inference,
-                           timed_out=isinstance(exc, TimeoutError))
+                           timed_out=isinstance(exc, TimeoutError),
+                           hedged=peer.index in inference.hedged_workers)
                 if first_error is None:
                     first_error = (peer, exc)
         if first_error is not None and not self.degrade_on_failure:
@@ -416,11 +625,112 @@ class TeamNetMaster:
         winner = np.asarray(indices)[winner]
         self.last_outputs = dict(zip(indices, outputs))
         self.last_participants = list(indices)
+        # Degradation accounting: how partial is this answer, and does the
+        # policy allow returning it?
+        inference.participants = len(indices)
+        inference.degraded = len(indices) < self.team_size
+        entropies = np.stack([o.entropy for o in outputs], axis=1)
+        winner_entropy = entropies.min(axis=1)
+        max_winner_entropy = (float(winner_entropy.max())
+                              if winner_entropy.size else None)
+        violations = self.degradation.violations(len(indices),
+                                                 max_winner_entropy)
+        if violations and self.degradation.on_violation == "raise":
+            raise QuorumError("; ".join(violations))
+        inference.violations = violations
         combined = InferenceStats.from_transport(stats)
-        combined.gather_s = inference.gather_s
-        combined.reply_latency_s = inference.reply_latency_s
-        combined.failures = inference.failures
+        for name in ("gather_s", "reply_latency_s", "failures", "hedged",
+                     "hedged_workers", "hedge_delay_s", "participants",
+                     "degraded", "violations", "stale_replies"):
+            setattr(combined, name, getattr(inference, name))
         return preds, winner, combined
+
+    # ----------------------------------------------------------- heartbeat
+    def heartbeat(self, timeout: float | None = None) -> dict[int, float | None]:
+        """Probe every admissible peer with a ``ping`` and collect pongs.
+
+        Returns ``{worker index: round-trip seconds, or None}`` (``None``
+        for peers that are down, breaker-blocked, or missed the probe).
+        Successful pongs feed the failure detector and close half-open
+        breakers — this is the cheap probe path that re-admits a worker
+        without risking a full broadcast on it.  Heartbeat traffic
+        accumulates in :attr:`heartbeat_traffic`, not in any inference's
+        stats.
+        """
+        timeout = (timeout if timeout is not None
+                   else self.resilience.heartbeat_timeout)
+        self._maybe_reconnect()
+        scratch = InferenceStats()  # counter sink for _fail bookkeeping
+        self._request_seq += 1
+        seq = self._request_seq
+        ping = protocol.encode(protocol.PING, {"seq": seq})
+        rtts: dict[int, float | None] = {p.index: None for p in self._peers}
+        sent: list[_Peer] = []
+        for peer in self._peers:
+            if not peer.alive or not peer.breaker.allow():
+                continue
+            try:
+                peer.sock.send(ping)
+                sent.append(peer)
+            except (ConnectionError, OSError):
+                self._fail(peer, self.heartbeat_traffic, scratch)
+        lock = threading.Lock()
+        outcomes: dict[int, float | Exception] = {}
+
+        def probe(peer: _Peer) -> None:
+            probe_deadline = (None if timeout is None
+                              else time.monotonic() + timeout)
+            try:
+                while True:
+                    remaining = (None if probe_deadline is None
+                                 else max(0.0,
+                                          probe_deadline - time.monotonic()))
+                    reply = protocol.decode(peer.sock.recv(timeout=remaining))
+                    if reply.meta.get("seq") != seq:
+                        continue  # stale frame from an earlier request
+                    break
+                if reply.kind != protocol.PONG:
+                    raise WorkerFailure(
+                        f"worker {peer.index}: expected pong seq {seq}, "
+                        f"got {reply.kind!r} {reply.meta}")
+                rtt = float(getattr(peer.sock, "last_recv_latency_s", 0.0))
+                with lock:
+                    outcomes[peer.index] = rtt
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                with lock:
+                    outcomes.setdefault(peer.index, exc)
+
+        threads = [threading.Thread(target=probe, args=(peer,), daemon=True)
+                   for peer in sent]
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        for thread in threads:
+            thread.start()
+        for peer, thread in zip(sent, threads):
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            thread.join(remaining)
+            if thread.is_alive():
+                with lock:
+                    outcomes.setdefault(peer.index, TimeoutError(
+                        f"worker {peer.index} missed the heartbeat"))
+                    if peer.sock is not None:
+                        peer.sock.close()
+                thread.join(1.0)
+        for peer in sent:
+            outcome = outcomes.get(peer.index)
+            if isinstance(outcome, float):
+                self.heartbeat_traffic.merge(peer.sock.stats)
+                peer.sock.stats.reset()
+                rtts[peer.index] = outcome
+                # Pongs carry no expert compute: decay the suspicion
+                # score but leave the reply-latency EWMA untouched.
+                peer.health.detector.observe()
+                peer.breaker.record_success()
+            else:
+                self._fail(peer, self.heartbeat_traffic, scratch,
+                           timed_out=isinstance(outcome, TimeoutError))
+        return rtts
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         preds, _, _ = self.infer(x)
@@ -431,7 +741,7 @@ class TeamNetMaster:
             if peer.sock is None:
                 continue
             try:
-                peer.sock.send(protocol.encode("shutdown"))
+                peer.sock.send(protocol.encode(protocol.SHUTDOWN))
             except (ConnectionError, OSError):
                 pass
             peer.sock.close()
@@ -442,14 +752,18 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
                       reply_timeout: float | None = None,
                       reconnect_backoff: float = 0.25,
                       reconnect_backoff_max: float = 5.0,
-                      transport: Transport | None = None, host: str = "127.0.0.1"
+                      transport: Transport | None = None, host: str = "127.0.0.1",
+                      resilience: ResilienceConfig | None = None,
+                      degradation: DegradationPolicy | None = None
                       ) -> tuple[TeamNetMaster, list[ExpertWorker]]:
     """Deploy expert 0 as master and the rest as localhost workers.
 
     ``transport`` selects the fabric (real TCP by default; the testkit
     passes a :class:`repro.testkit.SimTransport` to run the identical
-    protocol in-process).  Callers must ``master.close()`` then
-    ``worker.stop()`` when done.
+    protocol in-process).  ``resilience``/``degradation`` configure the
+    control plane (breakers, hedging, quorum); see
+    :mod:`repro.distributed.resilience`.  Callers must ``master.close()``
+    then ``worker.stop()`` when done.
     """
     if len(experts) < 2:
         raise ValueError("a team needs >= 2 experts")
@@ -463,5 +777,7 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
                            reply_timeout=reply_timeout,
                            reconnect_backoff=reconnect_backoff,
                            reconnect_backoff_max=reconnect_backoff_max,
-                           transport=transport)
+                           transport=transport,
+                           resilience=resilience,
+                           degradation=degradation)
     return master, workers

@@ -15,7 +15,8 @@ from .metrics import (Metrics, RESULT_BYTES, baseline_metrics,
                       mpi_branch_metrics, mpi_kernel_metrics,
                       mpi_matrix_metrics, teamnet_metrics,
                       teamnet_straggler_metrics)
-from .monitor import LatencySummary, measure_latency, measure_peak_memory
+from .monitor import (LatencySummary, measure_latency, measure_peak_memory,
+                      resilience_table)
 from .network import ETHERNET, WIFI, NetworkProfile
 
 __all__ = [
@@ -26,7 +27,8 @@ __all__ = [
     "gather_stall_time", "mpi_matrix_metrics",
     "mpi_kernel_metrics", "mpi_branch_metrics", "moe_grpc_metrics",
     "moe_mpi_metrics", "LatencySummary", "measure_latency",
-    "measure_peak_memory", "LoadReport", "poisson_arrivals",
+    "measure_peak_memory", "resilience_table", "LoadReport",
+    "poisson_arrivals",
     "uniform_arrivals", "simulate_queue", "sustainable_rate",
     "capacity_sweep",
 ]

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LatencySummary", "measure_latency", "measure_peak_memory"]
+__all__ = ["LatencySummary", "measure_latency", "measure_peak_memory",
+           "resilience_table"]
 
 
 @dataclass(frozen=True)
@@ -63,3 +64,41 @@ def measure_peak_memory(fn) -> tuple[object, int]:
     finally:
         tracemalloc.stop()
     return result, peak
+
+
+def resilience_table(snapshot) -> str:
+    """Render a master's control-plane state as a fixed-width table.
+
+    ``snapshot`` is ``TeamNetMaster.resilience_snapshot()`` (or any
+    mapping of index to objects with the
+    :class:`~repro.distributed.resilience.PeerResilience` attributes —
+    duck-typed so this module needs no import from the runtime).  One
+    row per worker: breaker state, suspicion score, latency EWMA and the
+    cumulative reply/failure/hedge counters an operator needs to see why
+    a worker is being skipped.
+    """
+    header = ["worker", "addr", "state", "breaker", "suspicion",
+              "ewma (ms)", "replies", "failures", "hedges", "reconnects"]
+    rows = [header]
+    for index in sorted(snapshot):
+        peer = snapshot[index]
+        ewma = peer.ewma_reply_latency_s
+        rows.append([
+            str(peer.index),
+            f"{peer.address[0]}:{peer.address[1]}",
+            "up" if peer.alive else "down",
+            peer.breaker_state,
+            f"{peer.suspicion_score:.2f}" + ("!" if peer.suspect else ""),
+            "-" if ewma is None else f"{ewma * 1e3:.2f}",
+            str(peer.replies),
+            str(peer.failures),
+            str(peer.hedges),
+            str(peer.reconnects),
+        ])
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(header))]
+    lines = ["  ".join(cell.ljust(width)
+                       for cell, width in zip(row, widths)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)

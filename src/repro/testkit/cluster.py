@@ -24,12 +24,15 @@ __all__ = ["SimCluster"]
 class SimCluster:
     """Expert 0 as master, the rest as simulated workers.
 
-    ``reconnect_backoff`` defaults to 0 so a restarted worker rejoins on
-    the very next inference (the backoff clock is real time, which a
-    simulation should not wait on).  ``reply_timeout`` stays a *real*
-    backstop for in-process compute, but scripted latency and drops
-    resolve against it virtually — a fully-faulted gather returns in
-    microseconds, not after the deadline.
+    ``reconnect_backoff`` defaults to 0 so a tripped circuit breaker
+    admits its half-open probe immediately and a restarted worker rejoins
+    on the very next inference (the breaker's open window is real time,
+    which a simulation should not wait on).  ``reply_timeout`` stays a
+    *real* backstop for in-process compute, but scripted latency and
+    drops resolve against it virtually — a fully-faulted gather returns
+    in microseconds, not after the deadline.  ``resilience`` /
+    ``degradation`` pass through to the master (hedging, breaker
+    thresholds, quorum policy).
     """
 
     def __init__(self, experts: list[Module],
@@ -37,6 +40,7 @@ class SimCluster:
                  degrade_on_failure: bool = True,
                  reply_timeout: float | None = 1.0,
                  reconnect_backoff: float = 0.0,
+                 resilience=None, degradation=None,
                  host: str = "sim"):
         if len(experts) < 2:
             raise ValueError("a team needs >= 2 experts")
@@ -55,7 +59,8 @@ class SimCluster:
                 degrade_on_failure=degrade_on_failure,
                 reply_timeout=reply_timeout,
                 reconnect_backoff=reconnect_backoff,
-                transport=self.network.transport)
+                transport=self.network.transport,
+                resilience=resilience, degradation=degradation)
         except BaseException:
             self.close()
             raise
@@ -67,6 +72,10 @@ class SimCluster:
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return self.master.predict(x)
+
+    def heartbeat(self, timeout: float | None = None):
+        """Run one master heartbeat round; see ``TeamNetMaster.heartbeat``."""
+        return self.master.heartbeat(timeout=timeout)
 
     @property
     def clock(self):

@@ -71,6 +71,7 @@ class SimEndpoint:
 
     def __init__(self, clock: SimClock):
         self.stats = TransportStats()
+        self.last_recv_latency_s = 0.0
         self._clock = clock
         self._cond = threading.Condition()
         self._queue: deque[_Entry] = deque()
@@ -159,6 +160,11 @@ class SimEndpoint:
                             f"no frame within {timeout}s (virtual)")
                     self._queue.popleft()
                     self._clock.advance_to(entry.arrival)
+                    # The scripted transit delay IS the observed latency:
+                    # reading it off the message (not the shared clock)
+                    # keeps latency telemetry a pure function of the
+                    # fault schedule, independent of thread interleaving.
+                    self.last_recv_latency_s = entry.delay
                     self.stats.messages_received += 1
                     self.stats.bytes_received += (_HEADER_BYTES
                                                   + len(entry.payload))

@@ -1,0 +1,95 @@
+"""Graceful degradation end-to-end: a trained team keeps answering as
+its workers die, paying in accuracy rather than availability.
+
+TeamNet's experts each know only part of the data (Algorithm 3 assigns
+every expert its own partition), so killing workers must shrink accuracy
+monotonically — never crash the master, never stop `predict` from
+answering — and every answer must keep coming from the surviving set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TeamInference, TeamNet, TrainerConfig
+from repro.data import Dataset
+from repro.distributed import ResilienceConfig
+from repro.nn import mlp_spec
+from repro.testkit import SimCluster, forbid_sockets
+
+# Eight classes shared by four experts: each expert's partition covers
+# only ~2 classes, so losing an expert genuinely loses knowledge (with
+# one class per expert they generalize well enough to mask the damage).
+_CENTERS = np.random.default_rng(42).standard_normal((8, 16)) * 3
+
+
+def tiny_dataset(n=320, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % 8
+    images = _CENTERS[labels] + rng.standard_normal((n, 16))
+    return Dataset(images.reshape(n, 1, 4, 4), labels)
+
+
+@pytest.fixture(scope="module")
+def trained_team():
+    team = TeamNet.from_reference(
+        mlp_spec(4, in_shape=(1, 4, 4), num_classes=8, width=16),
+        num_experts=4,
+        config=TrainerConfig(epochs=4, batch_size=32, lr=0.1,
+                             gate_max_iterations=8, seed=0),
+        seed=0)
+    team.fit(tiny_dataset())
+    return team
+
+
+def test_accuracy_decays_monotonically_as_workers_die(trained_team):
+    test = tiny_dataset(seed=1)
+    x, labels = test.images, test.labels
+    resilience = ResilienceConfig(failure_threshold=1, reset_timeout=0.0,
+                                  reset_timeout_max=0.0)
+    with forbid_sockets(), \
+            SimCluster(trained_team.experts,
+                       resilience=resilience) as cluster:
+        preds, _, stats = cluster.infer(x)
+        assert stats.participants == 4 and not stats.degraded
+        accuracies = [float((preds == labels).mean())]
+        dead: set[int] = set()
+        for victim in (3, 2, 1):
+            cluster.crash_worker(victim)
+            dead.add(victim)
+            preds, winner, stats = cluster.infer(x)
+            surviving = cluster.surviving_team
+            # The dead never answer; the master always does.
+            assert not dead & set(surviving)
+            assert surviving[0] == 0
+            assert set(np.unique(winner)) <= set(surviving)
+            assert stats.degraded
+            assert stats.participants == len(surviving) == 4 - len(dead)
+            # The degraded answer is still byte-exact TeamNet semantics
+            # over whoever survived — degradation loses experts, not
+            # numerical fidelity.
+            reference = TeamInference(
+                [trained_team.experts[i] for i in surviving])
+            assert preds.tobytes() == reference.predict(x).tobytes()
+            accuracies.append(float((preds == labels).mean()))
+        # Monotone decay: each kill can only remove knowledge.
+        for earlier, later in zip(accuracies, accuracies[1:]):
+            assert later <= earlier + 0.01, (
+                f"accuracy rose after a kill: {accuracies}")
+        assert accuracies[0] > 0.7, accuracies
+        assert accuracies[-1] < accuracies[0] - 0.15, (
+            f"killing 3 of 4 specialists barely hurt: {accuracies}")
+
+
+def test_predict_keeps_answering_through_kills(trained_team):
+    """`predict` (the plain-array API) must never raise under the default
+    degrade-on-failure policy, whichever subset is alive."""
+    x = tiny_dataset(n=16, seed=2).images
+    resilience = ResilienceConfig(failure_threshold=1, reset_timeout=0.0,
+                                  reset_timeout_max=0.0)
+    with SimCluster(trained_team.experts,
+                    resilience=resilience) as cluster:
+        for victim in (1, 3, 2):
+            cluster.crash_worker(victim)
+            preds = cluster.predict(x)
+            assert preds.shape == (len(x),)
+            assert preds.dtype.kind in "iu"

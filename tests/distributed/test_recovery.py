@@ -15,7 +15,8 @@ import pytest
 from repro.comm import protocol
 from repro.comm.transport import connect
 from repro.core import TeamInference
-from repro.distributed import ExpertWorker, deploy_local_team
+from repro.distributed import (ExpertWorker, ResilienceConfig,
+                               deploy_local_team)
 from repro.nn import MLP, Module
 
 
@@ -159,27 +160,41 @@ class TestWorkerRecovery:
         finally:
             shutdown_team(master, workers)
 
-    def test_backoff_spaces_reconnect_attempts(self, rng):
-        """While a worker stays down, failed reconnects back off
-        exponentially up to the cap instead of hammering the address."""
+    def test_breaker_spaces_reconnect_attempts(self, rng):
+        """While a worker stays down, its circuit breaker trips open after
+        the failure threshold, and the open window doubles per re-trip up
+        to the cap instead of hammering the address."""
         experts = make_experts(2)
-        master, workers = deploy_local_team(experts, degrade_on_failure=True,
-                                            reply_timeout=0.5,
-                                            reconnect_backoff=0.1,
-                                            reconnect_backoff_max=0.4)
+        master, workers = deploy_local_team(
+            experts, degrade_on_failure=True, reply_timeout=0.5,
+            resilience=ResilienceConfig(failure_threshold=2,
+                                        reset_timeout=0.1,
+                                        reset_timeout_max=0.4))
         try:
             x = rng.standard_normal((1, 10)).astype(np.float32)
             workers[0].stop()
-            for _ in range(3):
-                master.infer(x)
-            assert master.failed_workers == [1]
             peer = master._peers[0]
-            first_backoff = peer.backoff_s
-            assert first_backoff >= 0.1
-            time.sleep(first_backoff + 0.05)
-            master.infer(x)  # triggers one (failing) reconnect attempt
-            assert peer.backoff_s >= first_backoff
-            assert peer.backoff_s <= 0.4
+            for _ in range(6):
+                master.infer(x)
+                if peer.breaker.state == "open":
+                    break
+            assert master.failed_workers == [1]
+            assert peer.breaker.state == "open"
+            assert not peer.breaker.allow()
+            first_window = peer.breaker.open_timeout_s
+            assert first_window == pytest.approx(0.1)
+            # While the breaker is open, the master must not even dial.
+            reconnects = master.worker_health[1].reconnects
+            master.infer(x)
+            assert master.worker_health[1].reconnects == reconnects
+            # After the window, a half-open probe fails and re-opens with
+            # a doubled window.
+            time.sleep(first_window + 0.05)
+            assert peer.breaker.state == "half-open"
+            master.infer(x)
+            assert peer.breaker.state == "open"
+            assert peer.breaker.open_timeout_s == pytest.approx(0.2)
+            assert peer.breaker.open_timeout_s <= 0.4
         finally:
             shutdown_team(master, workers)
 
