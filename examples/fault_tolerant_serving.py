@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Fault-tolerant TeamNet serving + sustained-load capacity planning.
 
-Three extensions beyond the paper, built on its runtime:
+Four extensions beyond the paper, built on its runtime:
 
 1. **Graceful degradation** — kill a worker mid-stream and watch the
    master drop it from the team and keep answering from the survivors
@@ -13,23 +13,32 @@ Three extensions beyond the paper, built on its runtime:
    and watch the master reconnect (capped exponential backoff, starting
    at ``reconnect_backoff`` seconds) and fold it back into the team,
    without redeploying anything.
-3. **Capacity planning** — use the queueing simulator to find the request
+3. **Expert failover via redeployment** — training checkpoints the full
+   team into a durable :class:`repro.store.CheckpointStore`; when a
+   worker dies *permanently* (kills past the circuit-breaker cap), the
+   master pushes that slot's checkpointed expert onto a cold standby
+   node and rewires the slot — full-team accuracy comes back even
+   though the original node never does.
+4. **Capacity planning** — use the queueing simulator to find the request
    rate each deployment sustains on Raspberry-Pi-class hardware.
 
 Run:  python examples/fault_tolerant_serving.py
 """
 
+import tempfile
 import time
 
 import numpy as np
 
 from repro.core import TeamNet, TrainerConfig
 from repro.data import synthetic_mnist, train_test_split
-from repro.distributed import deploy_local_team
+from repro.distributed import ResilienceConfig, deploy_local_team
+from repro.distributed.teamnet_runtime import ExpertWorker
 from repro.edge import (RASPBERRY_PI_3B, WIFI, baseline_metrics,
                         capacity_sweep, profile_model, sustainable_rate,
                         teamnet_metrics)
 from repro.nn import build_model, downsize, mlp_spec
+from repro.store import CheckpointStore
 
 
 def main() -> None:
@@ -37,21 +46,26 @@ def main() -> None:
     rng = np.random.default_rng(4)
     dataset = synthetic_mnist(1600, seed=4)
     train, test = train_test_split(dataset, 0.2, rng=rng)
+    checkpoint_dir = tempfile.mkdtemp(prefix="teamnet-ckpt-")
 
-    print("[1/4] training a 3-expert team ...")
+    print("[1/5] training a 3-expert team (checkpointing every epoch) ...")
     team = TeamNet.from_reference(
         mlp_spec(depth=8, width=64), num_experts=3,
         config=TrainerConfig(epochs=8, seed=4), seed=4)
-    team.fit(train)
+    store = CheckpointStore(checkpoint_dir)
+    team.fit(train, checkpoint_store=store)
     print(f"      full-team accuracy: {team.accuracy(test):.3f}")
+    print(f"      durable checkpoint: generation "
+          f"{store.latest_valid()} in {checkpoint_dir}/")
 
-    print("\n[2/4] serving with degradation enabled, then killing a "
+    print("\n[2/5] serving with degradation enabled, then killing a "
           "worker ...")
-    master, workers = deploy_local_team(team.experts,
-                                        degrade_on_failure=True,
-                                        reply_timeout=2.0,
-                                        reconnect_backoff=0.1,
-                                        reconnect_backoff_max=1.0)
+    master, workers = deploy_local_team(
+        team.experts, degrade_on_failure=True, reply_timeout=2.0,
+        reconnect_backoff=0.1, reconnect_backoff_max=1.0,
+        resilience=ResilienceConfig(failure_threshold=2))
+    master.store = store  # arm redeploy with the checkpointed experts
+    standby = None
     try:
         batch = test.images[:64]
         labels = test.labels[:64]
@@ -67,7 +81,7 @@ def main() -> None:
               f"accuracy {np.mean(preds == labels):.3f}")
         print(f"      surviving winners: {sorted(set(winner.tolist()))}")
 
-        print("\n[3/4] restarting the worker on the same port ...")
+        print("\n[3/5] restarting the worker on the same port ...")
         workers[0].start()
         deadline = time.monotonic() + 10.0
         while master.failed_workers and time.monotonic() < deadline:
@@ -76,19 +90,42 @@ def main() -> None:
         print(f"      recovered team ({master.live_team_size} nodes, "
               f"failed={master.failed_workers}): "
               f"accuracy {np.mean(preds == labels):.3f}")
+
+        print("\n[4/5] killing worker 1 for good, then redeploying its "
+              "expert onto a standby node ...")
+        workers[0].stop()
+        # Drive the breaker past its cap: this node is not coming back.
+        while 1 not in master.failed_workers:
+            master.infer(batch)
+        preds, _, stats = master.infer(batch)
+        print(f"      degraded ({stats.participants} participants): "
+              f"accuracy {np.mean(preds == labels):.3f}")
+        # A cold standby: same architecture, untrained weights.  The
+        # master pushes the *checkpointed* expert over the wire.
+        standby = ExpertWorker(build_model(team.expert_spec, rng))
+        standby.start()
+        master.redeploy(1, standby.address)
+        preds, _, stats = master.infer(batch)
+        print(f"      redeployed onto {standby.address}: "
+              f"{stats.participants} participants, accuracy "
+              f"{np.mean(preds == labels):.3f} "
+              f"({master.redeploy_traffic.bytes_sent} model bytes pushed)")
         for index, health in sorted(master.worker_health.items()):
             mean = health.mean_reply_latency_s
             print(f"      worker {index}: {health.replies} replies, "
                   f"{health.failures} failures "
                   f"({health.timeouts} timeouts), "
                   f"{health.reconnects} reconnects, "
+                  f"{health.redeployments} redeployments, "
                   f"mean reply {0.0 if mean is None else mean * 1e3:.1f} ms")
     finally:
         master.close()
         for worker in workers:
             worker.stop()
+        if standby is not None:
+            standby.stop()
 
-    print("\n[4/4] sustainable request rates on Raspberry Pi 3B+ "
+    print("\n[5/5] sustainable request rates on Raspberry Pi 3B+ "
           "(deployment scale):")
     ref = mlp_spec(8, width=2048)
     base = baseline_metrics(
@@ -107,8 +144,9 @@ def main() -> None:
         print(f"      {name:<22} capacity {capacity:7.1f} req/s   "
               f"p95 @ 80% load {at80['p95_sojourn_ms']:6.1f} ms")
     print("\nDone: fewer, smaller experts per node -> more headroom per "
-          "device, the team survives node failures, and failed nodes "
-          "rejoin automatically when they come back.")
+          "device, the team survives node failures, failed nodes rejoin "
+          "automatically when they come back, and permanently lost "
+          "experts redeploy from the checkpoint store onto standbys.")
 
 
 if __name__ == "__main__":

@@ -13,6 +13,12 @@
 #       soak per seed in CHAOS_SEEDS (default "0 1 2 3"), CHAOS_ROUNDS
 #       rounds each (default 60); a failing round writes its fault
 #       schedule to CHAOS_REPRO_DIR (default .chaos-repro/).
+#   scripts/ci.sh --crash                    # durability soak: seeded
+#       kill-during-checkpoint / torn-file / bit-exact-resume rounds, one
+#       soak per seed in CRASH_SEEDS (default "0 1 2 3"), CRASH_ROUNDS
+#       rounds each (default 25); a failing round writes a JSON repro
+#       (seed + round + crash point) to CRASH_REPRO_DIR
+#       (default .crash-repro/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +49,20 @@ if [[ "${1:-}" == "--chaos" ]]; then
         CHAOS_SEED="$seed" \
             timeout --signal=INT "$SUITE_TIMEOUT" \
             python -m pytest -x -q tests/testkit/test_chaos.py \
+            --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
+    done
+    exit 0
+fi
+
+if [[ "${1:-}" == "--crash" ]]; then
+    shift
+    export CRASH_REPRO_DIR="${CRASH_REPRO_DIR:-.crash-repro}"
+    export CRASH_ROUNDS="${CRASH_ROUNDS:-25}"
+    for seed in ${CRASH_SEEDS:-0 1 2 3}; do
+        echo "=== crash soak: CRASH_SEED=$seed (CRASH_ROUNDS=$CRASH_ROUNDS) ==="
+        CRASH_SEED="$seed" \
+            timeout --signal=INT "$SUITE_TIMEOUT" \
+            python -m pytest -x -q tests/testkit/test_crash.py \
             --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
     done
     exit 0

@@ -18,9 +18,10 @@ Quickstart::
     print(team.accuracy(test))
 """
 
-from . import cascade, comm, core, data, distributed, edge, experiments, moe, nn
+from . import (cascade, comm, core, data, distributed, edge, experiments,
+               moe, nn, store)
 
 __version__ = "1.0.0"
 
 __all__ = ["nn", "data", "core", "moe", "cascade", "comm", "distributed",
-           "edge", "experiments", "__version__"]
+           "edge", "experiments", "store", "__version__"]

@@ -7,7 +7,10 @@ Commands:
 * ``serve``      — deploy a saved team over localhost sockets and run a
   batch of live inferences through the master/worker protocol;
 * ``experiment`` — run one of the paper's table/figure drivers;
-* ``simulate``   — price an approach on a device/network profile.
+* ``simulate``   — price an approach on a device/network profile;
+* ``checkpoint`` — inspect a durable checkpoint store: per-generation
+  validity (checksums re-verified), metadata, and the generation a
+  resume would land on.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from .edge import (DEVICES, WIFI, baseline_metrics, profile_model,
                    teamnet_metrics)
 from .experiments import ALL_EXPERIMENTS, DEFAULT, SMALL, ExperimentScale
 from .nn import build_model, downsize, mlp_spec, shake_shake_spec
+from .store import CheckpointStore
 
 __all__ = ["main", "build_parser"]
 
@@ -52,9 +56,14 @@ def cmd_train(args) -> int:
                            seed=args.seed)
     team = TeamNet.from_reference(reference, args.experts, config=config,
                                   seed=args.seed)
+    store = (CheckpointStore(args.checkpoint_dir)
+             if args.checkpoint_dir else None)
     print(f"training {args.experts}x {team.expert_spec.name} on "
           f"{len(train)} samples for {args.epochs} epochs ...")
-    monitor = team.fit(train)
+    monitor = team.fit(train, checkpoint_store=store)
+    if store is not None:
+        print(f"checkpoints in {args.checkpoint_dir}/ "
+              f"(latest generation {store.latest_valid()})")
     print(f"team accuracy:    {team.accuracy(test):.3f}")
     print(f"expert accuracy:  "
           f"{[round(a, 3) for a in team.expert_accuracy(test)]}")
@@ -136,6 +145,34 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_checkpoint_inspect(args) -> int:
+    """Re-verify every generation in a checkpoint store and report."""
+    store = CheckpointStore(args.dir)
+    report = store.inspect()
+    if not report:
+        print(f"no checkpoint generations in {args.dir}/")
+        return 1
+    for record in report:
+        generation = record["generation"]
+        if record["valid"]:
+            meta = record["meta"]
+            total = sum(record["entries"].values())
+            print(f"gen {generation:06d}  valid    "
+                  f"epoch {meta.get('epoch', '?')}  "
+                  f"step {meta.get('step', '?')}  "
+                  f"{meta.get('num_experts', '?')} experts  "
+                  f"{len(record['entries'])} entries  {total} bytes")
+        else:
+            print(f"gen {generation:06d}  CORRUPT  {record['error']}")
+    latest = store.latest_valid()
+    if latest is None:
+        print("no valid generation: a resume would refuse "
+              "rather than load partial state")
+        return 1
+    print(f"resume would load generation {latest:06d}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -152,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--width", type=int, default=None)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--out", type=Path, required=True)
+    train.add_argument("--checkpoint-dir", type=Path, default=None,
+                       help="write a crash-safe checkpoint generation "
+                            "after every epoch")
     train.set_defaults(func=cmd_train)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved team")
@@ -185,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--device", default="jetson-tx2-cpu")
     simulate.add_argument("--experts", type=int, nargs="+", default=[2, 4])
     simulate.set_defaults(func=cmd_simulate)
+
+    checkpoint = sub.add_parser("checkpoint",
+                                help="work with durable checkpoint stores")
+    actions = checkpoint.add_subparsers(dest="action", required=True)
+    inspect = actions.add_parser(
+        "inspect", help="re-verify every generation's checksums and "
+                        "show what a resume would load")
+    inspect.add_argument("dir", type=Path)
+    inspect.set_defaults(func=cmd_checkpoint_inspect)
     return parser
 
 

@@ -18,7 +18,8 @@ import struct
 import numpy as np
 
 __all__ = ["Message", "encode", "decode", "ProtocolError",
-           "INFER", "RESULT", "ERROR", "SHUTDOWN", "PING", "PONG"]
+           "INFER", "RESULT", "ERROR", "SHUTDOWN", "PING", "PONG",
+           "DEPLOY", "DEPLOYED"]
 
 _LEN = struct.Struct(">I")
 
@@ -34,6 +35,11 @@ ERROR = "error"        # worker -> master: meta={"error": reason}
 SHUTDOWN = "shutdown"  # master -> worker: close this connection
 PING = "ping"          # master -> worker: heartbeat probe, meta={"seq"}
 PONG = "pong"          # worker -> master: heartbeat reply, meta={"seq"}
+# DEPLOY pushes a serialized expert (repro.nn.serialize.model_to_bytes
+# archive, carried as a uint8 array) onto a standby worker; DEPLOYED
+# acks it, echoing the seq, after the worker has swapped the model in.
+DEPLOY = "deploy"      # master -> worker: arrays={"model"}, meta={"seq"}
+DEPLOYED = "deployed"  # worker -> master: meta={"seq", "spec"}
 
 
 class ProtocolError(ValueError):

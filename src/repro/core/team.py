@@ -60,13 +60,24 @@ class TeamNet:
         return len(self.experts)
 
     def fit(self, dataset: Dataset, epochs: int | None = None,
-            batch_size: int | None = None, callback=None
+            batch_size: int | None = None, callback=None,
+            checkpoint_store=None, checkpoint_every: int = 1
             ) -> ConvergenceMonitor:
-        """Run Algorithm 1 on ``dataset``; returns the convergence monitor."""
+        """Run Algorithm 1 on ``dataset``; returns the convergence monitor.
+
+        ``checkpoint_store`` (a :class:`repro.store.CheckpointStore`)
+        makes training crash-safe: the full trainer state is snapshotted
+        atomically every ``checkpoint_every`` epochs, and
+        :meth:`TeamNetTrainer.resume` continues from the newest valid
+        generation bit-identically.
+        """
         if self.trainer is None:
             self.trainer = TeamNetTrainer(self.experts, self.config)
         self.trainer.train(dataset, epochs=epochs, batch_size=batch_size,
-                           callback=callback)
+                           callback=callback,
+                           checkpoint_store=checkpoint_store,
+                           spec=self.expert_spec,
+                           checkpoint_every=checkpoint_every)
         return self.trainer.monitor
 
     # ------------------------------------------------------------- inference

@@ -89,10 +89,16 @@ class TeamNetTrainer:
                                           set_points=self.gate.set_points)
         self.rng = np.random.default_rng(cfg.seed)
         self._iteration = 0
+        self._epoch = 0
 
     @property
     def num_experts(self) -> int:
         return len(self.experts)
+
+    @property
+    def completed_epochs(self) -> int:
+        """Full dataset passes finished so far (survives checkpoints)."""
+        return self._epoch
 
     # ------------------------------------------------------------------ steps
     def train_batch(self, x: np.ndarray, y: np.ndarray) -> GateResult:
@@ -111,20 +117,60 @@ class TeamNetTrainer:
         return result
 
     def train(self, dataset: Dataset, epochs: int | None = None,
-              batch_size: int | None = None,
-              callback=None) -> ConvergenceMonitor:
+              batch_size: int | None = None, callback=None,
+              checkpoint_store=None, spec=None,
+              checkpoint_every: int = 1) -> ConvergenceMonitor:
         """Algorithm 1: repeat the (reshuffled) dataset for ``r`` epochs.
 
         ``callback(iteration, gate_result)`` is invoked after every batch if
         given (used by the convergence experiments).
+
+        ``checkpoint_store`` (a :class:`repro.store.CheckpointStore`)
+        snapshots the *complete* training state every
+        ``checkpoint_every`` epochs; ``spec`` (the experts'
+        :class:`~repro.nn.ArchitectureSpec`) is required with it so the
+        stored experts are self-describing wire archives.  Saving only
+        reads state — it never advances an RNG — so a checkpointed run
+        follows the exact trajectory of an uncheckpointed one.
         """
         cfg = self.config
         epochs = epochs if epochs is not None else cfg.epochs
         batch_size = batch_size if batch_size is not None else cfg.batch_size
+        if checkpoint_store is not None and spec is None:
+            raise ValueError("checkpointing needs the experts' spec "
+                             "(pass spec=... alongside checkpoint_store)")
         loader = DataLoader(dataset, batch_size, shuffle=True, rng=self.rng)
         for _ in range(epochs):
             for x, y in loader:
                 result = self.train_batch(x, y)
                 if callback is not None:
                     callback(self._iteration, result)
+            self._epoch += 1
+            if (checkpoint_store is not None
+                    and self._epoch % max(1, checkpoint_every) == 0):
+                checkpoint_store.save(self, spec)
         return self.monitor
+
+    # ---------------------------------------------------------------- resume
+    @classmethod
+    def resume(cls, checkpoint_store, generation: int | None = None
+               ) -> "TeamNetTrainer":
+        """Rebuild a trainer from a checkpoint and continue bit-identically.
+
+        Loads the newest valid generation (or ``generation``), rebuilds
+        the experts from their stored archives, and restores optimizer
+        momentum, gate controller state, RNG streams, monitor history and
+        the epoch/step counters — so subsequent :meth:`train` calls
+        produce exactly the batches, assignments and updates an
+        uninterrupted run would have (the differential testkit asserts
+        byte equality of weights and gate counters).
+        """
+        checkpoint = checkpoint_store.load(generation)
+        config_fields = dict(checkpoint.config)
+        if config_fields.get("partition_weights") is not None:
+            config_fields["partition_weights"] = tuple(
+                config_fields["partition_weights"])
+        trainer = cls(checkpoint.build_experts(),
+                      TrainerConfig(**config_fields))
+        checkpoint.apply(trainer)
+        return trainer

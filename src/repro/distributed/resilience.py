@@ -324,3 +324,4 @@ class PeerResilience:
     timeouts: int
     hedges: int
     reconnects: int
+    redeployments: int = 0

@@ -45,7 +45,7 @@ from ..comm import protocol
 from ..comm.base import Transport
 from ..comm.transport import (MeteredSocket, TcpTransport, TransportStats)
 from ..core.inference import ExpertOutput, argmin_select, expert_forward
-from ..nn import Module
+from ..nn import CorruptModelError, Module, model_from_bytes
 from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
                          PeerResilience, QuorumError, ResilienceConfig,
                          SuspicionTracker)
@@ -106,6 +106,7 @@ class WorkerHealth:
     timeouts: int = 0
     reconnects: int = 0
     hedges: int = 0
+    redeployments: int = 0
     last_reply_latency_s: float | None = None
     total_reply_latency_s: float = 0.0
     detector: SuspicionTracker = field(default_factory=SuspicionTracker)
@@ -166,12 +167,24 @@ class ExpertWorker:
     redeploying the team.  Besides ``infer`` requests the worker answers
     ``ping`` heartbeats (echoing the probe's ``seq``), which is what the
     master's failure detector and half-open circuit breakers probe with.
+
+    Durability hooks (:mod:`repro.store`): with ``store`` (a
+    :class:`~repro.store.CheckpointStore`) and ``expert_index`` set,
+    every ``start()`` reloads the expert from the newest valid
+    checkpoint generation — a rebooted node serves the durable weights,
+    not whatever its process happened to hold.  Independently, a
+    ``deploy`` message replaces the in-memory expert with the pushed
+    archive (see :meth:`TeamNetMaster.redeploy`), which is how a
+    standby node becomes a team member.
     """
 
     def __init__(self, expert: Module, host: str = "127.0.0.1", port: int = 0,
-                 transport: Transport | None = None):
+                 transport: Transport | None = None,
+                 store=None, expert_index: int | None = None):
         self.expert = expert
         self._host = host
+        self._store = store
+        self._expert_index = expert_index
         self._transport = transport if transport is not None else TcpTransport()
         self._listener = self._transport.listen(host, port)
         self._port = self._listener.port  # pin the port for restarts
@@ -183,9 +196,24 @@ class ExpertWorker:
     def address(self) -> tuple[str, int]:
         return (self._host, self._port)
 
+    def _reload_from_store(self) -> None:
+        """Swap in the checkpointed expert, if the store holds one.
+
+        An empty or fully-corrupt store is not an error — the worker
+        keeps its in-memory expert (a fresh node has nothing to reload).
+        """
+        from ..store import NoValidGenerationError  # local: optional dep
+        try:
+            model, _ = self._store.load_expert(self._expert_index)
+        except NoValidGenerationError:
+            return
+        self.expert = model
+
     def start(self) -> None:
         if self._running:
             return
+        if self._store is not None and self._expert_index is not None:
+            self._reload_from_store()
         if self._listener is None:
             self._listener = self._transport.listen(self._host, self._port)
         self._running = True
@@ -208,6 +236,29 @@ class ExpertWorker:
                                       daemon=True)
             worker.start()
             self._threads.append(worker)
+
+    def _handle_deploy(self, sock, msg: protocol.Message) -> bool:
+        """Install a pushed expert archive; ack with DEPLOYED.
+
+        Returns False when the connection is beyond use.  A corrupt or
+        missing archive costs the sender an error reply and leaves the
+        current expert serving — a bad push must never brick the node.
+        """
+        seq = msg.meta.get("seq")
+        blob = msg.arrays.get("model")
+        if blob is None:
+            return self._safe_send(sock, protocol.encode(
+                protocol.ERROR,
+                {"error": "deploy without a model archive", "seq": seq}))
+        try:
+            model, spec = model_from_bytes(
+                np.ascontiguousarray(blob, dtype=np.uint8).tobytes())
+        except CorruptModelError as exc:
+            return self._safe_send(sock, protocol.encode(
+                protocol.ERROR, {"error": f"deploy: {exc}", "seq": seq}))
+        self.expert = model
+        return self._safe_send(sock, protocol.encode(
+            protocol.DEPLOYED, {"seq": seq, "spec": spec.name}))
 
     @staticmethod
     def _safe_send(sock, blob: bytes) -> bool:
@@ -238,6 +289,10 @@ class ExpertWorker:
                         if not self._safe_send(sock, protocol.encode(
                                 protocol.PONG,
                                 {"seq": msg.meta.get("seq")})):
+                            return
+                        continue
+                    if msg.kind == protocol.DEPLOY:
+                        if not self._handle_deploy(sock, msg):
                             return
                         continue
                     # Replies echo the request's seq so the master can
@@ -322,8 +377,10 @@ class TeamNetMaster:
                  connect_timeout: float = 0.25,
                  transport: Transport | None = None,
                  resilience: ResilienceConfig | None = None,
-                 degradation: DegradationPolicy | None = None):
+                 degradation: DegradationPolicy | None = None,
+                 store=None):
         self.expert = expert
+        self.store = store
         self.degrade_on_failure = degrade_on_failure
         self.reply_timeout = reply_timeout
         self.connect_timeout = connect_timeout
@@ -346,6 +403,8 @@ class TeamNetMaster:
         self._request_seq = 0
         #: cumulative traffic spent on heartbeat probes (not per-inference)
         self.heartbeat_traffic = TransportStats()
+        #: cumulative traffic spent pushing models to standby workers
+        self.redeploy_traffic = TransportStats()
         # Golden-trace capture for the differential testkit: the expert
         # outputs and original team indices that fed the last selection.
         self.last_outputs: dict[int, ExpertOutput] = {}
@@ -387,7 +446,8 @@ class TeamNetMaster:
                 failures=peer.health.failures,
                 timeouts=peer.health.timeouts,
                 hedges=peer.health.hedges,
-                reconnects=peer.health.reconnects)
+                reconnects=peer.health.reconnects,
+                redeployments=peer.health.redeployments)
             for peer in self._peers}
 
     # ------------------------------------------------------------ recovery
@@ -406,6 +466,81 @@ class TeamNetMaster:
                 # until a reply or a pong actually comes back.
             except (ConnectionError, OSError):
                 peer.breaker.record_failure()
+
+    def redeploy(self, index: int, address: tuple[str, int],
+                 blob: bytes | None = None,
+                 timeout: float | None = 5.0) -> None:
+        """Re-provision worker slot ``index`` onto a standby node.
+
+        Degradation keeps the team answering when a worker dies, but a
+        *permanently* dead worker would shrink the team forever — and
+        each expert only knows its partition, so the lost specialization
+        never comes back on its own.  ``redeploy`` restores it: push the
+        expert's serialized archive (``blob``, defaulting to the stored
+        one from the attached :class:`~repro.store.CheckpointStore`) to
+        the standby listening at ``address``, wait for its ``deployed``
+        ack, and rewire peer ``index`` to the new node with a fresh
+        circuit breaker and failure detector (the replacement must not
+        inherit the corpse's open breaker).  Raises
+        :class:`WorkerFailure` if the standby is unreachable or rejects
+        the archive; the old peer state is untouched in that case.
+
+        The model push is metered in :attr:`redeploy_traffic`, not in
+        any inference's stats.
+        """
+        if not 1 <= index <= len(self._peers):
+            raise IndexError(f"worker index must be 1..{len(self._peers)}, "
+                             f"got {index}")
+        peer = self._peers[index - 1]
+        if blob is None:
+            if self.store is None:
+                raise ValueError(
+                    "redeploy needs a model blob or a checkpoint store "
+                    "attached to the master (store=...)")
+            blob = self.store.expert_bytes(index)
+        try:
+            sock = self._transport.connect(*address,
+                                           timeout=self.connect_timeout)
+        except (ConnectionError, OSError) as exc:
+            raise WorkerFailure(
+                f"standby {address} for worker {index} is unreachable: "
+                f"{exc}") from exc
+        self._request_seq += 1
+        seq = self._request_seq
+        try:
+            sock.send(protocol.encode(
+                protocol.DEPLOY, {"seq": seq},
+                {"model": np.frombuffer(blob, dtype=np.uint8)}))
+            while True:
+                reply = protocol.decode(sock.recv(timeout=timeout))
+                if reply.meta.get("seq") == seq:
+                    break
+        except (ConnectionError, OSError, TimeoutError) as exc:
+            sock.close()
+            raise WorkerFailure(
+                f"deploy to standby {address} failed: {exc}") from exc
+        if reply.kind != protocol.DEPLOYED:
+            sock.close()
+            raise WorkerFailure(
+                f"standby {address} rejected the deploy: "
+                f"{reply.meta.get('error', reply.kind)}")
+        self.redeploy_traffic.merge(sock.stats)
+        sock.stats.reset()
+        # Commit the rewire only after a successful ack.
+        if peer.sock is not None:
+            peer.sock.close()
+        peer.sock = sock
+        peer.address = address
+        peer.health.address = address
+        peer.health.redeployments += 1
+        peer.health.detector = SuspicionTracker(
+            alpha=self.resilience.ewma_alpha,
+            decay=self.resilience.success_decay,
+            threshold=self.resilience.suspicion_threshold)
+        peer.breaker = CircuitBreaker(
+            failure_threshold=self.resilience.failure_threshold,
+            reset_timeout=self.resilience.reset_timeout,
+            reset_timeout_max=self.resilience.reset_timeout_max)
 
     # ------------------------------------------------------------- failure
     def _fail(self, peer: _Peer, stats: TransportStats,

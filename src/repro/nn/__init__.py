@@ -16,7 +16,8 @@ from .loss import (cross_entropy, label_smoothing_cross_entropy,
 from .models import (MLP, ArchitectureSpec, ShakeShakeBlock, ShakeShakeCNN,
                      build_model, downsize, mlp_spec, shake_shake_spec)
 from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
-from .serialize import load_model, model_from_bytes, model_to_bytes, save_model
+from .serialize import (CorruptModelError, load_model, model_from_bytes,
+                        model_to_bytes, save_model)
 from .tensor import Tensor, arange, ones, randn, tensor, zeros
 
 __all__ = [
@@ -29,5 +30,5 @@ __all__ = [
     "LayerNorm", "MLP", "ShakeShakeCNN", "ShakeShakeBlock",
     "ArchitectureSpec", "mlp_spec", "shake_shake_spec", "downsize",
     "build_model", "save_model", "load_model", "model_to_bytes",
-    "model_from_bytes",
+    "model_from_bytes", "CorruptModelError",
 ]

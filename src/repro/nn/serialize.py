@@ -3,13 +3,27 @@
 Expert models are shipped to edge devices as ``.npz`` archives holding the
 state dict plus a JSON architecture spec, so a device can reconstruct the
 network without any out-of-band information.  This also backs the wire
-format used when a coordinator pushes models to workers.
+format used when a coordinator pushes models to workers (and the entry
+format of :mod:`repro.store` checkpoints, so a stored expert is directly
+pushable over the network).
+
+Two durability rules:
+
+* :func:`save_model` writes atomically (temp file + fsync + rename, via
+  the store's helper) and normalizes the ``.npz`` suffix itself —
+  ``np.savez`` used to append the suffix silently, so
+  ``load_model(path)`` after ``save_model(path)`` could miss the file.
+* Decoding validates before trusting: a truncated or corrupt archive
+  raises a typed :class:`CorruptModelError` naming the offending entry,
+  never an opaque ``KeyError`` from deep inside numpy.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import zipfile
+import zlib
 from dataclasses import asdict
 from pathlib import Path
 
@@ -18,9 +32,24 @@ import numpy as np
 from .models import ArchitectureSpec, build_model
 from .layers import Module
 
-__all__ = ["save_model", "load_model", "model_to_bytes", "model_from_bytes"]
+__all__ = ["save_model", "load_model", "model_to_bytes", "model_from_bytes",
+           "CorruptModelError"]
 
 _SPEC_KEY = "__architecture_spec__"
+
+
+class CorruptModelError(ValueError):
+    """A model archive failed validation (truncated, missing entries, or
+    inconsistent with its declared architecture spec)."""
+
+
+def _normalized(path: str | Path) -> Path:
+    """Append ``.npz`` when missing, matching what ``np.savez`` would
+    have written — so save and load always agree on the file name."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
 
 
 def _pack(model: Module, spec: ArchitectureSpec) -> dict[str, np.ndarray]:
@@ -30,25 +59,60 @@ def _pack(model: Module, spec: ArchitectureSpec) -> dict[str, np.ndarray]:
     return payload
 
 
+def _open_archive(source, label: str):
+    """np.load with every not-actually-an-npz failure mapped to the
+    typed error (numpy raises BadZipFile, ValueError or EOFError
+    depending on how exactly the bytes are broken)."""
+    try:
+        return np.load(source)
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+        raise CorruptModelError(
+            f"{label}: not a valid npz archive: {exc}") from exc
+
+
 def _unpack(archive) -> tuple[Module, ArchitectureSpec]:
-    raw = bytes(archive[_SPEC_KEY].tobytes())
-    fields = json.loads(raw.decode("utf-8"))
-    fields["in_shape"] = tuple(fields["in_shape"])
-    spec = ArchitectureSpec(**fields)
+    if _SPEC_KEY not in archive.files:
+        raise CorruptModelError(
+            f"model archive is missing its {_SPEC_KEY!r} entry "
+            "(not a save_model/model_to_bytes archive, or truncated)")
+    try:
+        raw = bytes(archive[_SPEC_KEY].tobytes())
+        fields = json.loads(raw.decode("utf-8"))
+        fields["in_shape"] = tuple(fields["in_shape"])
+        spec = ArchitectureSpec(**fields)
+    except (zipfile.BadZipFile, zlib.error, json.JSONDecodeError,
+            UnicodeDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise CorruptModelError(
+            f"model archive entry {_SPEC_KEY!r} is corrupt: {exc}") from exc
     model = build_model(spec)
-    state = {k: archive[k] for k in archive.files if k != _SPEC_KEY}
-    model.load_state_dict(state)
+    try:
+        state = {k: archive[k] for k in archive.files if k != _SPEC_KEY}
+    except (zipfile.BadZipFile, zlib.error, EOFError, ValueError) as exc:
+        raise CorruptModelError(
+            f"model archive state entries are corrupt: {exc}") from exc
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise CorruptModelError(
+            f"model state dict inconsistent with spec {spec.name!r}: {exc}"
+        ) from exc
     return model, spec
 
 
 def save_model(model: Module, spec: ArchitectureSpec, path: str | Path) -> None:
-    """Write model weights + architecture spec to ``path`` (.npz)."""
-    np.savez(Path(path), **_pack(model, spec))
+    """Write model weights + architecture spec to ``path`` (.npz).
+
+    The suffix is normalized (``np.savez`` would otherwise append it
+    behind the caller's back) and the write is atomic: a crash mid-save
+    leaves the previous file intact, never a torn archive.
+    """
+    from ..store.artifact import atomic_write_bytes  # avoids import cycle
+    atomic_write_bytes(_normalized(path), model_to_bytes(model, spec))
 
 
 def load_model(path: str | Path) -> tuple[Module, ArchitectureSpec]:
     """Load a model saved with :func:`save_model`."""
-    with np.load(Path(path)) as archive:
+    with _open_archive(_normalized(path), str(path)) as archive:
         return _unpack(archive)
 
 
@@ -60,6 +124,9 @@ def model_to_bytes(model: Module, spec: ArchitectureSpec) -> bytes:
 
 
 def model_from_bytes(blob: bytes) -> tuple[Module, ArchitectureSpec]:
-    """Inverse of :func:`model_to_bytes`."""
-    with np.load(io.BytesIO(blob)) as archive:
+    """Inverse of :func:`model_to_bytes`.
+
+    Raises :class:`CorruptModelError` on truncated or tampered blobs.
+    """
+    with _open_archive(io.BytesIO(blob), "model blob") as archive:
         return _unpack(archive)

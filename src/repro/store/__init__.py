@@ -1,0 +1,27 @@
+"""``repro.store`` — durable state for TeamNet (checkpoints + artifacts).
+
+The serving path survives node loss (PR 3's resilience control plane);
+this package makes *state* survive it too:
+
+* :mod:`~repro.store.artifact` — an atomic, checksummed,
+  generation-retaining artifact store (temp-file + fsync + rename,
+  per-entry SHA-256, schema-versioned JSON manifest, fallback to the
+  last valid generation);
+* :mod:`~repro.store.checkpoint` — :class:`TeamCheckpoint` /
+  :class:`CheckpointStore`: full training-state snapshots (expert
+  weights, optimizer momentum, gate controller state, RNG streams,
+  epoch/step) that ``TeamNetTrainer.resume`` continues from
+  bit-identically, and whose expert archives double as the wire blobs
+  ``TeamNetMaster.redeploy`` pushes to standby workers.
+"""
+
+from .artifact import (ArtifactStore, CorruptGenerationError,
+                       NoValidGenerationError, StoreError,
+                       atomic_write_bytes, fsync_dir)
+from .checkpoint import CheckpointStore, TeamCheckpoint, expert_entry_name
+
+__all__ = [
+    "ArtifactStore", "StoreError", "CorruptGenerationError",
+    "NoValidGenerationError", "atomic_write_bytes", "fsync_dir",
+    "CheckpointStore", "TeamCheckpoint", "expert_entry_name",
+]

@@ -1,0 +1,293 @@
+"""Atomic, checksummed artifact store (the durability substrate).
+
+Edge nodes lose power mid-write; a checkpoint that can be half-written
+is worse than no checkpoint at all, because a resuming trainer would
+silently continue from garbage.  :class:`ArtifactStore` makes the only
+two promises durability needs:
+
+* **A generation is all-or-nothing.**  Entries are staged into a hidden
+  directory (each file written temp-file + fsync + rename), the manifest
+  — carrying a schema version and the SHA-256 of every entry — is
+  written last, and the whole staging directory is committed with one
+  ``os.replace``.  A crash at any point leaves either the previous
+  state or the new generation, never a torn mix; leftover staging
+  directories are invisible to readers and reclaimed by the next write.
+* **Corruption is detected, never returned.**  Reading a generation
+  re-hashes every entry against its manifest; any mismatch (torn file,
+  bit rot, truncation) raises :class:`CorruptGenerationError` naming
+  the offending entry, and :meth:`ArtifactStore.read_generation` falls
+  back to the newest generation that *does* validate.
+
+The store retains the newest ``retain`` generations so that fallback
+always has somewhere to land.  ``hook`` is a fault-injection point for
+the crash testkit (:mod:`repro.testkit.crash`): it is called with a
+named event after each durability step, and a hook that raises
+simulates a crash exactly there.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+__all__ = ["ArtifactStore", "StoreError", "CorruptGenerationError",
+           "NoValidGenerationError", "atomic_write_bytes", "fsync_dir",
+           "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+_GEN_PREFIX = "gen-"
+_STAGING_PREFIX = ".staging-"
+MANIFEST_NAME = "manifest.json"
+
+
+class StoreError(RuntimeError):
+    """Base class for artifact-store failures."""
+
+
+class CorruptGenerationError(StoreError):
+    """A generation failed validation (missing/torn/mismatched entry)."""
+
+
+class NoValidGenerationError(StoreError):
+    """No generation in the store passes validation."""
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed child survives power loss."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, blob: bytes,
+                       fsync: bool = True) -> None:
+    """Write ``blob`` to ``path`` atomically: temp file in the same
+    directory, flush + fsync, then ``os.replace``.  Readers never see a
+    partial file — they see the old content or the new, nothing between.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(prefix=f".{path.name}.", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(path.parent)
+
+
+def _sha256(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ArtifactStore:
+    """N-generation atomic store of named byte entries under ``root``.
+
+    Layout::
+
+        root/
+          gen-000001/
+            manifest.json        # schema, meta, {name: {sha256, bytes}}
+            <entry files...>
+          gen-000002/
+            ...
+
+    ``retain`` bounds how many generations are kept (oldest pruned after
+    each successful commit); ``fsync`` can be disabled for tests on slow
+    filesystems; ``hook(event)`` is the crash-injection point (see module
+    docstring) — events are ``"entry:<name>"``, ``"manifest"``,
+    ``"commit"`` and ``"prune"``.
+    """
+
+    def __init__(self, root: str | Path, retain: int = 3, fsync: bool = True,
+                 hook=None):
+        if retain < 1:
+            raise ValueError("retain must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.retain = retain
+        self.fsync = fsync
+        self.hook = hook
+
+    # ------------------------------------------------------------- helpers
+    def _emit(self, event: str) -> None:
+        if self.hook is not None:
+            self.hook(event)
+
+    def _gen_dir(self, generation: int) -> Path:
+        return self.root / f"{_GEN_PREFIX}{generation:06d}"
+
+    def generations(self) -> list[int]:
+        """All committed generation ids, oldest first (validity unchecked)."""
+        out = []
+        for child in self.root.iterdir():
+            if child.is_dir() and child.name.startswith(_GEN_PREFIX):
+                try:
+                    out.append(int(child.name[len(_GEN_PREFIX):]))
+                except ValueError:
+                    continue
+        return sorted(out)
+
+    # -------------------------------------------------------------- writing
+    def write_generation(self, entries: dict[str, bytes],
+                         meta: dict | None = None) -> int:
+        """Commit ``entries`` as a new generation; returns its id.
+
+        The commit point is the final directory rename: a crash anywhere
+        before it leaves the store exactly as it was.
+        """
+        if not entries:
+            raise ValueError("a generation needs at least one entry")
+        for name in entries:
+            if (not name or name != os.path.basename(name)
+                    or name.startswith(".") or name == MANIFEST_NAME):
+                raise ValueError(f"invalid entry name {name!r}")
+        known = self.generations()
+        generation = (known[-1] + 1) if known else 1
+        staging = self.root / f"{_STAGING_PREFIX}{generation:06d}"
+        if staging.exists():
+            shutil.rmtree(staging)  # leftover from a crashed writer
+        staging.mkdir()
+        manifest_entries = {}
+        for name, blob in entries.items():
+            atomic_write_bytes(staging / name, blob, fsync=self.fsync)
+            manifest_entries[name] = {"sha256": _sha256(blob),
+                                      "bytes": len(blob)}
+            self._emit(f"entry:{name}")
+        manifest = {"schema": SCHEMA_VERSION, "generation": generation,
+                    "meta": meta or {}, "entries": manifest_entries}
+        atomic_write_bytes(staging / MANIFEST_NAME,
+                           json.dumps(manifest, indent=2).encode("utf-8"),
+                           fsync=self.fsync)
+        self._emit("manifest")
+        os.replace(staging, self._gen_dir(generation))
+        if self.fsync:
+            fsync_dir(self.root)
+        self._emit("commit")
+        self._prune()
+        self._emit("prune")
+        return generation
+
+    def _prune(self) -> None:
+        for generation in self.generations()[:-self.retain]:
+            shutil.rmtree(self._gen_dir(generation), ignore_errors=True)
+
+    # -------------------------------------------------------------- reading
+    def validate(self, generation: int) -> dict:
+        """Fully re-verify one generation; returns its parsed manifest.
+
+        Raises :class:`CorruptGenerationError` naming what failed: a
+        missing or unparsable manifest, an unsupported schema, or an
+        entry that is missing, truncated, or checksum-mismatched.
+        """
+        directory = self._gen_dir(generation)
+        manifest_path = directory / MANIFEST_NAME
+        if not directory.is_dir():
+            raise CorruptGenerationError(
+                f"generation {generation}: directory missing")
+        if not manifest_path.is_file():
+            raise CorruptGenerationError(
+                f"generation {generation}: manifest missing")
+        try:
+            manifest = json.loads(manifest_path.read_text("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CorruptGenerationError(
+                f"generation {generation}: unreadable manifest: {exc}") \
+                from exc
+        if not isinstance(manifest, dict) \
+                or manifest.get("schema") != SCHEMA_VERSION:
+            raise CorruptGenerationError(
+                f"generation {generation}: unsupported manifest schema "
+                f"{manifest.get('schema')!r} (expected {SCHEMA_VERSION})")
+        entries = manifest.get("entries")
+        if not isinstance(entries, dict) or not entries:
+            raise CorruptGenerationError(
+                f"generation {generation}: manifest has no entries")
+        for name, info in entries.items():
+            path = directory / name
+            if not path.is_file():
+                raise CorruptGenerationError(
+                    f"generation {generation}: entry {name!r} missing")
+            blob = path.read_bytes()
+            if len(blob) != info.get("bytes"):
+                raise CorruptGenerationError(
+                    f"generation {generation}: entry {name!r} truncated "
+                    f"({len(blob)} bytes, manifest says {info.get('bytes')})")
+            if _sha256(blob) != info.get("sha256"):
+                raise CorruptGenerationError(
+                    f"generation {generation}: entry {name!r} failed its "
+                    "SHA-256 checksum")
+        return manifest
+
+    def latest_valid(self) -> int | None:
+        """Newest generation that passes :meth:`validate`, or ``None``."""
+        for generation in reversed(self.generations()):
+            try:
+                self.validate(generation)
+            except CorruptGenerationError:
+                continue
+            return generation
+        return None
+
+    def read_generation(self, generation: int | None = None
+                        ) -> tuple[dict[str, bytes], dict]:
+        """Read (and verify) a generation's entries and manifest.
+
+        With ``generation=None``, reads the newest valid one, skipping —
+        never returning — corrupt generations; raises
+        :class:`NoValidGenerationError` (listing every corruption found)
+        when nothing validates.
+        """
+        if generation is not None:
+            manifest = self.validate(generation)
+            directory = self._gen_dir(generation)
+            return ({name: (directory / name).read_bytes()
+                     for name in manifest["entries"]}, manifest)
+        reasons = []
+        for candidate in reversed(self.generations()):
+            try:
+                return self.read_generation(candidate)
+            except CorruptGenerationError as exc:
+                reasons.append(str(exc))
+        raise NoValidGenerationError(
+            "no valid generation in " + str(self.root)
+            + ("; " + "; ".join(reasons) if reasons else " (store is empty)"))
+
+    def read_entry(self, name: str, generation: int | None = None) -> bytes:
+        """One verified entry from a generation (default: newest valid)."""
+        entries, _ = self.read_generation(generation)
+        if name not in entries:
+            raise KeyError(f"no entry {name!r} in generation")
+        return entries[name]
+
+    # ------------------------------------------------------------- tooling
+    def inspect(self) -> list[dict]:
+        """Per-generation validity report (for the CLI and the soaks)."""
+        report = []
+        for generation in self.generations():
+            record: dict = {"generation": generation}
+            try:
+                manifest = self.validate(generation)
+            except CorruptGenerationError as exc:
+                record.update(valid=False, error=str(exc))
+            else:
+                record.update(
+                    valid=True, error=None, meta=manifest.get("meta", {}),
+                    entries={name: info["bytes"]
+                             for name, info in manifest["entries"].items()})
+            report.append(record)
+        return report

@@ -28,10 +28,18 @@ cheap to check thousands of times:
   schedules, layer configs) shared by the property test suites.
 * :mod:`~repro.testkit.guards` — :func:`forbid_sockets`, which proves a
   simulation run never touched the real network stack.
+* :mod:`~repro.testkit.crash` — crash-during-write / torn-file fault
+  injection for :mod:`repro.store`: :class:`CrashInjector` kills a
+  checkpoint write at a seeded durability event, :func:`tear_file`
+  corrupts committed entries, and :func:`crash_resume_soak` asserts
+  that resume is always bit-identical to an uninterrupted run (the
+  fingerprint differential) and never serves partial state.
 """
 
 from .clock import SimClock
 from .cluster import SimCluster
+from .crash import (CrashInjector, SimulatedCrash, crash_resume_round,
+                    crash_resume_soak, tear_file, training_fingerprint)
 from .differential import (DifferentialMismatch, differential_sweep,
                            run_differential_case)
 from .faults import FaultSchedule, LinkFaults
@@ -42,4 +50,6 @@ __all__ = [
     "SimClock", "SimCluster", "SimNetwork", "SimTransport",
     "FaultSchedule", "LinkFaults", "forbid_sockets",
     "DifferentialMismatch", "run_differential_case", "differential_sweep",
+    "SimulatedCrash", "CrashInjector", "tear_file", "training_fingerprint",
+    "crash_resume_round", "crash_resume_soak",
 ]

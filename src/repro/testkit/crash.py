@@ -1,0 +1,274 @@
+"""Crash-during-write and torn-file fault injection for the store.
+
+The durability claims of :mod:`repro.store` are exactly the kind that
+look fine until the one power cut that matters: a checkpoint interrupted
+*mid-write* must be invisible, a checkpoint corrupted *on disk* must be
+rejected by checksum with fallback to the previous generation, and a
+resumed trainer must continue **bit-identically** — never from partial
+state.  This module makes those properties testable thousands of times:
+
+* :class:`CrashInjector` — a store ``hook`` that raises
+  :class:`SimulatedCrash` at the N-th durability event (entry write,
+  manifest write, commit, prune), deterministically simulating a kill
+  at every interesting point of the write sequence;
+* :func:`tear_file` — deterministic torn-write corruption (truncation
+  or byte flip) of a committed entry;
+* :func:`training_fingerprint` — one SHA-256 over *all* trainer state
+  (weights, optimizer momentum, gate meta network + Adam moments, both
+  RNG streams, monitor history, counters), so "bit-identical" is a
+  single string comparison;
+* :func:`crash_resume_round` / :func:`crash_resume_soak` — the seeded
+  kill-during-checkpoint/resume soak behind ``scripts/ci.sh --crash``:
+  every round trains a tiny team alongside an uninterrupted golden run,
+  crashes a checkpoint at a seeded event, corrupts a survivor, and
+  asserts resume always lands on a golden fingerprint (or refuses with
+  :class:`~repro.store.NoValidGenerationError` when nothing valid is
+  left).  Failures write JSON repro artifacts like the chaos soak's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from ..core.trainer import TeamNetTrainer, TrainerConfig
+from ..data import synthetic_mnist
+from ..nn import build_model, downsize, mlp_spec
+from ..store import CheckpointStore, NoValidGenerationError
+
+__all__ = ["SimulatedCrash", "CrashInjector", "tear_file",
+           "training_fingerprint", "crash_resume_round",
+           "crash_resume_soak", "DEFAULT_CRASH_REPRO_DIR"]
+
+DEFAULT_CRASH_REPRO_DIR = ".crash-repro"
+
+
+class SimulatedCrash(RuntimeError):
+    """The injected mid-write process death (raised by CrashInjector)."""
+
+
+class CrashInjector:
+    """Store hook that dies at the ``at``-th durability event (0-based).
+
+    Records every event it sees in :attr:`seen`, so a test can assert
+    which step the simulated kill interrupted.  With ``at`` beyond the
+    event count, the write completes untouched (the soak uses this to
+    also cover the no-crash path under the same harness).
+    """
+
+    def __init__(self, at: int):
+        self.at = at
+        self.seen: list[str] = []
+
+    def __call__(self, event: str) -> None:
+        self.seen.append(event)
+        if len(self.seen) - 1 == self.at:
+            raise SimulatedCrash(
+                f"simulated crash at event {self.at} ({event!r})")
+
+
+def tear_file(path, rng: np.random.Generator) -> str:
+    """Corrupt ``path`` the way torn writes do; returns what was done.
+
+    Picks (seeded) between truncating to a strict prefix — a write that
+    never finished — and flipping one byte in place — sector rot.  Both
+    must be caught by the store's per-entry SHA-256.
+    """
+    blob = bytearray(open(path, "rb").read())
+    if len(blob) < 2 or rng.integers(2) == 0:
+        keep = int(rng.integers(0, max(1, len(blob))))
+        open(path, "wb").write(bytes(blob[:keep]))
+        return f"truncated to {keep}/{len(blob)} bytes"
+    index = int(rng.integers(0, len(blob)))
+    blob[index] ^= 0xFF
+    open(path, "wb").write(bytes(blob))
+    return f"flipped byte {index}"
+
+
+def training_fingerprint(trainer) -> str:
+    """SHA-256 over the complete training state of ``trainer``.
+
+    Two trainers with equal fingerprints are bit-identical in every
+    input that influences future training: expert weights, optimizer
+    velocities, the gate's meta estimator and its Adam moments, both
+    RNG streams, the monitor series and the epoch/step counters.
+    """
+    digest = hashlib.sha256()
+    for expert in trainer.experts:
+        for name, array in sorted(expert.state_dict().items()):
+            digest.update(name.encode("utf-8"))
+            digest.update(np.ascontiguousarray(array).tobytes())
+    for optimizer in trainer.optimizers:
+        for velocity in optimizer._velocity:
+            digest.update(np.ascontiguousarray(velocity).tobytes())
+    for name, array in sorted(trainer.gate.meta.state_dict().items()):
+        digest.update(name.encode("utf-8"))
+        digest.update(np.ascontiguousarray(array).tobytes())
+    for moments in (trainer.gate._meta_opt._m, trainer.gate._meta_opt._v):
+        for moment in moments:
+            digest.update(np.ascontiguousarray(moment).tobytes())
+    digest.update(str(trainer.gate._meta_opt._t).encode("utf-8"))
+    for generator in (trainer.rng, trainer.gate.rng):
+        digest.update(json.dumps(generator.bit_generator.state,
+                                 sort_keys=True, default=str).encode("utf-8"))
+    digest.update(trainer.monitor.history().tobytes())
+    digest.update(np.asarray(trainer.monitor.objectives()).tobytes())
+    digest.update(f"{trainer.completed_epochs}:{trainer._iteration}"
+                  .encode("utf-8"))
+    return digest.hexdigest()
+
+
+# Tiny but real training setup: 2 experts, 2 batches per epoch, a
+# short-leash gate.  Small enough to run hundreds of rounds, real enough
+# that every piece of checkpointed state is exercised and non-trivial.
+_SOAK_SAMPLES = 64
+_SOAK_BATCH = 32
+# Durability events per checkpoint write: one per entry (2 experts ->
+# 2 model + 2 optim + gate_meta + gate_meta_opt + monitor + state = 8),
+# plus manifest, commit and prune.
+_SOAK_EVENTS = 11
+
+
+def _soak_trainer(seed: int):
+    spec = downsize(mlp_spec(4, width=16), 2)
+    experts = [build_model(spec, np.random.default_rng((seed, i)))
+               for i in range(2)]
+    config = TrainerConfig(epochs=2, batch_size=_SOAK_BATCH, seed=seed,
+                           gate_max_iterations=6)
+    return TeamNetTrainer(experts, config), spec
+
+
+def crash_resume_round(seed: int, round_index: int, root) -> dict:
+    """One kill-during-checkpoint/resume case; returns its report.
+
+    The round derives everything from ``(seed, round_index)``:
+
+    1. golden: an uninterrupted 2-epoch run, fingerprinted per epoch;
+    2. victim: an identical trainer checkpoints after epoch 1 cleanly,
+       then crashes (seeded event) while checkpointing after epoch 2;
+    3. resume from the store must land exactly on a golden fingerprint
+       — epoch 2 if the crashed write had already committed, epoch 1
+       otherwise — and a resume from epoch 1 must *re-train* epoch 2 to
+       the golden epoch-2 fingerprint (bit-identical continuation);
+    4. a seeded torn write corrupts the newest valid generation: the
+       store must fall back to the previous generation, or refuse with
+       ``NoValidGenerationError`` when none is left — never return the
+       torn state.
+    """
+    rng = np.random.default_rng((0xC4A54, seed, round_index))
+    case_seed = int(rng.integers(2**31))
+    dataset = synthetic_mnist(_SOAK_SAMPLES, seed=case_seed)
+
+    golden, _ = _soak_trainer(case_seed)
+    golden.train(dataset, epochs=1)
+    fingerprints = {1: training_fingerprint(golden)}
+    golden.train(dataset, epochs=1)
+    fingerprints[2] = training_fingerprint(golden)
+
+    victim, spec = _soak_trainer(case_seed)
+    store = CheckpointStore(root, retain=3, fsync=False)
+    victim.train(dataset, epochs=1, checkpoint_store=store, spec=spec)
+    if training_fingerprint(victim) != fingerprints[1]:
+        raise AssertionError("checkpointing perturbed the trajectory")
+
+    victim.train(dataset, epochs=1)
+    crash_at = int(rng.integers(_SOAK_EVENTS + 1))  # may be past the end
+    store.store.hook = CrashInjector(crash_at)
+    crashed = False
+    try:
+        store.save(victim, spec)
+    except SimulatedCrash:
+        crashed = True
+    finally:
+        store.store.hook = None
+
+    resumed = TeamNetTrainer.resume(store)
+    epoch = resumed.completed_epochs
+    if epoch not in fingerprints:
+        raise AssertionError(f"resumed at impossible epoch {epoch}")
+    if training_fingerprint(resumed) != fingerprints[epoch]:
+        raise AssertionError(
+            f"resume from epoch {epoch} is not bit-identical "
+            f"(crash_at={crash_at}, crashed={crashed})")
+    if epoch == 1:
+        resumed.train(dataset, epochs=1)
+        if training_fingerprint(resumed) != fingerprints[2]:
+            raise AssertionError(
+                "resumed training diverged from the uninterrupted run "
+                f"(crash_at={crash_at})")
+
+    # Torn-write stage: corrupt the newest valid generation on disk.
+    newest = store.latest_valid()
+    manifest = store.store.validate(newest)
+    victims = sorted(manifest["entries"])
+    entry = victims[int(rng.integers(len(victims)))]
+    tear = tear_file(store.store._gen_dir(newest) / entry, rng)
+    fallback = store.latest_valid()
+    if fallback == newest:
+        raise AssertionError(
+            f"torn entry {entry!r} ({tear}) went undetected")
+    if fallback is None:
+        try:
+            store.load()
+        except NoValidGenerationError:
+            pass
+        else:
+            raise AssertionError("load() returned state from a store with "
+                                 "no valid generation")
+    else:
+        recovered = TeamNetTrainer.resume(store)
+        epoch = recovered.completed_epochs
+        if training_fingerprint(recovered) != fingerprints.get(epoch):
+            raise AssertionError(
+                f"fallback resume (gen {fallback}) not bit-identical")
+    return {"crash_at": crash_at, "crashed": crashed,
+            "resumed_epoch": epoch, "torn_entry": entry, "tear": tear,
+            "fallback_generation": fallback}
+
+
+def crash_resume_soak(seed: int = 0, rounds: int = 5,
+                      repro_dir: str | None = None) -> dict:
+    """Run ``rounds`` seeded crash/resume cases; returns a summary.
+
+    The first failing round writes a JSON repro artifact (seed + round +
+    crash point) to ``repro_dir`` (default ``$CRASH_REPRO_DIR`` or
+    ``.crash-repro/``) and re-raises.
+    """
+    summary = {"seed": seed, "rounds": rounds, "crashed_writes": 0,
+               "fallbacks_exhausted": 0}
+    for round_index in range(rounds):
+        with tempfile.TemporaryDirectory(prefix="crash-soak-") as root:
+            try:
+                report = crash_resume_round(seed, round_index, root)
+            except Exception as exc:
+                path = _dump_repro(repro_dir, seed, round_index, exc)
+                raise AssertionError(
+                    f"crash soak seed {seed} round {round_index}: {exc} "
+                    f"(repro artifact: {path})") from exc
+        summary["crashed_writes"] += int(report["crashed"])
+        summary["fallbacks_exhausted"] += int(
+            report["fallback_generation"] is None)
+    return summary
+
+
+def _dump_repro(repro_dir: str | None, seed: int, round_index: int,
+                error: Exception) -> str:
+    directory = (repro_dir or os.environ.get("CRASH_REPRO_DIR")
+                 or DEFAULT_CRASH_REPRO_DIR)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"crash-seed{seed}-round{round_index}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({
+            "crash_seed": seed,
+            "failed_round": round_index,
+            "error": str(error),
+            "replay": "python -c 'import tempfile; "
+                      "from repro.testkit.crash import crash_resume_round; "
+                      f"crash_resume_round({seed}, {round_index}, "
+                      "tempfile.mkdtemp())'",
+        }, handle, indent=2)
+    return path

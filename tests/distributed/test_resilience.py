@@ -3,6 +3,8 @@ detector, hedged gathers, heartbeats and the quorum-aware degradation
 policy — the distributed behaviours all exercised deterministically on
 the simulated fabric (no real sockets)."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -375,3 +377,56 @@ class TestSnapshot:
             table = resilience_table(snapshot)
             assert "worker" in table and "open" in table and "closed" in table
             assert len(table.splitlines()) == 4  # header + rule + 2 workers
+
+class TestAllWorkersDead:
+    """The worst case: the master is the only survivor.  The control
+    plane must stay well-formed — heartbeats answer (all ``None``)
+    without leaking probe threads, inference degrades to master-only,
+    and the snapshot reports every peer as a suspect corpse."""
+
+    def dead_cluster(self, resilience):
+        experts, x = make_team(k=3)
+        cluster = SimCluster(experts, resilience=resilience)
+        cluster.infer(x)  # wire everyone up first
+        for index in (1, 2):
+            cluster.crash_worker(index)
+        return cluster, x
+
+    def test_heartbeat_answers_and_leaks_no_threads(self):
+        resilience = ResilienceConfig(failure_threshold=1, reset_timeout=0.0,
+                                      reset_timeout_max=0.0)
+        with forbid_sockets():
+            cluster, _ = self.dead_cluster(resilience)
+            with cluster:
+                cluster.heartbeat(timeout=0.2)  # records the two deaths
+                baseline = threading.active_count()
+                for _ in range(5):
+                    rtts = cluster.heartbeat(timeout=0.2)
+                    assert rtts == {1: None, 2: None}
+                # Dead peers must not accumulate probe threads.
+                assert threading.active_count() <= baseline
+                assert cluster.master.live_team_size == 1
+                assert cluster.master.failed_workers == [1, 2]
+
+    def test_all_suspect_snapshot_is_well_formed(self):
+        resilience = ResilienceConfig(failure_threshold=1,
+                                      reset_timeout=1000.0,
+                                      reset_timeout_max=1000.0,
+                                      suspicion_threshold=1.0)
+        with forbid_sockets():
+            cluster, x = self.dead_cluster(resilience)
+            with cluster:
+                preds, _, stats = cluster.infer(x)  # master-only answer
+                assert preds.shape == (len(x),)
+                assert stats.degraded and stats.participants == 1
+                assert cluster.surviving_team == [0]
+                snapshot = cluster.master.resilience_snapshot()
+                assert set(snapshot) == {1, 2}
+                for record in snapshot.values():
+                    assert not record.alive
+                    assert record.suspect
+                    assert record.breaker_state == "open"
+                    assert record.failures >= 1
+                    assert record.redeployments == 0
+                table = resilience_table(snapshot)
+                assert len(table.splitlines()) == 4  # header + rule + 2 rows

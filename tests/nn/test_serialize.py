@@ -1,11 +1,16 @@
 """Tests for model serialization (files and wire bytes)."""
 
+import dataclasses
+import io
+import json
+import os
+
 import numpy as np
 import pytest
 
-from repro.nn import (Tensor, build_model, load_model, mlp_spec,
-                      model_from_bytes, model_to_bytes, no_grad, save_model,
-                      shake_shake_spec)
+from repro.nn import (CorruptModelError, Tensor, build_model, load_model,
+                      mlp_spec, model_from_bytes, model_to_bytes, no_grad,
+                      save_model, shake_shake_spec)
 
 
 def _outputs_equal(a, b, x):
@@ -52,3 +57,87 @@ class TestBytesRoundtrip:
         _, loaded_spec = model_from_bytes(blob)
         assert loaded_spec.num_classes == 7
         assert loaded_spec.in_shape == (1, 28, 28)
+
+
+class TestSuffixAndAtomicity:
+    def test_suffixless_path_roundtrips(self, rng, tmp_path):
+        # np.savez silently appends .npz; save_model must normalize so
+        # that save(path) and load(path) always agree on the file name.
+        spec = mlp_spec(2, width=8)
+        model = build_model(spec, rng)
+        save_model(model, spec, tmp_path / "weights")
+        assert (tmp_path / "weights.npz").exists()
+        loaded, _ = load_model(tmp_path / "weights")
+        _outputs_equal(model, loaded, rng.standard_normal((2, 784)))
+
+    def test_wrong_suffix_is_normalized(self, rng, tmp_path):
+        spec = mlp_spec(2, width=8)
+        save_model(build_model(spec, rng), spec, tmp_path / "m.ckpt")
+        assert (tmp_path / "m.ckpt.npz").exists()
+        load_model(tmp_path / "m.ckpt")
+
+    def test_save_leaves_no_temp_files(self, rng, tmp_path):
+        spec = mlp_spec(2, width=8)
+        save_model(build_model(spec, rng), spec, tmp_path / "m.npz")
+        assert os.listdir(tmp_path) == ["m.npz"]
+
+    def test_overwrite_is_all_or_nothing(self, rng, tmp_path):
+        spec = mlp_spec(2, width=8)
+        first = build_model(spec, rng)
+        save_model(first, spec, tmp_path / "m.npz")
+        second = build_model(spec, rng)
+        save_model(second, spec, tmp_path / "m.npz")
+        loaded, _ = load_model(tmp_path / "m.npz")
+        _outputs_equal(second, loaded, rng.standard_normal((2, 784)))
+
+
+class TestCorruptArchives:
+    def spec_and_blob(self, rng):
+        spec = mlp_spec(2, width=8)
+        return spec, model_to_bytes(build_model(spec, rng), spec)
+
+    def test_truncated_blob_raises_typed_error(self, rng):
+        _, blob = self.spec_and_blob(rng)
+        with pytest.raises(CorruptModelError):
+            model_from_bytes(blob[:len(blob) // 2])
+
+    def test_garbage_blob_raises_typed_error(self):
+        with pytest.raises(CorruptModelError, match="npz"):
+            model_from_bytes(b"this is not an archive")
+
+    def test_missing_spec_entry_is_named(self, rng):
+        buf = io.BytesIO()
+        np.savez(buf, weights=rng.standard_normal((3, 3)))
+        with pytest.raises(CorruptModelError,
+                           match="__architecture_spec__"):
+            model_from_bytes(buf.getvalue())
+
+    def test_unparsable_spec_is_named(self):
+        buf = io.BytesIO()
+        np.savez(buf, __architecture_spec__=np.frombuffer(
+            b"{broken json", dtype=np.uint8))
+        with pytest.raises(CorruptModelError,
+                           match="__architecture_spec__"):
+            model_from_bytes(buf.getvalue())
+
+    def test_state_spec_mismatch_names_the_spec(self, rng):
+        # A valid spec whose state dict belongs to a different network.
+        spec = mlp_spec(2, width=8)
+        other = build_model(mlp_spec(4, width=16), rng)
+        payload = dict(other.state_dict())
+        payload["__architecture_spec__"] = np.frombuffer(
+            json.dumps(dataclasses.asdict(spec)).encode("utf-8"),
+            dtype=np.uint8)
+        buf = io.BytesIO()
+        np.savez(buf, **payload)
+        with pytest.raises(CorruptModelError, match=spec.name):
+            model_from_bytes(buf.getvalue())
+
+    def test_corrupt_file_raises_typed_error(self, rng, tmp_path):
+        spec = mlp_spec(2, width=8)
+        path = tmp_path / "m.npz"
+        save_model(build_model(spec, rng), spec, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 3])
+        with pytest.raises(CorruptModelError):
+            load_model(path)

@@ -1,0 +1,192 @@
+"""Tests for the atomic, checksummed artifact store."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import (ArtifactStore, CorruptGenerationError,
+                         NoValidGenerationError, atomic_write_bytes)
+from repro.store.artifact import MANIFEST_NAME, SCHEMA_VERSION
+from repro.testkit import CrashInjector, SimulatedCrash, tear_file
+
+
+def fill(store, n=1, payload=b"payload"):
+    """Commit ``n`` generations; returns the last generation id."""
+    for i in range(n):
+        gen = store.write_generation(
+            {"a.bin": payload + bytes([i]), "b.bin": b"x" * (i + 1)},
+            meta={"i": i})
+    return gen
+
+
+class TestAtomicWrite:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_no_temp_droppings(self, tmp_path):
+        atomic_write_bytes(tmp_path / "blob.bin", b"data", fsync=False)
+        assert os.listdir(tmp_path) == ["blob.bin"]
+
+
+class TestWriteGeneration:
+    def test_commit_and_read(self, tmp_path):
+        store = ArtifactStore(tmp_path, fsync=False)
+        gen = store.write_generation({"w.npz": b"weights"}, meta={"e": 1})
+        entries, manifest = store.read_generation(gen)
+        assert entries == {"w.npz": b"weights"}
+        assert manifest["schema"] == SCHEMA_VERSION
+        assert manifest["meta"] == {"e": 1}
+
+    def test_generations_increment(self, tmp_path):
+        store = ArtifactStore(tmp_path, retain=5, fsync=False)
+        fill(store, 3)
+        assert store.generations() == [1, 2, 3]
+        assert store.latest_valid() == 3
+
+    def test_rejects_empty_and_bad_names(self, tmp_path):
+        store = ArtifactStore(tmp_path, fsync=False)
+        with pytest.raises(ValueError):
+            store.write_generation({})
+        for name in ("", "../evil", ".hidden", MANIFEST_NAME):
+            with pytest.raises(ValueError):
+                store.write_generation({name: b"x"})
+
+    def test_prunes_to_retain(self, tmp_path):
+        store = ArtifactStore(tmp_path, retain=2, fsync=False)
+        fill(store, 5)
+        assert store.generations() == [4, 5]
+
+    def test_retain_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path, retain=0)
+
+
+class TestCrashDuringWrite:
+    @pytest.mark.parametrize("crash_at", range(4))
+    def test_crash_before_commit_is_invisible(self, tmp_path, crash_at):
+        # Events: entry:a.bin, entry:b.bin, manifest, commit, prune.  A
+        # crash at any event up to and including the manifest write must
+        # leave readers on the previous generation, with no torn mix.
+        store = ArtifactStore(tmp_path, fsync=False)
+        fill(store, 1)
+        before = store.read_generation()
+        store.hook = CrashInjector(crash_at)
+        with pytest.raises(SimulatedCrash):
+            fill(store, 1, payload=b"unseen")
+        store.hook = None
+        committed = crash_at >= 3  # the commit rename already happened
+        assert store.latest_valid() == (2 if committed else 1)
+        if not committed:
+            assert store.read_generation() == before
+
+    def test_crashed_staging_is_reclaimed(self, tmp_path):
+        store = ArtifactStore(tmp_path, fsync=False)
+        store.hook = CrashInjector(0)
+        with pytest.raises(SimulatedCrash):
+            fill(store)
+        store.hook = None
+        assert any(p.name.startswith(".staging-")
+                   for p in store.root.iterdir())
+        gen = fill(store)  # next writer reclaims the leftover staging dir
+        assert store.latest_valid() == gen
+        assert not any(p.name.startswith(".staging-")
+                       for p in store.root.iterdir())
+
+    def test_injector_sees_the_event_sequence(self, tmp_path):
+        store = ArtifactStore(tmp_path, fsync=False)
+        store.hook = hook = CrashInjector(at=99)  # beyond the end: no crash
+        store.write_generation({"only.bin": b"x"})
+        assert hook.seen == ["entry:only.bin", "manifest", "commit", "prune"]
+
+
+class TestCorruptionDetection:
+    def test_torn_entry_rejected_and_named(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path, fsync=False)
+        gen = fill(store)
+        tear_file(store._gen_dir(gen) / "a.bin", rng)
+        with pytest.raises(CorruptGenerationError, match="a.bin"):
+            store.validate(gen)
+
+    def test_fallback_to_previous_generation(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path, fsync=False)
+        fill(store, 2)
+        good_entries, _ = store.read_generation(1)
+        tear_file(store._gen_dir(2) / "b.bin", rng)
+        assert store.latest_valid() == 1
+        entries, manifest = store.read_generation()  # newest *valid*
+        assert manifest["generation"] == 1
+        assert entries == good_entries
+
+    def test_all_corrupt_raises_with_reasons(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path, fsync=False)
+        fill(store, 2)
+        for gen in (1, 2):
+            tear_file(store._gen_dir(gen) / "a.bin", rng)
+        with pytest.raises(NoValidGenerationError, match="a.bin"):
+            store.read_generation()
+
+    def test_missing_entry_detected(self, tmp_path):
+        store = ArtifactStore(tmp_path, fsync=False)
+        gen = fill(store)
+        os.unlink(store._gen_dir(gen) / "a.bin")
+        with pytest.raises(CorruptGenerationError, match="missing"):
+            store.validate(gen)
+
+    def test_unreadable_manifest_detected(self, tmp_path):
+        store = ArtifactStore(tmp_path, fsync=False)
+        gen = fill(store)
+        (store._gen_dir(gen) / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(CorruptGenerationError, match="manifest"):
+            store.validate(gen)
+
+    def test_future_schema_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path, fsync=False)
+        gen = fill(store)
+        path = store._gen_dir(gen) / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(CorruptGenerationError, match="schema"):
+            store.validate(gen)
+
+    def test_empty_store(self, tmp_path):
+        store = ArtifactStore(tmp_path, fsync=False)
+        assert store.latest_valid() is None
+        with pytest.raises(NoValidGenerationError, match="empty"):
+            store.read_generation()
+
+
+class TestTooling:
+    def test_read_entry(self, tmp_path):
+        store = ArtifactStore(tmp_path, fsync=False)
+        fill(store)
+        assert store.read_entry("b.bin") == b"x"
+        with pytest.raises(KeyError):
+            store.read_entry("nope.bin")
+
+    def test_inspect_reports_validity(self, tmp_path, rng):
+        store = ArtifactStore(tmp_path, fsync=False)
+        fill(store, 2)
+        tear_file(store._gen_dir(1) / "a.bin", rng)
+        report = {r["generation"]: r for r in store.inspect()}
+        assert not report[1]["valid"] and "a.bin" in report[1]["error"]
+        assert report[2]["valid"] and report[2]["error"] is None
+        assert report[2]["entries"]["b.bin"] == 2
+
+    def test_tear_file_really_corrupts(self, tmp_path):
+        path = tmp_path / "f.bin"
+        original = bytes(range(64))
+        for seed in range(8):
+            path.write_bytes(original)
+            tear_file(path, np.random.default_rng(seed))
+            assert path.read_bytes() != original

@@ -1,0 +1,172 @@
+"""Tests for crash-safe team checkpoints and bit-exact training resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import TeamNetTrainer, TrainerConfig
+from repro.data import synthetic_mnist
+from repro.nn import build_model, downsize, mlp_spec
+from repro.store import CheckpointStore, NoValidGenerationError
+from repro.testkit import tear_file, training_fingerprint
+
+SEED = 7
+SAMPLES = 64
+
+
+def make_trainer(num_experts=2, epochs=2):
+    spec = downsize(mlp_spec(4, width=16), num_experts)
+    experts = [build_model(spec, np.random.default_rng((SEED, i)))
+               for i in range(num_experts)]
+    config = TrainerConfig(epochs=epochs, batch_size=32, seed=SEED,
+                           gate_max_iterations=6)
+    return TeamNetTrainer(experts, config), spec
+
+
+@pytest.fixture
+def dataset():
+    return synthetic_mnist(SAMPLES, seed=SEED)
+
+
+class TestRoundtrip:
+    def test_save_load_fields(self, tmp_path, dataset):
+        trainer, spec = make_trainer()
+        trainer.train(dataset, epochs=1)
+        store = CheckpointStore(tmp_path, fsync=False)
+        gen = store.save(trainer, spec, meta={"note": "after epoch 1"})
+        checkpoint = store.load()
+        assert checkpoint.generation == gen
+        assert checkpoint.epoch == 1
+        assert checkpoint.step == trainer._iteration
+        assert checkpoint.num_experts == 2
+        assert checkpoint.spec == spec
+        assert checkpoint.config["seed"] == SEED
+        assert checkpoint.gate_rng_state == \
+            trainer.gate.rng.bit_generator.state
+        np.testing.assert_array_equal(checkpoint.monitor_history,
+                                      trainer.monitor.history())
+
+    def test_save_is_a_pure_read(self, tmp_path, dataset):
+        # Checkpointing must never perturb the trajectory: no RNG draws,
+        # no state mutation.  Fingerprints before and after must match.
+        trainer, spec = make_trainer()
+        trainer.train(dataset, epochs=1)
+        before = training_fingerprint(trainer)
+        CheckpointStore(tmp_path, fsync=False).save(trainer, spec)
+        assert training_fingerprint(trainer) == before
+
+    def test_restore_into_existing_trainer(self, tmp_path, dataset):
+        trainer, spec = make_trainer()
+        trainer.train(dataset, epochs=1)
+        store = CheckpointStore(tmp_path, fsync=False)
+        store.save(trainer, spec)
+        other, _ = make_trainer()
+        store.restore(other)
+        assert training_fingerprint(other) == training_fingerprint(trainer)
+
+    def test_expert_count_mismatch_rejected(self, tmp_path, dataset):
+        trainer, spec = make_trainer()
+        trainer.train(dataset, epochs=1)
+        store = CheckpointStore(tmp_path, fsync=False)
+        store.save(trainer, spec)
+        three, _ = make_trainer(num_experts=3)
+        with pytest.raises(ValueError, match="experts"):
+            store.load().apply(three)
+
+    def test_expert_bytes_rebuilds_the_stored_expert(self, tmp_path,
+                                                     dataset):
+        trainer, spec = make_trainer()
+        trainer.train(dataset, epochs=1)
+        store = CheckpointStore(tmp_path, fsync=False)
+        store.save(trainer, spec)
+        model, loaded_spec = store.load_expert(1)
+        assert loaded_spec == spec
+        for name, array in trainer.experts[1].state_dict().items():
+            np.testing.assert_array_equal(model.state_dict()[name], array)
+
+
+class TestBitIdenticalResume:
+    def test_resume_continues_bit_identically(self, tmp_path, dataset):
+        """The acceptance differential: golden 4 uninterrupted epochs vs
+        2 epochs -> checkpoint -> resume in a fresh process-equivalent ->
+        2 more epochs.  Every piece of state — expert weights, optimizer
+        momentum, gate meta network and counters, RNG streams, monitor
+        history — must match bit for bit."""
+        golden, spec = make_trainer(epochs=4)
+        golden.train(dataset)
+
+        first, _ = make_trainer(epochs=4)
+        store = CheckpointStore(tmp_path, fsync=False)
+        first.train(dataset, epochs=2, checkpoint_store=store, spec=spec)
+
+        resumed = TeamNetTrainer.resume(store)
+        assert resumed.completed_epochs == 2
+        resumed.train(dataset, epochs=2)
+
+        assert training_fingerprint(resumed) == training_fingerprint(golden)
+        # Spell out the headline pieces so a fingerprint bug cannot hide
+        # a divergence: weights and the gate's controller state.
+        for ours, theirs in zip(resumed.experts, golden.experts):
+            for name, array in theirs.state_dict().items():
+                np.testing.assert_array_equal(ours.state_dict()[name], array)
+        for name, array in golden.gate.meta.state_dict().items():
+            np.testing.assert_array_equal(
+                resumed.gate.meta.state_dict()[name], array)
+        assert resumed.gate._meta_opt._t == golden.gate._meta_opt._t
+        assert resumed.rng.bit_generator.state == \
+            golden.rng.bit_generator.state
+        assert resumed.gate.rng.bit_generator.state == \
+            golden.gate.rng.bit_generator.state
+        np.testing.assert_array_equal(resumed.monitor.history(),
+                                      golden.monitor.history())
+
+    def test_periodic_checkpoints_retain_generations(self, tmp_path,
+                                                     dataset):
+        trainer, spec = make_trainer(epochs=4)
+        store = CheckpointStore(tmp_path, retain=3, fsync=False)
+        trainer.train(dataset, checkpoint_store=store, spec=spec)
+        assert len(store.generations()) == 3  # epochs 2..4 retained
+        assert store.load().epoch == 4
+        assert store.load(store.generations()[0]).epoch == 2
+
+    def test_resume_from_explicit_generation(self, tmp_path, dataset):
+        trainer, spec = make_trainer(epochs=3)
+        fingerprints = {}
+        store = CheckpointStore(tmp_path, fsync=False)
+        for epoch in (1, 2, 3):
+            trainer.train(dataset, epochs=1, checkpoint_store=store,
+                          spec=spec)
+            fingerprints[epoch] = training_fingerprint(trainer)
+        for generation in store.generations():
+            resumed = TeamNetTrainer.resume(store, generation)
+            epoch = resumed.completed_epochs
+            assert training_fingerprint(resumed) == fingerprints[epoch]
+
+    def test_checkpoint_store_requires_spec(self, dataset, tmp_path):
+        trainer, _ = make_trainer()
+        store = CheckpointStore(tmp_path, fsync=False)
+        with pytest.raises(ValueError, match="spec"):
+            trainer.train(dataset, epochs=1, checkpoint_store=store)
+
+
+class TestCorruptionFallback:
+    def test_torn_checkpoint_falls_back(self, tmp_path, dataset, rng):
+        trainer, spec = make_trainer(epochs=2)
+        store = CheckpointStore(tmp_path, fsync=False)
+        trainer.train(dataset, epochs=1, checkpoint_store=store, spec=spec)
+        epoch1 = training_fingerprint(trainer)
+        trainer.train(dataset, epochs=1, checkpoint_store=store, spec=spec)
+        newest = store.latest_valid()
+        tear_file(store.store._gen_dir(newest) / "gate_meta.npz", rng)
+        assert store.latest_valid() == newest - 1
+        resumed = TeamNetTrainer.resume(store)
+        assert resumed.completed_epochs == 1
+        assert training_fingerprint(resumed) == epoch1
+
+    def test_all_generations_torn_refuses(self, tmp_path, dataset, rng):
+        trainer, spec = make_trainer()
+        store = CheckpointStore(tmp_path, fsync=False)
+        trainer.train(dataset, epochs=1, checkpoint_store=store, spec=spec)
+        for generation in store.generations():
+            tear_file(store.store._gen_dir(generation) / "monitor.npz", rng)
+        with pytest.raises(NoValidGenerationError):
+            TeamNetTrainer.resume(store)

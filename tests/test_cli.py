@@ -62,3 +62,48 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Figure 5" in out
+
+
+class TestCheckpointCommand:
+    def test_inspect_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["checkpoint"])
+
+    def test_inspect_empty_store(self, tmp_path, capsys):
+        rc = main(["checkpoint", "inspect", str(tmp_path / "empty")])
+        assert rc == 1
+        assert "no checkpoint generations" in capsys.readouterr().out
+
+    def test_train_checkpoint_inspect_roundtrip(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        rc = main(["train", "--dataset", "mnist", "--experts", "2",
+                   "--epochs", "2", "--samples", "128", "--width", "16",
+                   "--out", str(tmp_path / "team"),
+                   "--checkpoint-dir", str(ckpt)])
+        assert rc == 0
+        assert "checkpoints in" in capsys.readouterr().out
+
+        rc = main(["checkpoint", "inspect", str(ckpt)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("valid") == 2  # one line per epoch generation
+        assert "2 experts" in out
+        assert "resume would load generation" in out
+
+    def test_inspect_flags_corruption(self, tmp_path, capsys, rng):
+        from repro.store import CheckpointStore
+        from repro.testkit import tear_file
+
+        ckpt = tmp_path / "ckpt"
+        main(["train", "--dataset", "mnist", "--experts", "2",
+              "--epochs", "1", "--samples", "128", "--width", "16",
+              "--out", str(tmp_path / "team"),
+              "--checkpoint-dir", str(ckpt)])
+        capsys.readouterr()
+        store = CheckpointStore(ckpt)
+        tear_file(store.store._gen_dir(1) / "gate_meta.npz", rng)
+        rc = main(["checkpoint", "inspect", str(ckpt)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out and "gate_meta.npz" in out
+        assert "refuse" in out

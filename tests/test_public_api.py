@@ -18,6 +18,8 @@ PUBLIC_MODULES = [
     "repro.distributed", "repro.distributed.election",
     "repro.edge", "repro.edge.loadsim",
     "repro.experiments", "repro.experiments.plots",
+    "repro.store", "repro.store.artifact", "repro.store.checkpoint",
+    "repro.testkit", "repro.testkit.crash",
     "repro.cli",
 ]
 
