@@ -13,6 +13,12 @@
 #       soak per seed in CHAOS_SEEDS (default "0 1 2 3"), CHAOS_ROUNDS
 #       rounds each (default 60); a failing round writes its fault
 #       schedule to CHAOS_REPRO_DIR (default .chaos-repro/).
+#   scripts/ci.sh --serve                    # serving throughput gate:
+#       the open-loop micro-batched serving bench against a real 4-expert
+#       localhost team at smoke scale (SERVE_BENCH_DURATION, default 1.0s
+#       per offered rate); asserts >= 5x the synchronous request rate at
+#       bounded p95 and writes the rps/latency trajectory to
+#       BENCH_throughput.json (path override: SERVE_BENCH_JSON).
 #   scripts/ci.sh --crash                    # durability soak: seeded
 #       kill-during-checkpoint / torn-file / bit-exact-resume rounds, one
 #       soak per seed in CRASH_SEEDS (default "0 1 2 3"), CRASH_ROUNDS
@@ -51,6 +57,19 @@ if [[ "${1:-}" == "--chaos" ]]; then
             python -m pytest -x -q tests/testkit/test_chaos.py \
             --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
     done
+    exit 0
+fi
+
+if [[ "${1:-}" == "--serve" ]]; then
+    shift
+    export SERVE_BENCH_DURATION="${SERVE_BENCH_DURATION:-1.0}"
+    export SERVE_BENCH_JSON="${SERVE_BENCH_JSON:-BENCH_throughput.json}"
+    echo "=== serving bench: ${SERVE_BENCH_DURATION}s per offered rate ==="
+    # --per-test-timeout lives in tests/conftest.py and is not loaded for
+    # the benchmarks tree; the outer timeout is the hang backstop here.
+    timeout --signal=INT "$SUITE_TIMEOUT" \
+        python -m pytest -x -q -s benchmarks/test_bench_serving.py \
+        -p no:cacheprovider "$@"
     exit 0
 fi
 

@@ -18,7 +18,7 @@ from ..nn import functional as F
 from .entropy import predictive_entropy
 
 __all__ = ["ExpertOutput", "argmin_select", "majority_vote",
-           "expert_forward", "TeamInference"]
+           "expert_forward", "expert_forward_segments", "TeamInference"]
 
 
 @dataclass
@@ -43,6 +43,36 @@ def expert_forward(expert: Module, x: np.ndarray) -> ExpertOutput:
     if was_training:
         expert.train()
     return ExpertOutput(probs=probs, entropy=predictive_entropy(logits))
+
+
+def expert_forward_segments(expert: Module, x: np.ndarray,
+                            segments: list[int] | None) -> ExpertOutput:
+    """Run a coalesced batch whose rows belong to ``segments`` requests.
+
+    ``segments`` lists the per-request row counts, in order, summing to
+    ``len(x)``.  With 0 or 1 segments this is exactly
+    :func:`expert_forward`.  With more, each request's rows are forwarded
+    *separately* and the results concatenated — which makes every float
+    in the output bit-identical to what the request would have produced
+    alone.  (A single fused matmul is not row-wise bit-stable: BLAS may
+    pick different reduction blockings for different batch shapes, so
+    coalescing requests into one forward perturbs probabilities by ULPs.
+    Softmax and entropy are per-row; only the matmul couples rows, and
+    this splits it back apart.)
+    """
+    x = np.asarray(x)
+    if segments is None or len(segments) <= 1:
+        return expert_forward(expert, x)
+    if sum(segments) != len(x):
+        raise ValueError(f"segments {segments} do not cover {len(x)} rows")
+    outputs = []
+    offset = 0
+    for rows in segments:
+        outputs.append(expert_forward(expert, x[offset:offset + rows]))
+        offset += rows
+    return ExpertOutput(
+        probs=np.concatenate([o.probs for o in outputs], axis=0),
+        entropy=np.concatenate([o.entropy for o in outputs], axis=0))
 
 
 def argmin_select(outputs: list[ExpertOutput]) -> tuple[np.ndarray, np.ndarray]:

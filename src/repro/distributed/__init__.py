@@ -17,12 +17,16 @@ from .mpi_kernel import (MpiKernelRunner, count_conv_layers,
                          kernel_split_conv, mpi_kernel_forward)
 from .mpi_matrix import (MpiMatrixRunner, mpi_matrix_forward,
                          split_linear_weights)
+from .serving import (ServeFuture, ServerClosed, ServerOverloaded,
+                      ServerStats, TeamNetServer)
 from .teamnet_runtime import (ExpertWorker, InferenceStats, TeamNetMaster,
                               WorkerFailure, WorkerHealth, deploy_local_team)
 
 __all__ = [
     "TeamNetMaster", "ExpertWorker", "deploy_local_team", "InferenceStats",
     "WorkerFailure", "WorkerHealth",
+    "TeamNetServer", "ServeFuture", "ServerStats", "ServerClosed",
+    "ServerOverloaded",
     "CircuitBreaker", "SuspicionTracker", "LatencyTracker",
     "ResilienceConfig", "DegradationPolicy", "QuorumError", "PeerResilience",
     "mpi_matrix_forward", "split_linear_weights", "MpiMatrixRunner",

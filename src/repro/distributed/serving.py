@@ -1,0 +1,333 @@
+"""Concurrent micro-batched serving on top of :class:`TeamNetMaster`.
+
+The master's ``infer`` is one synchronous broadcast/gather; a deployed
+edge team serves *many users at once* (the CANS regime).  This module
+adds that layer without touching the protocol:
+
+* **Bounded admission** — :meth:`TeamNetServer.submit` enqueues a request
+  and returns a :class:`ServeFuture`; a full queue rejects with
+  :class:`ServerOverloaded` (open-loop load must shed, not silently grow
+  an unbounded backlog).
+* **Micro-batch coalescing** — the dispatcher drains whatever compatible
+  requests are queued (same dtype and feature shape, up to
+  ``max_batch``) into one broadcast.  The nn engine is batched: a
+  64-request batch costs barely more than one, so one wire exchange per
+  worker now serves the whole batch.
+* **Pipelining** — broadcasts don't wait for earlier gathers.  The
+  dispatcher keeps up to ``max_inflight`` batches on the wire (per-seq
+  reply slots on each connection, via :class:`repro.comm.ReplyDemux`)
+  while the collector finishes them in order.
+
+Bit-exactness: with ``coalesce="exact"`` (the default) a coalesced
+request's rows are forwarded *per request* on every expert — the wire
+carries one message with a ``segments`` row-count list, and each segment
+runs as its own forward — so every answer is byte-identical to a
+sequential ``master.infer`` of the same input.  ``coalesce="fused"``
+runs the whole batch as a single forward instead: fastest, and argmax/
+argmin answers agree in practice, but float probabilities can drift by
+ULPs across batch compositions (BLAS reductions are not row-stable), so
+the differential guarantee only holds for ``"exact"``.
+
+Resilience semantics carry over unchanged: each batched gather runs the
+same hedging, breaker, degradation and stats bookkeeping as a plain
+``infer`` — a failure (``WorkerFailure``/``QuorumError``) rejects every
+request in the affected batch, and each request's future carries the
+batch's :class:`~repro.distributed.teamnet_runtime.InferenceStats`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.inference import expert_forward, expert_forward_segments
+from .teamnet_runtime import InferenceStats, TeamNetMaster
+
+__all__ = ["ServeFuture", "ServerStats", "ServerClosed", "ServerOverloaded",
+           "TeamNetServer"]
+
+
+class ServerClosed(RuntimeError):
+    """submit() after close() — the server no longer admits requests."""
+
+
+class ServerOverloaded(RuntimeError):
+    """The admission queue is full; the request was shed, not queued."""
+
+
+class ServeFuture:
+    """The pending answer for one submitted request.
+
+    ``result()`` returns ``(preds, winner, stats)`` exactly as
+    ``master.infer`` would for this request alone — ``preds``/``winner``
+    are this request's rows of the batch answer; ``stats`` is the shared
+    :class:`InferenceStats` of the coalesced gather that served it.
+    ``done_at`` is the ``time.monotonic()`` completion stamp (set before
+    waiters wake), which is what lets an open-loop driver measure sojourn
+    without racing the wakeup.
+    """
+
+    __slots__ = ("done_at", "_event", "_value", "_error")
+
+    def __init__(self):
+        self.done_at: float | None = None
+        self._event = threading.Event()
+        self._value: tuple | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None
+               ) -> tuple[np.ndarray, np.ndarray, InferenceStats]:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still in flight")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _resolve(self, value: tuple) -> None:
+        self._value = value
+        self.done_at = time.monotonic()
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self.done_at = time.monotonic()
+        self._event.set()
+
+
+class _Request:
+    __slots__ = ("x", "future")
+
+    def __init__(self, x: np.ndarray):
+        self.x = x
+        self.future = ServeFuture()
+
+
+@dataclass
+class ServerStats:
+    """Cumulative serving counters (a snapshot; see
+    :meth:`TeamNetServer.stats`)."""
+
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    batched_rows: int = 0
+    max_batch_requests: int = 0
+
+    @property
+    def mean_batch_requests(self) -> float:
+        if not self.batches:
+            return 0.0
+        return (self.completed + self.failed) / self.batches
+
+
+#: collector sentinel: the dispatcher has exited, drain and stop
+_DONE = object()
+
+
+class TeamNetServer:
+    """Admission queue + dispatcher/collector pipeline over one master.
+
+    ``submit`` may be called from any number of threads; the dispatcher
+    is the only thread that broadcasts (framed sends on a shared
+    connection must not interleave) and the collector the only one that
+    gathers, so the master's ``_begin``/``_finish`` split is driven
+    exactly within its contract.
+
+    * ``max_queue`` — admission bound; beyond it ``submit`` raises
+      :class:`ServerOverloaded`.
+    * ``max_batch`` — most *requests* coalesced into one broadcast.
+    * ``max_inflight`` — pipeline depth: broadcasts outstanding before
+      the dispatcher blocks on the collector (backpressure).
+    * ``linger_s`` — how long the dispatcher waits for company for a
+      lone request before broadcasting it anyway.  0 (default) batches
+      only what is already queued — natural batching under load, no
+      added latency when idle.
+    * ``coalesce`` — ``"exact"`` (bit-identical to sequential ``infer``,
+      via per-request segment forwards) or ``"fused"`` (single fused
+      forward per batch; see module docstring).
+    """
+
+    def __init__(self, master: TeamNetMaster, max_queue: int = 256,
+                 max_batch: int = 16, max_inflight: int = 4,
+                 linger_s: float = 0.0, coalesce: str = "exact"):
+        if max_queue < 1 or max_batch < 1 or max_inflight < 1:
+            raise ValueError("max_queue, max_batch and max_inflight "
+                             "must be >= 1")
+        if coalesce not in ("exact", "fused"):
+            raise ValueError(f"coalesce must be 'exact' or 'fused', "
+                             f"got {coalesce!r}")
+        self.master = master
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.linger_s = linger_s
+        self.coalesce = coalesce
+        self._cond = threading.Condition()
+        self._queue: deque[_Request] = deque()
+        self._inflight: queue.Queue = queue.Queue(maxsize=max_inflight)
+        self._closed = False
+        self._started = False
+        self._stats = ServerStats()
+        self._stats_lock = threading.Lock()
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            daemon=True,
+                                            name="teamnet-serve-dispatch")
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           daemon=True,
+                                           name="teamnet-serve-collect")
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> "TeamNetServer":
+        if not self._started:
+            self._started = True
+            self._dispatcher.start()
+            self._collector.start()
+        return self
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop admitting requests and drain: everything already
+        submitted still completes (or fails through its future)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            # Never started: nothing will ever drain the queue — fail the
+            # futures instead of leaving their waiters hanging.
+            leftovers = [] if self._started else list(self._queue)
+            if leftovers:
+                self._queue.clear()
+            self._cond.notify_all()
+        for request in leftovers:
+            request.future._reject(ServerClosed("server closed unstarted"))
+        if self._started:
+            self._dispatcher.join(timeout)
+            self._collector.join(timeout)
+
+    def __enter__(self) -> "TeamNetServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ----------------------------------------------------------- admission
+    def submit(self, x: np.ndarray) -> ServeFuture:
+        """Admit one request (an ``(N, D)`` input batch) for inference."""
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ValueError(f"expected a 2-D input batch, got shape "
+                             f"{x.shape}")
+        request = _Request(x)
+        with self._cond:
+            if self._closed:
+                raise ServerClosed("server is closed")
+            if len(self._queue) >= self.max_queue:
+                with self._stats_lock:
+                    self._stats.rejected += 1
+                raise ServerOverloaded(
+                    f"admission queue is full ({self.max_queue})")
+            self._queue.append(request)
+            self._cond.notify_all()
+        with self._stats_lock:
+            self._stats.submitted += 1
+        return request.future
+
+    def infer(self, x: np.ndarray, timeout: float | None = None
+              ) -> tuple[np.ndarray, np.ndarray, InferenceStats]:
+        """Synchronous convenience: ``submit(x).result(timeout)``."""
+        return self.submit(x).result(timeout)
+
+    def stats(self) -> ServerStats:
+        """A point-in-time copy of the cumulative serving counters."""
+        with self._stats_lock:
+            return ServerStats(**vars(self._stats))
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # ---------------------------------------------------------- dispatcher
+    def _next_batch(self) -> list[_Request] | None:
+        """Pop one coalescible run of requests; None when closed+drained."""
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            if self.linger_s > 0 and len(self._queue) < self.max_batch \
+                    and not self._closed:
+                self._cond.wait(self.linger_s)
+            batch = [self._queue.popleft()]
+            key = (batch[0].x.dtype, batch[0].x.shape[1:])
+            while (self._queue and len(batch) < self.max_batch
+                   and (self._queue[0].x.dtype,
+                        self._queue[0].x.shape[1:]) == key):
+                batch.append(self._queue.popleft())
+            return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                self._inflight.put(_DONE)
+                return
+            segments = [len(request.x) for request in batch]
+            batch_x = (batch[0].x if len(batch) == 1
+                       else np.concatenate([r.x for r in batch], axis=0))
+            try:
+                if self.coalesce == "exact":
+                    pending = self.master._begin(batch_x, segments=segments)
+                    local = expert_forward_segments(self.master.expert,
+                                                    batch_x, segments)
+                else:
+                    pending = self.master._begin(batch_x)
+                    local = expert_forward(self.master.expert, batch_x)
+            except Exception as exc:  # noqa: BLE001 - delivered via futures
+                for request in batch:
+                    request.future._reject(exc)
+                with self._stats_lock:
+                    self._stats.failed += len(batch)
+                continue
+            with self._stats_lock:
+                self._stats.batches += 1
+                self._stats.batched_rows += len(batch_x)
+                self._stats.max_batch_requests = max(
+                    self._stats.max_batch_requests, len(batch))
+            # Bounded: blocks when max_inflight broadcasts are already on
+            # the wire — backpressure flows from gather to admission.
+            self._inflight.put((batch, pending, local))
+
+    # ----------------------------------------------------------- collector
+    def _collect_loop(self) -> None:
+        while True:
+            item = self._inflight.get()
+            if item is _DONE:
+                return
+            batch, pending, local = item
+            try:
+                preds, winner, stats = self.master._finish(pending, local)
+            except Exception as exc:  # noqa: BLE001 - delivered via futures
+                for request in batch:
+                    request.future._reject(exc)
+                with self._stats_lock:
+                    self._stats.failed += len(batch)
+                continue
+            offset = 0
+            for request in batch:
+                rows = len(request.x)
+                request.future._resolve((preds[offset:offset + rows],
+                                         winner[offset:offset + rows],
+                                         stats))
+                offset += rows
+            with self._stats_lock:
+                self._stats.completed += len(batch)

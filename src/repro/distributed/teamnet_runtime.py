@@ -7,11 +7,16 @@ uncertainty) pair (Step 4) and selects the least-uncertain answer (Step 5).
 Communication is plain framed TCP — one message out and one small message
 back per worker, which is the paper's whole latency argument against MPI.
 
-The gather is *concurrent and fault-aware*: one reader thread per peer
-collects replies simultaneously under a single per-inference deadline
-(``reply_timeout``), so one slow or dead worker costs at most one deadline
-— never K× — and never blocks the reads from faster peers.  On top of
-that sits a resilience control plane (:mod:`repro.distributed.resilience`):
+Each peer connection is owned by a :class:`repro.comm.demux.ReplyDemux`:
+one long-lived reader per connection routes reply frames to waiters by
+their echoed ``seq``, so the master spends a fixed K reader threads total
+(not K per in-flight call) and can keep **multiple inferences in flight
+per connection** — the property the micro-batched serving core
+(:mod:`repro.distributed.serving`) is built on.  A gather registers one
+reply slot per peer *before* broadcasting and then waits on the slots;
+one slow or dead worker costs at most one deadline — never K× — and
+never blocks the reads from faster peers.  On top of that sits a
+resilience control plane (:mod:`repro.distributed.resilience`):
 
 * a **failure detector** — per-peer suspicion scores fed by reply
   latencies, misses, and explicit ``ping``/``pong`` heartbeats
@@ -43,8 +48,10 @@ import numpy as np
 
 from ..comm import protocol
 from ..comm.base import Transport
+from ..comm.demux import FRAME_OVERHEAD_BYTES, ReplyDemux, ReplySlot
 from ..comm.transport import (MeteredSocket, TcpTransport, TransportStats)
-from ..core.inference import ExpertOutput, argmin_select, expert_forward
+from ..core.inference import (ExpertOutput, argmin_select, expert_forward,
+                              expert_forward_segments)
 from ..nn import CorruptModelError, Module, model_from_bytes
 from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
                          PeerResilience, QuorumError, ResilienceConfig,
@@ -131,17 +138,18 @@ class WorkerHealth:
 
 
 class _Peer:
-    """Connection state for one worker: socket (None while down), the
-    circuit breaker gating its traffic, and cumulative health counters
-    (including the failure-detector state)."""
+    """Connection state for one worker: socket + reply demux (both None
+    while down), the circuit breaker gating its traffic, and cumulative
+    health counters (including the failure-detector state)."""
 
-    __slots__ = ("index", "address", "sock", "health", "breaker")
+    __slots__ = ("index", "address", "sock", "channel", "health", "breaker")
 
     def __init__(self, index: int, address: tuple[str, int],
                  sock: MeteredSocket | None, resilience: ResilienceConfig):
         self.index = index
         self.address = address
         self.sock = sock
+        self.channel = ReplyDemux(sock) if sock is not None else None
         self.health = WorkerHealth(
             index=index, address=address,
             detector=SuspicionTracker(
@@ -156,6 +164,26 @@ class _Peer:
     @property
     def alive(self) -> bool:
         return self.sock is not None
+
+
+class _Pending:
+    """One in-flight broadcast: the slots awaiting each peer's reply.
+
+    Produced by :meth:`TeamNetMaster._begin`, consumed exactly once by
+    :meth:`TeamNetMaster._finish`.  Several of these may be outstanding
+    at a time — that is the serving core's pipeline."""
+
+    __slots__ = ("x", "seq", "segments", "waits", "inference", "hedged_set")
+
+    def __init__(self, x: np.ndarray, seq: int, segments: list[int] | None,
+                 waits: list[tuple[_Peer, ReplySlot]],
+                 inference: InferenceStats, hedged_set: set[int]):
+        self.x = x
+        self.seq = seq
+        self.segments = segments
+        self.waits = waits
+        self.inference = inference
+        self.hedged_set = hedged_set
 
 
 class ExpertWorker:
@@ -191,6 +219,12 @@ class ExpertWorker:
         self._running = False
         self._threads: list[threading.Thread] = []
         self._acceptor: threading.Thread | None = None
+        # Accepted connections, tracked so stop() can close them: a serve
+        # thread blocks in a timeout-less recv between requests, and only
+        # closing its socket unblocks it — otherwise every stop/start
+        # cycle leaks one thread per connection a master held open.
+        self._conns: list = []
+        self._conn_lock = threading.Lock()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -232,6 +266,8 @@ class ExpertWorker:
             # Reap finished connection threads so the list stays bounded
             # under heavy traffic instead of growing one entry per client.
             self._threads = [t for t in self._threads if t.is_alive()]
+            with self._conn_lock:
+                self._conns.append(sock)
             worker = threading.Thread(target=self._serve, args=(sock,),
                                       daemon=True)
             worker.start()
@@ -271,67 +307,94 @@ class ExpertWorker:
             return False
 
     def _serve(self, sock) -> None:
-        with sock:
-            try:
-                while self._running:
-                    try:
-                        msg = protocol.decode(sock.recv())
-                    except protocol.ProtocolError as exc:
-                        # Malformed manifest from an untrusted peer: tell it
-                        # why, then drop the connection rather than trust
-                        # anything further on this stream.
-                        self._safe_send(sock, protocol.encode(
-                            protocol.ERROR, {"error": f"bad message: {exc}"}))
-                        return
-                    if msg.kind == protocol.SHUTDOWN:
-                        return
-                    if msg.kind == protocol.PING:
-                        if not self._safe_send(sock, protocol.encode(
-                                protocol.PONG,
-                                {"seq": msg.meta.get("seq")})):
+        try:
+            with sock:
+                try:
+                    while self._running:
+                        try:
+                            msg = protocol.decode(sock.recv())
+                        except protocol.ProtocolError as exc:
+                            # Malformed manifest from an untrusted peer: tell
+                            # it why, then drop the connection rather than
+                            # trust anything further on this stream.
+                            self._safe_send(sock, protocol.encode(
+                                protocol.ERROR,
+                                {"error": f"bad message: {exc}"}))
                             return
-                        continue
-                    if msg.kind == protocol.DEPLOY:
-                        if not self._handle_deploy(sock, msg):
+                        if msg.kind == protocol.SHUTDOWN:
                             return
-                        continue
-                    # Replies echo the request's seq so the master can
-                    # correlate them: a duplicated or reordered reply from
-                    # an earlier request must never be mistaken for the
-                    # answer to the current one.
-                    seq = msg.meta.get("seq")
-                    if msg.kind != protocol.INFER:
-                        self._safe_send(sock, protocol.encode(
-                            protocol.ERROR,
-                            {"error": f"unexpected {msg.kind!r}",
-                             "seq": seq}))
-                        continue
-                    try:
-                        output = expert_forward(self.expert, msg.arrays["x"])
-                    except Exception as exc:  # noqa: BLE001 - reply, don't die
-                        # A bad input (wrong shape, missing array) must cost
-                        # the sender an error reply, not this serve thread.
-                        self._safe_send(sock, protocol.encode(
-                            protocol.ERROR,
-                            {"error": f"inference: {exc}", "seq": seq}))
-                        continue
-                    sock.send(protocol.encode(protocol.RESULT, {"seq": seq}, {
-                        "probs": output.probs,
-                        "entropy": output.entropy,
-                    }))
-            except (ConnectionError, OSError):
-                return
+                        if msg.kind == protocol.PING:
+                            if not self._safe_send(sock, protocol.encode(
+                                    protocol.PONG,
+                                    {"seq": msg.meta.get("seq")})):
+                                return
+                            continue
+                        if msg.kind == protocol.DEPLOY:
+                            if not self._handle_deploy(sock, msg):
+                                return
+                            continue
+                        # Replies echo the request's seq so the master can
+                        # correlate them: a duplicated or reordered reply from
+                        # an earlier request must never be mistaken for the
+                        # answer to the current one.
+                        seq = msg.meta.get("seq")
+                        if msg.kind != protocol.INFER:
+                            self._safe_send(sock, protocol.encode(
+                                protocol.ERROR,
+                                {"error": f"unexpected {msg.kind!r}",
+                                 "seq": seq}))
+                            continue
+                        try:
+                            # ``segments`` marks a coalesced micro-batch
+                            # whose per-request row runs must be forwarded
+                            # separately for bit-exactness (see
+                            # expert_forward_segments).
+                            output = expert_forward_segments(
+                                self.expert, msg.arrays["x"],
+                                msg.meta.get("segments"))
+                        except Exception as exc:  # noqa: BLE001 - reply, don't die
+                            # A bad input (wrong shape, missing array) must
+                            # cost the sender an error reply, not this serve
+                            # thread.
+                            self._safe_send(sock, protocol.encode(
+                                protocol.ERROR,
+                                {"error": f"inference: {exc}", "seq": seq}))
+                            continue
+                        sock.send(protocol.encode(
+                            protocol.RESULT, {"seq": seq}, {
+                                "probs": output.probs,
+                                "entropy": output.entropy,
+                            }))
+                except (ConnectionError, OSError):
+                    return
+        finally:
+            with self._conn_lock:
+                if sock in self._conns:
+                    self._conns.remove(sock)
 
     def stop(self) -> None:
         self._running = False
         if self._listener is not None:
             self._listener.close()
             self._listener = None
+        # Close every live connection: serve threads blocked in recv wake
+        # with a connection error and exit instead of leaking.
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for sock in conns:
+            try:
+                sock.close()
+            except (ConnectionError, OSError):
+                pass
         if self._acceptor is not None:
             # Wait out the acceptor's poll window so the kernel fully
             # releases the listening port — a restart rebinds the same one.
             self._acceptor.join(timeout=1.0)
             self._acceptor = None
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        self._threads = [t for t in self._threads if t.is_alive()]
 
 
 class WorkerFailure(ConnectionError):
@@ -349,13 +412,14 @@ class TeamNetMaster:
     How degraded an answer may get before it is flagged or refused is the
     ``degradation`` policy's call (quorum and entropy ceiling).
 
-    ``reply_timeout`` is a single **per-inference** gather deadline: all
-    replies are read concurrently, so the total wait is bounded by one
-    deadline no matter how many workers straggle.  A *suspected-slow*
-    peer gets a shorter, latency-quantile-derived hedge deadline instead
-    (see :class:`~repro.distributed.resilience.ResilienceConfig`), so a
-    known straggler costs the gather its hedge delay, not the full
-    deadline.
+    ``reply_timeout`` is a single **per-inference** gather deadline: every
+    peer's reply slot is armed with it at broadcast time and the replies
+    stream in concurrently through the per-connection demux readers, so
+    the total wait is bounded by one deadline no matter how many workers
+    straggle.  A *suspected-slow* peer gets a shorter,
+    latency-quantile-derived hedge deadline instead (see
+    :class:`~repro.distributed.resilience.ResilienceConfig`), so a known
+    straggler costs the gather its hedge delay, not the full deadline.
 
     Failed workers are gated by per-peer circuit breakers: below the
     failure threshold a reconnect is attempted on the next inference;
@@ -364,8 +428,13 @@ class TeamNetMaster:
     to ``reconnect_backoff_max``) elapses and a probe succeeds.  A
     worker that comes back (same address) rejoins the team automatically.
 
-    The master is not thread-safe: ``infer``/``heartbeat`` calls must not
-    overlap.
+    Plain ``infer``/``heartbeat`` calls must not overlap each other.  For
+    concurrent callers, wrap the master in a
+    :class:`~repro.distributed.serving.TeamNetServer` (or call
+    :meth:`serve`): its single dispatcher/collector pair drives the
+    split ``_begin``/``_finish`` pipeline underneath, which *is* safe to
+    overlap — peer bookkeeping is guarded by the master's state lock and
+    replies are correlated by seq, not by call order.
     """
 
     def __init__(self, expert: Module,
@@ -396,11 +465,15 @@ class TeamNetMaster:
             for i, (host, port) in enumerate(worker_addresses, start=1)]
         self._latencies = LatencyTracker(self.resilience.latency_window)
         # One seq counter shared by infers and pings: every request gets
-        # a unique seq, every reply echoes it, and readers discard any
-        # frame whose seq does not match the request they are waiting on
-        # (duplicated/reordered deliveries leave stale frames queued on
-        # long-lived connections).
+        # a unique seq, every reply echoes it, and the demux discards any
+        # frame whose seq has no registered waiter (duplicated/reordered
+        # deliveries leave stale frames queued on long-lived connections).
         self._request_seq = 0
+        # Guards all peer/bookkeeping state: sends, reconnects, failure
+        # and success accounting, the seq counter, and the latency window.
+        # Never held across a slot wait — I/O waits happen outside it, so
+        # a broadcast can begin while an earlier gather is still waiting.
+        self._lock = threading.Lock()
         #: cumulative traffic spent on heartbeat probes (not per-inference)
         self.heartbeat_traffic = TransportStats()
         #: cumulative traffic spent pushing models to standby workers
@@ -452,20 +525,25 @@ class TeamNetMaster:
 
     # ------------------------------------------------------------ recovery
     def _maybe_reconnect(self) -> None:
-        """Retry down workers whose circuit breaker admits a probe."""
+        """Retry down workers whose circuit breaker admits a probe.
+
+        Caller holds ``_lock``."""
         for peer in self._peers:
             if peer.alive or not peer.breaker.allow():
                 continue
             try:
-                peer.sock = self._transport.connect(
+                sock = self._transport.connect(
                     *peer.address, retries=1, delay=0.0,
                     timeout=self.connect_timeout)
-                peer.health.reconnects += 1
-                # A successful dial is not yet a successful round-trip:
-                # the breaker stays where it is (half-open after a trip)
-                # until a reply or a pong actually comes back.
             except (ConnectionError, OSError):
                 peer.breaker.record_failure()
+                continue
+            peer.sock = sock
+            peer.channel = ReplyDemux(sock)
+            peer.health.reconnects += 1
+            # A successful dial is not yet a successful round-trip:
+            # the breaker stays where it is (half-open after a trip)
+            # until a reply or a pong actually comes back.
 
     def redeploy(self, index: int, address: tuple[str, int],
                  blob: bytes | None = None,
@@ -482,8 +560,9 @@ class TeamNetMaster:
         ack, and rewire peer ``index`` to the new node with a fresh
         circuit breaker and failure detector (the replacement must not
         inherit the corpse's open breaker).  Raises
-        :class:`WorkerFailure` if the standby is unreachable or rejects
-        the archive; the old peer state is untouched in that case.
+        :class:`WorkerFailure` if the standby is unreachable, rejects
+        the archive, or replies with garbage; the old peer state is
+        untouched in that case.
 
         The model push is metered in :attr:`redeploy_traffic`, not in
         any inference's stats.
@@ -505,17 +584,30 @@ class TeamNetMaster:
             raise WorkerFailure(
                 f"standby {address} for worker {index} is unreachable: "
                 f"{exc}") from exc
-        self._request_seq += 1
-        seq = self._request_seq
+        with self._lock:
+            self._request_seq += 1
+            seq = self._request_seq
+        # One deadline for the whole ack exchange: draining a stale frame
+        # consumes part of it instead of resetting it, so a chatty standby
+        # cannot stall redeploy past ``timeout``.
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         try:
             sock.send(protocol.encode(
                 protocol.DEPLOY, {"seq": seq},
                 {"model": np.frombuffer(blob, dtype=np.uint8)}))
             while True:
-                reply = protocol.decode(sock.recv(timeout=timeout))
+                remaining = (None if deadline is None
+                             else max(0.0, deadline - time.monotonic()))
+                reply = protocol.decode(sock.recv(timeout=remaining))
                 if reply.meta.get("seq") == seq:
                     break
-        except (ConnectionError, OSError, TimeoutError) as exc:
+        except (ConnectionError, OSError, TimeoutError,
+                protocol.ProtocolError) as exc:
+            # ProtocolError is a ValueError, not a ConnectionError: a
+            # standby replying with a malformed frame must surface as a
+            # WorkerFailure with the socket closed, not leak the socket
+            # and escape as a raw decode error.
             sock.close()
             raise WorkerFailure(
                 f"deploy to standby {address} failed: {exc}") from exc
@@ -527,30 +619,47 @@ class TeamNetMaster:
         self.redeploy_traffic.merge(sock.stats)
         sock.stats.reset()
         # Commit the rewire only after a successful ack.
-        if peer.sock is not None:
-            peer.sock.close()
-        peer.sock = sock
-        peer.address = address
-        peer.health.address = address
-        peer.health.redeployments += 1
-        peer.health.detector = SuspicionTracker(
-            alpha=self.resilience.ewma_alpha,
-            decay=self.resilience.success_decay,
-            threshold=self.resilience.suspicion_threshold)
-        peer.breaker = CircuitBreaker(
-            failure_threshold=self.resilience.failure_threshold,
-            reset_timeout=self.resilience.reset_timeout,
-            reset_timeout_max=self.resilience.reset_timeout_max)
+        with self._lock:
+            if peer.channel is not None:
+                peer.channel.close()
+            if peer.sock is not None:
+                peer.sock.close()
+            peer.sock = sock
+            peer.channel = ReplyDemux(sock)
+            peer.address = address
+            peer.health.address = address
+            peer.health.redeployments += 1
+            peer.health.detector = SuspicionTracker(
+                alpha=self.resilience.ewma_alpha,
+                decay=self.resilience.success_decay,
+                threshold=self.resilience.suspicion_threshold)
+            peer.breaker = CircuitBreaker(
+                failure_threshold=self.resilience.failure_threshold,
+                reset_timeout=self.resilience.reset_timeout,
+                reset_timeout_max=self.resilience.reset_timeout_max)
 
     # ------------------------------------------------------------- failure
-    def _fail(self, peer: _Peer, stats: TransportStats,
-              inference: InferenceStats, timed_out: bool = False,
-              hedged: bool = False) -> None:
-        """Record a worker failure: salvage its traffic counters, close its
-        socket (a late reply on a reused connection would desync the frame
-        stream), arm the breaker and bump the suspicion score."""
+    def _fail(self, peer: _Peer, inference: InferenceStats,
+              timed_out: bool = False, hedged: bool = False,
+              sink: TransportStats | None = None) -> None:
+        """Record a worker failure: salvage the stale frames its demux
+        read, close its channel and socket (a late reply on a reused
+        connection would desync the frame stream), arm the breaker and
+        bump the suspicion score.  Caller holds ``_lock``.  Stale traffic
+        is attributed to ``sink`` when given (the heartbeat ledger),
+        otherwise to ``inference``."""
+        if peer.channel is not None:
+            stale, stale_bytes = peer.channel.take_stale()
+            if sink is not None:
+                sink.messages_received += stale
+                sink.bytes_received += stale_bytes
+            else:
+                inference.stale_replies += stale
+                inference.messages_received += stale
+                inference.bytes_received += stale_bytes
+            peer.channel.close()
+            peer.channel = None
         if peer.sock is not None:
-            stats.merge(peer.sock.stats)
             peer.sock.close()
             peer.sock = None
         peer.health.failures += 1
@@ -565,7 +674,7 @@ class TeamNetMaster:
     # -------------------------------------------------------------- success
     def _record_reply(self, peer: _Peer, latency: float,
                       inference: InferenceStats) -> None:
-        """Book-keep one successful reply (caller holds the gather lock)."""
+        """Book-keep one successful reply (caller holds ``_lock``)."""
         inference.reply_latency_s[peer.index] = latency
         peer.health.replies += 1
         peer.health.last_reply_latency_s = latency
@@ -605,153 +714,124 @@ class TeamNetMaster:
             return None, set()
         return delay, suspects
 
-    # -------------------------------------------------------------- gather
-    def _gather(self, sent: list[_Peer], seq: int,
-                inference: InferenceStats
-                ) -> dict[int, ExpertOutput | Exception]:
-        """Read every pending reply concurrently under one deadline.
+    # ----------------------------------------------------------- broadcast
+    def _begin(self, x: np.ndarray,
+               segments: list[int] | None = None) -> _Pending:
+        """Step 2: broadcast ``x`` to every admissible peer.
 
-        Returns ``{worker index: ExpertOutput or Exception}``.  Suspected
-        slow peers read under the hedge delay instead of the full
-        deadline; a peer whose reader is still running at the deadline is
-        force-failed and its socket shut down to unblock the reader.
-        Frames whose echoed seq is not this inference's ``seq`` are stale
-        leftovers (duplicated or reordered deliveries) and are discarded,
-        not answered with.
+        Registers one reply slot per peer (armed with the hedge delay for
+        suspects, ``reply_timeout`` otherwise) *before* sending, so a
+        fast reply can never race past its waiter.  Returns the
+        :class:`_Pending` handle that :meth:`_finish` turns into an
+        answer; several may be in flight at once — the serving core's
+        pipeline — as long as a single thread at a time calls ``_begin``
+        (framed sends on a shared connection must not interleave).
         """
-        deadline = (None if self.reply_timeout is None
-                    else time.monotonic() + self.reply_timeout)
-        hedge_delay, hedged_set = self._hedge_plan(sent)
-        inference.hedge_delay_s = hedge_delay
+        x = np.asarray(x)
+        inference = InferenceStats()
+        with self._lock:
+            self._maybe_reconnect()
+            if not self.degrade_on_failure:
+                down = self.failed_workers
+                if down:
+                    raise WorkerFailure(f"workers {down} are down and "
+                                        "degradation is disabled")
+            self._request_seq += 1
+            seq = self._request_seq
+            meta: dict = {"seq": seq}
+            if segments is not None and len(segments) > 1:
+                meta["segments"] = [int(s) for s in segments]
+            request = protocol.encode(protocol.INFER, meta, {"x": x})
+            targets = [peer for peer in self._peers
+                       if peer.alive and peer.breaker.allow()]
+            hedge_delay, hedged_set = self._hedge_plan(targets)
+            inference.hedge_delay_s = hedge_delay
+            waits: list[tuple[_Peer, ReplySlot]] = []
+            for peer in targets:
+                allowance = (hedge_delay if peer.index in hedged_set
+                             else self.reply_timeout)
+                slot = None
+                try:
+                    slot = peer.channel.expect(seq, allowance)
+                    peer.sock.send(request)
+                except (ConnectionError, OSError) as exc:
+                    if slot is not None:
+                        slot.cancel()
+                    self._fail(peer, inference)
+                    if not self.degrade_on_failure:
+                        for _, pending_slot in waits:
+                            pending_slot.cancel()
+                        raise WorkerFailure(
+                            f"worker {peer.index} failed: {exc}") from exc
+                    continue
+                inference.messages_sent += 1
+                inference.bytes_sent += FRAME_OVERHEAD_BYTES + len(request)
+                waits.append((peer, slot))
+        return _Pending(x, seq, segments, waits, inference, hedged_set)
+
+    # -------------------------------------------------------------- gather
+    def _finish(self, pending: _Pending, local_output: ExpertOutput
+                ) -> tuple[np.ndarray, np.ndarray, InferenceStats]:
+        """Steps 4–5: collect the replies for one broadcast and select.
+
+        Waits out each peer's reply slot (the per-connection readers are
+        already collecting concurrently; slot deadlines are absolute from
+        broadcast time, so sequential waiting compounds nothing), books
+        successes and failures, then runs the arg-min gate and the
+        degradation policy.  One thread at a time may call ``_finish``,
+        but it may overlap ``_begin`` calls for later requests.
+        """
+        inference = pending.inference
+        gather_start = time.monotonic()
         results: dict[int, ExpertOutput | Exception] = {}
-        lock = threading.Lock()
-        timed_out: set[int] = set()
-
-        def read(peer: _Peer) -> None:
-            timeout = (hedge_delay if peer.index in hedged_set
-                       else self.reply_timeout)
-            read_deadline = (None if timeout is None
-                             else time.monotonic() + timeout)
+        for peer, slot in pending.waits:
             try:
-                while True:
-                    remaining = (None if read_deadline is None
-                                 else max(0.0,
-                                          read_deadline - time.monotonic()))
-                    reply = protocol.decode(peer.sock.recv(timeout=remaining))
-                    if reply.meta.get("seq") != seq:
-                        with lock:
-                            inference.stale_replies += 1
-                        continue
-                    break
-                if reply.kind != protocol.RESULT:
-                    raise WorkerFailure("worker failure: "
-                                        f"{reply.meta.get('error', reply.kind)}")
-                latency = float(getattr(peer.sock, "last_recv_latency_s", 0.0))
+                message, latency, nbytes = slot.wait()
+                inference.messages_received += 1
+                inference.bytes_received += nbytes
+                if message.kind != protocol.RESULT:
+                    raise WorkerFailure(
+                        "worker failure: "
+                        f"{message.meta.get('error', message.kind)}")
                 outcome: ExpertOutput | Exception = ExpertOutput(
-                    probs=reply.arrays["probs"],
-                    entropy=reply.arrays["entropy"])
-                with lock:
-                    if peer.index not in timed_out:
-                        results[peer.index] = outcome
-                        self._record_reply(peer, latency, inference)
-            except Exception as exc:  # noqa: BLE001 - surfaced to caller
-                with lock:
-                    results.setdefault(peer.index, exc)
-
-        threads = [threading.Thread(target=read, args=(peer,), daemon=True)
-                   for peer in sent]
-        for thread in threads:
-            thread.start()
-        for peer, thread in zip(sent, threads):
-            remaining = (None if deadline is None
-                         else max(0.0, deadline - time.monotonic()))
-            thread.join(remaining)
-            if thread.is_alive():
-                closed = False
-                with lock:
-                    if peer.index not in results:
-                        timed_out.add(peer.index)
-                        results[peer.index] = TimeoutError(
-                            f"worker {peer.index} missed the "
-                            f"{self.reply_timeout}s gather deadline")
-                    # Close under the lock, guarding against a concurrent
-                    # _fail/close() having already dropped the socket —
-                    # the bare `peer.sock.close()` here used to race into
-                    # an AttributeError on None.
-                    if peer.index in timed_out and peer.sock is not None:
-                        peer.sock.close()  # wakes the blocked reader
-                        closed = True
-                if closed:
-                    thread.join(1.0)
+                    probs=message.arrays["probs"],
+                    entropy=message.arrays["entropy"])
+                with self._lock:
+                    self._record_reply(peer, latency, inference)
+            except Exception as exc:  # noqa: BLE001 - booked as a failure
+                outcome = exc
+            results[peer.index] = outcome
+        inference.gather_s = time.monotonic() - gather_start
         hedge_missed = sorted(
-            index for index in hedged_set
+            index for index in pending.hedged_set
             if isinstance(results.get(index), TimeoutError))
         if hedge_missed:
             inference.hedged = True
             inference.hedged_workers = hedge_missed
-        return results
-
-    # --------------------------------------------------------------- infer
-    def infer(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray,
-                                            InferenceStats]:
-        """One collaborative inference over the team.
-
-        Returns (predictions, winning expert index, traffic stats).  The
-        master's own expert is index 0; workers follow in connection
-        order.  Winning indices refer to the *original* team numbering
-        even after degradation.
-        """
-        x = np.asarray(x)
-        stats = TransportStats()
-        inference = InferenceStats()
-        self._maybe_reconnect()
-        if not self.degrade_on_failure:
-            down = self.failed_workers
-            if down:
-                raise WorkerFailure(f"workers {down} are down and "
-                                    "degradation is disabled")
-        self._request_seq += 1
-        seq = self._request_seq
-        request = protocol.encode(protocol.INFER, {"seq": seq}, {"x": x})
-        # Step 2: broadcast the sensor data to every live peer whose
-        # breaker admits traffic — an open breaker means zero bytes.
-        sent = []
-        for peer in self._peers:
-            if not peer.alive or not peer.breaker.allow():
-                continue
-            try:
-                peer.sock.send(request)
-                sent.append(peer)
-            except (ConnectionError, OSError) as exc:
-                self._fail(peer, stats, inference)
-                if not self.degrade_on_failure:
-                    raise WorkerFailure(
-                        f"worker {peer.index} failed: {exc}") from exc
-        # Step 3: run the local expert while the workers compute.
-        outputs = [expert_forward(self.expert, x)]
+        outputs = [local_output]
         indices = [0]
-        # Step 4: gather (prediction, uncertainty) from every worker —
-        # concurrently, under a single per-inference deadline, hedging
-        # the suspected-slow ones.
-        gather_start = time.monotonic()
-        results = self._gather(sent, seq, inference)
-        inference.gather_s = time.monotonic() - gather_start
         first_error: tuple[_Peer, Exception] | None = None
-        for peer in sent:
-            outcome = results.get(peer.index)
-            if isinstance(outcome, ExpertOutput):
-                stats.merge(peer.sock.stats)
-                peer.sock.stats.reset()
-                outputs.append(outcome)
-                indices.append(peer.index)
-            else:
-                exc = outcome if isinstance(outcome, Exception) \
-                    else ConnectionError(f"worker {peer.index}: no reply")
-                self._fail(peer, stats, inference,
-                           timed_out=isinstance(exc, TimeoutError),
-                           hedged=peer.index in inference.hedged_workers)
-                if first_error is None:
-                    first_error = (peer, exc)
+        with self._lock:
+            for peer, _ in pending.waits:
+                outcome = results[peer.index]
+                if isinstance(outcome, ExpertOutput):
+                    outputs.append(outcome)
+                    indices.append(peer.index)
+                else:
+                    self._fail(peer, inference,
+                               timed_out=isinstance(outcome, TimeoutError),
+                               hedged=peer.index in inference.hedged_workers)
+                    if first_error is None:
+                        first_error = (peer, outcome)
+            # Stale frames the surviving demux readers absorbed during
+            # this gather: count and meter them here so the traffic
+            # ledger stays complete (failed peers were drained in _fail).
+            for peer, _ in pending.waits:
+                if peer.channel is not None:
+                    stale, stale_bytes = peer.channel.take_stale()
+                    inference.stale_replies += stale
+                    inference.messages_received += stale
+                    inference.bytes_received += stale_bytes
         if first_error is not None and not self.degrade_on_failure:
             peer, exc = first_error
             raise WorkerFailure(f"worker {peer.index} failed: {exc}") from exc
@@ -773,12 +853,30 @@ class TeamNetMaster:
         if violations and self.degradation.on_violation == "raise":
             raise QuorumError("; ".join(violations))
         inference.violations = violations
-        combined = InferenceStats.from_transport(stats)
-        for name in ("gather_s", "reply_latency_s", "failures", "hedged",
-                     "hedged_workers", "hedge_delay_s", "participants",
-                     "degraded", "violations", "stale_replies"):
-            setattr(combined, name, getattr(inference, name))
-        return preds, winner, combined
+        return preds, winner, inference
+
+    # --------------------------------------------------------------- infer
+    def infer(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                            InferenceStats]:
+        """One collaborative inference over the team.
+
+        Returns (predictions, winning expert index, traffic stats).  The
+        master's own expert is index 0; workers follow in connection
+        order.  Winning indices refer to the *original* team numbering
+        even after degradation.
+        """
+        pending = self._begin(x)
+        # Step 3: run the local expert while the workers compute.
+        local_output = expert_forward(self.expert, pending.x)
+        return self._finish(pending, local_output)
+
+    def serve(self, **kwargs):
+        """Wrap this master in a concurrent micro-batching
+        :class:`~repro.distributed.serving.TeamNetServer` (started)."""
+        from .serving import TeamNetServer  # local: avoid import cycle
+        server = TeamNetServer(self, **kwargs)
+        server.start()
+        return server
 
     # ----------------------------------------------------------- heartbeat
     def heartbeat(self, timeout: float | None = None) -> dict[int, float | None]:
@@ -791,80 +889,64 @@ class TeamNetMaster:
         without risking a full broadcast on it.  Heartbeat traffic
         accumulates in :attr:`heartbeat_traffic`, not in any inference's
         stats.
+
+        A pong that lands *after* its slot's deadline has been booked as
+        a timeout is counted stale by the demux — it can no longer
+        resurrect a peer whose socket the timeout path already closed
+        (the late-pong race the per-call probe threads used to have).
         """
         timeout = (timeout if timeout is not None
                    else self.resilience.heartbeat_timeout)
-        self._maybe_reconnect()
         scratch = InferenceStats()  # counter sink for _fail bookkeeping
-        self._request_seq += 1
-        seq = self._request_seq
-        ping = protocol.encode(protocol.PING, {"seq": seq})
         rtts: dict[int, float | None] = {p.index: None for p in self._peers}
-        sent: list[_Peer] = []
-        for peer in self._peers:
-            if not peer.alive or not peer.breaker.allow():
-                continue
+        with self._lock:
+            self._maybe_reconnect()
+            self._request_seq += 1
+            seq = self._request_seq
+            ping = protocol.encode(protocol.PING, {"seq": seq})
+            waits: list[tuple[_Peer, ReplySlot]] = []
+            for peer in self._peers:
+                if not peer.alive or not peer.breaker.allow():
+                    continue
+                slot = None
+                try:
+                    slot = peer.channel.expect(seq, timeout)
+                    peer.sock.send(ping)
+                except (ConnectionError, OSError):
+                    if slot is not None:
+                        slot.cancel()
+                    self._fail(peer, scratch, sink=self.heartbeat_traffic)
+                    continue
+                self.heartbeat_traffic.messages_sent += 1
+                self.heartbeat_traffic.bytes_sent += \
+                    FRAME_OVERHEAD_BYTES + len(ping)
+                waits.append((peer, slot))
+        for peer, slot in waits:
             try:
-                peer.sock.send(ping)
-                sent.append(peer)
-            except (ConnectionError, OSError):
-                self._fail(peer, self.heartbeat_traffic, scratch)
-        lock = threading.Lock()
-        outcomes: dict[int, float | Exception] = {}
-
-        def probe(peer: _Peer) -> None:
-            probe_deadline = (None if timeout is None
-                              else time.monotonic() + timeout)
-            try:
-                while True:
-                    remaining = (None if probe_deadline is None
-                                 else max(0.0,
-                                          probe_deadline - time.monotonic()))
-                    reply = protocol.decode(peer.sock.recv(timeout=remaining))
-                    if reply.meta.get("seq") != seq:
-                        continue  # stale frame from an earlier request
-                    break
-                if reply.kind != protocol.PONG:
+                message, latency, nbytes = slot.wait()
+                self.heartbeat_traffic.messages_received += 1
+                self.heartbeat_traffic.bytes_received += nbytes
+                if message.kind != protocol.PONG:
                     raise WorkerFailure(
                         f"worker {peer.index}: expected pong seq {seq}, "
-                        f"got {reply.kind!r} {reply.meta}")
-                rtt = float(getattr(peer.sock, "last_recv_latency_s", 0.0))
-                with lock:
-                    outcomes[peer.index] = rtt
-            except Exception as exc:  # noqa: BLE001 - surfaced below
-                with lock:
-                    outcomes.setdefault(peer.index, exc)
-
-        threads = [threading.Thread(target=probe, args=(peer,), daemon=True)
-                   for peer in sent]
-        deadline = (None if timeout is None
-                    else time.monotonic() + timeout)
-        for thread in threads:
-            thread.start()
-        for peer, thread in zip(sent, threads):
-            remaining = (None if deadline is None
-                         else max(0.0, deadline - time.monotonic()))
-            thread.join(remaining)
-            if thread.is_alive():
-                with lock:
-                    outcomes.setdefault(peer.index, TimeoutError(
-                        f"worker {peer.index} missed the heartbeat"))
-                    if peer.sock is not None:
-                        peer.sock.close()
-                thread.join(1.0)
-        for peer in sent:
-            outcome = outcomes.get(peer.index)
-            if isinstance(outcome, float):
-                self.heartbeat_traffic.merge(peer.sock.stats)
-                peer.sock.stats.reset()
-                rtts[peer.index] = outcome
-                # Pongs carry no expert compute: decay the suspicion
-                # score but leave the reply-latency EWMA untouched.
-                peer.health.detector.observe()
-                peer.breaker.record_success()
-            else:
-                self._fail(peer, self.heartbeat_traffic, scratch,
-                           timed_out=isinstance(outcome, TimeoutError))
+                        f"got {message.kind!r} {message.meta}")
+                rtts[peer.index] = latency
+                with self._lock:
+                    # Pongs carry no expert compute: decay the suspicion
+                    # score but leave the reply-latency EWMA untouched.
+                    peer.health.detector.observe()
+                    peer.breaker.record_success()
+            except Exception as exc:  # noqa: BLE001 - booked as a failure
+                with self._lock:
+                    self._fail(peer, scratch,
+                               timed_out=isinstance(exc, TimeoutError),
+                               sink=self.heartbeat_traffic)
+        with self._lock:
+            for peer, _ in waits:
+                if peer.channel is not None:
+                    stale, stale_bytes = peer.channel.take_stale()
+                    self.heartbeat_traffic.messages_received += stale
+                    self.heartbeat_traffic.bytes_received += stale_bytes
         return rtts
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -873,6 +955,9 @@ class TeamNetMaster:
 
     def close(self) -> None:
         for peer in self._peers:
+            if peer.channel is not None:
+                peer.channel.close()
+                peer.channel = None
             if peer.sock is None:
                 continue
             try:

@@ -19,12 +19,14 @@ the ``servers=K`` case.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 __all__ = ["LoadReport", "poisson_arrivals", "uniform_arrivals",
-           "simulate_queue", "sustainable_rate", "capacity_sweep"]
+           "simulate_queue", "sustainable_rate", "capacity_sweep",
+           "OpenLoopReport", "drive_open_loop"]
 
 
 def poisson_arrivals(rate: float, duration: float,
@@ -116,10 +118,13 @@ def simulate_queue(arrivals: np.ndarray, service_time, servers: int = 1,
 
     free_at = [0.0] * servers  # min-heap of server-free times
     heapq.heapify(free_at)
-    # Track queued-but-not-started completion estimate for drops: a request
-    # is dropped if the number of requests that will still be waiting at
-    # its arrival exceeds the capacity.
-    pending_starts: list[float] = []   # service-start times of admitted reqs
+    # Min-heap of service-start times of admitted-but-not-yet-started
+    # requests: a request is dropped if the number still waiting at its
+    # arrival exceeds the capacity.  Arrivals are sorted, so entries with
+    # ``start <= arrival`` have started for every later arrival too and
+    # can be popped for good — the check stays O(log n) per arrival
+    # instead of rescanning the whole history (O(n²) over a long run).
+    pending_starts: list[float] = []
     sojourn, waiting = [], []
     dropped = 0
     busy = 0.0
@@ -127,8 +132,9 @@ def simulate_queue(arrivals: np.ndarray, service_time, servers: int = 1,
         earliest_free = heapq.heappop(free_at)
         start = max(arrival, earliest_free)
         if queue_capacity is not None:
-            waiting_now = sum(1 for s in pending_starts if s > arrival)
-            if waiting_now > queue_capacity:
+            while pending_starts and pending_starts[0] <= arrival:
+                heapq.heappop(pending_starts)
+            if len(pending_starts) > queue_capacity:
                 dropped += 1
                 heapq.heappush(free_at, earliest_free)
                 continue
@@ -137,7 +143,8 @@ def simulate_queue(arrivals: np.ndarray, service_time, servers: int = 1,
             raise ValueError("service_time must be positive")
         finish = start + service
         heapq.heappush(free_at, finish)
-        pending_starts.append(start)
+        if queue_capacity is not None:
+            heapq.heappush(pending_starts, start)
         sojourn.append(finish - arrival)
         waiting.append(start - arrival)
         busy += service
@@ -148,6 +155,93 @@ def simulate_queue(arrivals: np.ndarray, service_time, servers: int = 1,
                       waiting_times=np.asarray(waiting),
                       served=len(sojourn), dropped=dropped,
                       duration=duration, busy_time=busy, servers=servers)
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome of one *real-request* open-loop run (:func:`drive_open_loop`)."""
+
+    latencies_s: np.ndarray       # submit-to-completion per served request
+    served: int
+    rejected: int                 # submit refused (queue full / closed)
+    failed: int                   # submitted but errored or timed out
+    duration_s: float
+
+    @property
+    def rps(self) -> float:
+        """Served requests per second of wall clock."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.served / self.duration_s
+
+    def percentile(self, q: float) -> float:
+        if len(self.latencies_s) == 0:
+            return float("nan")
+        return float(np.percentile(self.latencies_s, q))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (the serving bench's trajectory rows)."""
+        return {
+            "served": self.served,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "duration_s": self.duration_s,
+            "rps": self.rps,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+def drive_open_loop(submit, arrivals: np.ndarray, inputs,
+                    result_timeout: float = 30.0) -> OpenLoopReport:
+    """Replay an arrival schedule against a live serving endpoint.
+
+    Unlike :func:`simulate_queue` (analytic service times), this drives
+    *real requests*: at each (relative) time in ``arrivals`` the matching
+    entry of ``inputs`` is handed to ``submit``.  Open-loop means the
+    schedule never slows down for a backed-up server — exactly the regime
+    where queueing delay shows up in the percentiles.
+
+    ``submit`` is either asynchronous — returns a future with a
+    ``result(timeout)`` method, e.g. ``TeamNetServer.submit`` — or a
+    plain synchronous callable, in which case each request's latency is
+    its call duration (the back-to-back baseline).  A ``submit`` that
+    raises counts as rejected; a future that raises counts as failed.
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    t0 = time.monotonic()
+    outstanding: list[tuple[float, object]] = []
+    latencies: list[float] = []
+    rejected = 0
+    failed = 0
+    for arrival, x in zip(arrivals, inputs):
+        lag = arrival - (time.monotonic() - t0)
+        if lag > 0:
+            time.sleep(lag)
+        sent = time.monotonic()
+        try:
+            handle = submit(x)
+        except Exception:  # noqa: BLE001 - overload/shutdown counts, not dies
+            rejected += 1
+            continue
+        if hasattr(handle, "result"):
+            outstanding.append((sent, handle))
+        else:
+            latencies.append(time.monotonic() - sent)
+    for sent, future in outstanding:
+        try:
+            future.result(timeout=result_timeout)
+        except Exception:  # noqa: BLE001 - booked as a failure
+            failed += 1
+            continue
+        done = getattr(future, "done_at", None)
+        latencies.append((done if done is not None
+                          else time.monotonic()) - sent)
+    duration = time.monotonic() - t0
+    return OpenLoopReport(latencies_s=np.asarray(latencies),
+                          served=len(latencies), rejected=rejected,
+                          failed=failed, duration_s=duration)
 
 
 def sustainable_rate(service_time_s: float, servers: int = 1) -> float:

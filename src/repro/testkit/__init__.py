@@ -41,7 +41,8 @@ from .cluster import SimCluster
 from .crash import (CrashInjector, SimulatedCrash, crash_resume_round,
                     crash_resume_soak, tear_file, training_fingerprint)
 from .differential import (DifferentialMismatch, differential_sweep,
-                           run_differential_case)
+                           run_differential_case,
+                           run_serving_differential_case)
 from .faults import FaultSchedule, LinkFaults
 from .guards import forbid_sockets
 from .sim_transport import SimNetwork, SimTransport
@@ -50,6 +51,7 @@ __all__ = [
     "SimClock", "SimCluster", "SimNetwork", "SimTransport",
     "FaultSchedule", "LinkFaults", "forbid_sockets",
     "DifferentialMismatch", "run_differential_case", "differential_sweep",
+    "run_serving_differential_case",
     "SimulatedCrash", "CrashInjector", "tear_file", "training_fingerprint",
     "crash_resume_round", "crash_resume_soak",
 ]

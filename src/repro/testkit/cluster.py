@@ -77,6 +77,12 @@ class SimCluster:
         """Run one master heartbeat round; see ``TeamNetMaster.heartbeat``."""
         return self.master.heartbeat(timeout=timeout)
 
+    def serve(self, **kwargs):
+        """A started :class:`~repro.distributed.serving.TeamNetServer`
+        over this cluster's master — the concurrent submit/micro-batch
+        path on the simulated fabric.  Close it before the cluster."""
+        return self.master.serve(**kwargs)
+
     @property
     def clock(self):
         return self.network.clock

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.inference import TeamInference, argmin_select
+from ..distributed.serving import TeamNetServer
 from ..nn import Module
 from . import strategies
 from .cluster import SimCluster
@@ -38,7 +39,8 @@ from .guards import forbid_sockets
 from .sim_transport import SimNetwork
 
 __all__ = ["DifferentialMismatch", "CaseReport", "run_differential_case",
-           "differential_sweep", "replay", "DEFAULT_REPRO_DIR"]
+           "run_serving_differential_case", "differential_sweep", "replay",
+           "DEFAULT_REPRO_DIR"]
 
 DEFAULT_REPRO_DIR = ".testkit-repro"
 
@@ -122,6 +124,45 @@ def run_differential_case(experts: list[Module], x: np.ndarray,
     _assert_identical("winner indices", winner, ref_winner)
     return CaseReport(participants=participants, failures=stats.failures,
                       connections=connections)
+
+
+def run_serving_differential_case(experts: list[Module],
+                                  requests: list[np.ndarray],
+                                  max_batch: int = 8,
+                                  reply_timeout: float | None = 1.0,
+                                  coalesce: str = "exact") -> int:
+    """Serve ``requests`` through a coalescing :class:`TeamNetServer` and
+    assert every answer is byte-identical to a sequential
+    ``master.infer`` of the same request on a fresh cluster.
+
+    The requests are queued *before* the server starts, so the first
+    dispatch deterministically coalesces ``min(len(requests),
+    max_batch)`` of them into one broadcast — the comparison genuinely
+    exercises the micro-batched wire path, not a degenerate
+    one-request-per-batch run.  Returns the number of batches used.
+    """
+    requests = [np.asarray(x) for x in requests]
+    with SimCluster(experts, degrade_on_failure=True,
+                    reply_timeout=reply_timeout) as cluster:
+        server = TeamNetServer(cluster.master, max_batch=max_batch,
+                               coalesce=coalesce)
+        futures = [server.submit(x) for x in requests]
+        server.start()
+        try:
+            served = [future.result(timeout=30.0) for future in futures]
+            batches = server.stats().batches
+        finally:
+            server.close()
+    with SimCluster(experts, degrade_on_failure=True,
+                    reply_timeout=reply_timeout) as cluster:
+        sequential = [cluster.master.infer(x) for x in requests]
+    for i, ((got_preds, got_winner, _), (want_preds, want_winner, _)) \
+            in enumerate(zip(served, sequential)):
+        _assert_identical(f"request {i} predictions",
+                          got_preds, want_preds)
+        _assert_identical(f"request {i} winner indices",
+                          got_winner, want_winner)
+    return batches
 
 
 def _case_inputs(seed: int, index: int

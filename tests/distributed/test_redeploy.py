@@ -9,9 +9,13 @@ with the wrong (random) weights, and require the restored team's
 predictions to be byte-identical to the pre-kill ones.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
+from repro.comm import protocol
 from repro.core import TeamNetTrainer, TrainerConfig
 from repro.data import synthetic_mnist
 from repro.distributed import ResilienceConfig
@@ -152,6 +156,97 @@ class TestRedeploy:
                 cluster.master.redeploy(0, ("sim", 60000), blob=b"x")
             with pytest.raises(IndexError):
                 cluster.master.redeploy(9, ("sim", 60000), blob=b"x")
+
+
+class _DrainRecorderEndpoint:
+    """A fake standby connection that answers every recv with a stale
+    (wrong-seq) ack and records the timeout each recv was given — the
+    probe for the one-deadline drain (the old code reset the full
+    timeout per discarded frame, so a chatty standby stalled redeploy
+    forever)."""
+
+    def __init__(self):
+        self.timeouts = []
+        self.closed = False
+
+    def send(self, payload):
+        pass
+
+    def recv(self, timeout=None):
+        self.timeouts.append(timeout)
+        if timeout is not None and timeout <= 0.01:
+            raise TimeoutError("deadline exhausted")
+        time.sleep(0.03)
+        return protocol.encode(protocol.DEPLOYED, {"seq": -1})
+
+    def close(self):
+        self.closed = True
+
+
+class TestRedeployReplyHandling:
+    """Regressions: a misbehaving standby must cost a WorkerFailure and
+    a closed socket — never a leaked socket, a raw decode error, or an
+    unbounded stall."""
+
+    def test_garbage_reply_is_workerfailure_not_valueerror(self, trained):
+        trainer, _ = trained
+        x = np.random.default_rng(SEED).standard_normal((2, IN_DIM))
+        with forbid_sockets(), SimCluster(trainer.experts) as cluster:
+            baseline = cluster.predict(x)
+            listener = cluster.network.listen("sim", 0)
+            accepted = []
+
+            def garbage_standby():
+                conn = listener.accept(timeout=2.0)
+                accepted.append(conn)
+                conn.recv(timeout=2.0)  # the DEPLOY push
+                conn.send(b"definitely not a protocol frame")
+
+            thread = threading.Thread(target=garbage_standby, daemon=True)
+            thread.start()
+            try:
+                # Old code: protocol.decode's ProtocolError (a ValueError)
+                # escaped raw and the connection leaked.
+                with pytest.raises(WorkerFailure, match="deploy to standby"):
+                    cluster.master.redeploy(1, ("sim", listener.port),
+                                            blob=b"junk", timeout=2.0)
+            finally:
+                thread.join(timeout=5.0)
+            assert accepted and accepted[0]._peer_closed  # socket closed
+            snapshot = cluster.master.resilience_snapshot()
+            assert snapshot[1].redeployments == 0
+            assert cluster.predict(x).tobytes() == baseline.tobytes()
+
+    def test_stale_frame_drain_shares_one_deadline(self, trained):
+        trainer, _ = trained
+        with forbid_sockets(), SimCluster(trainer.experts) as cluster:
+            recorder = _DrainRecorderEndpoint()
+            cluster.master._transport = _OneShotTransport(recorder)
+            start = time.monotonic()
+            with pytest.raises(WorkerFailure, match="deploy to standby"):
+                cluster.master.redeploy(1, ("sim", 59999), blob=b"junk",
+                                        timeout=0.15)
+            elapsed = time.monotonic() - start
+            assert recorder.closed
+            # The whole exchange fits one deadline (plus scheduling
+            # slack), no matter how many stale frames were drained.
+            assert elapsed < 1.0
+            assert len(recorder.timeouts) >= 2
+            # Each drained frame consumed part of the budget instead of
+            # resetting it.
+            assert recorder.timeouts[-1] < recorder.timeouts[0]
+            assert all(later <= earlier for earlier, later in
+                       zip(recorder.timeouts, recorder.timeouts[1:]))
+
+
+class _OneShotTransport:
+    """connect() hands back one prebuilt fake endpoint."""
+
+    def __init__(self, endpoint):
+        self.endpoint = endpoint
+
+    def connect(self, host, port, **kwargs):
+        return self.endpoint
 
 
 class TestWorkerStoreReload:

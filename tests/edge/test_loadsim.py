@@ -120,3 +120,62 @@ class TestCapacityAnalysis:
             4, RASPBERRY_PI_3B, WIFI)
         assert (sustainable_rate(team.latency_s)
                 > 2 * sustainable_rate(base.latency_s))
+
+
+def _naive_simulate(arrivals, service_time, servers=1, queue_capacity=None):
+    """Executable spec for the bounded-queue drop rule: count the
+    admitted requests still waiting at each arrival by scanning the full
+    start-time history (the pre-heap O(n^2) bookkeeping, kept here as
+    the reference the production heap must match exactly)."""
+    import heapq
+    free_at = [0.0] * servers
+    heapq.heapify(free_at)
+    starts = []
+    sojourn, dropped = [], 0
+    for arrival in np.sort(np.asarray(arrivals, dtype=float)):
+        earliest = heapq.heappop(free_at)
+        start = max(arrival, earliest)
+        if queue_capacity is not None:
+            still_waiting = sum(1 for s in starts if s > arrival)
+            if still_waiting > queue_capacity:
+                dropped += 1
+                heapq.heappush(free_at, earliest)
+                continue
+        finish = start + service_time
+        heapq.heappush(free_at, finish)
+        starts.append(start)
+        sojourn.append(finish - arrival)
+    return sojourn, dropped
+
+
+class TestBoundedQueueBookkeeping:
+    """Regression: ``pending_starts`` was never pruned, so the drop check
+    rescanned every admitted request ever — O(n^2) over a long run."""
+
+    @pytest.mark.parametrize("servers,capacity", [(1, 0), (1, 1), (1, 3),
+                                                  (2, 2)])
+    def test_heap_matches_naive_reference(self, servers, capacity):
+        rng = np.random.default_rng(2024 + servers * 10 + capacity)
+        # Near-capacity Poisson load so the queue genuinely oscillates
+        # between empty, full, and dropping.
+        arrivals = poisson_arrivals(9.0, 40.0, rng)
+        report = simulate_queue(arrivals, 0.11, servers=servers,
+                                queue_capacity=capacity)
+        ref_sojourn, ref_dropped = _naive_simulate(
+            arrivals, 0.11, servers=servers, queue_capacity=capacity)
+        assert report.dropped == ref_dropped
+        assert report.served == len(ref_sojourn)
+        np.testing.assert_allclose(report.sojourn_times, ref_sojourn)
+        assert report.dropped > 0  # the case actually exercised drops
+
+    def test_long_overloaded_run_stays_fast(self):
+        import time
+        # 200k arrivals at 2x capacity with a tiny queue: the old
+        # unpruned scan is quadratic here (minutes); the heap finishes
+        # in well under a second of simulator time.
+        arrivals = uniform_arrivals(200.0, 1000.0)
+        start = time.monotonic()
+        report = simulate_queue(arrivals, 0.01, queue_capacity=5)
+        assert time.monotonic() - start < 5.0
+        assert report.dropped > 0
+        assert report.served + report.dropped == len(arrivals)
