@@ -19,6 +19,13 @@
 #       per offered rate); asserts >= 5x the synchronous request rate at
 #       bounded p95 and writes the rps/latency trajectory to
 #       BENCH_throughput.json (path override: SERVE_BENCH_JSON).
+#   scripts/ci.sh --fastpath                 # compiled fast-path gate:
+#       the executor/int8 differential suites for each seed in
+#       TESTKIT_SEEDS (default "0 1 2"; failing cases leave repro JSONs
+#       in TESTKIT_REPRO_DIR), then the single-expert throughput bench,
+#       asserting >= 3x compiled and int8 speedup over the tape and
+#       writing the trajectory + per-op tables to BENCH_fastpath.json
+#       (path override: FASTPATH_BENCH_JSON).
 #   scripts/ci.sh --crash                    # durability soak: seeded
 #       kill-during-checkpoint / torn-file / bit-exact-resume rounds, one
 #       soak per seed in CRASH_SEEDS (default "0 1 2 3"), CRASH_ROUNDS
@@ -69,6 +76,26 @@ if [[ "${1:-}" == "--serve" ]]; then
     # the benchmarks tree; the outer timeout is the hang backstop here.
     timeout --signal=INT "$SUITE_TIMEOUT" \
         python -m pytest -x -q -s benchmarks/test_bench_serving.py \
+        -p no:cacheprovider "$@"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--fastpath" ]]; then
+    shift
+    export TESTKIT_REPRO_DIR="${TESTKIT_REPRO_DIR:-.testkit-repro}"
+    for seed in ${TESTKIT_SEEDS:-0 1 2}; do
+        echo "=== fast-path differential: TESTKIT_SEED=$seed ==="
+        TESTKIT_SEED="$seed" \
+            timeout --signal=INT "$SUITE_TIMEOUT" \
+            python -m pytest -x -q \
+            tests/nn/test_executor_differential.py \
+            tests/testkit/test_serving_differential.py \
+            --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
+    done
+    export FASTPATH_BENCH_JSON="${FASTPATH_BENCH_JSON:-BENCH_fastpath.json}"
+    echo "=== fast-path bench: >= 3x compiled/int8 over tape ==="
+    timeout --signal=INT "$SUITE_TIMEOUT" \
+        python -m pytest -x -q -s benchmarks/test_bench_fastpath.py \
         -p no:cacheprovider "$@"
     exit 0
 fi

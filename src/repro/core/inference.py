@@ -9,16 +9,62 @@ can be detrimental"), and our ablation bench quantifies that.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..nn import Module, Tensor, no_grad
 from ..nn import functional as F
+from ..nn.executor import compile_expert
 from .entropy import predictive_entropy
 
 __all__ = ["ExpertOutput", "argmin_select", "majority_vote",
-           "expert_forward", "expert_forward_segments", "TeamInference"]
+           "expert_forward", "expert_forward_segments", "TeamInference",
+           "ENGINES", "validate_engine", "compiled_expert_for"]
+
+#: Inference engines selectable throughout the serving stack.
+#: ``tape``          — the autograd forward (reference semantics).
+#: ``compiled``      — traced flat-op executor, float weights
+#:                     (byte-identical for linear/relu networks,
+#:                     tolerance-equivalent once conv+bn folding kicks in).
+#: ``compiled-int8`` — compiled executor with int8 weights and
+#:                     dequantize-on-accumulate kernels (tolerance only).
+ENGINES = ("tape", "compiled", "compiled-int8")
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of "
+                         f"{ENGINES}")
+    return engine
+
+
+# Compiled executors per expert module, keyed by input signature.  A
+# WeakKeyDictionary so redeploying (swapping the module object) drops the
+# stale program with the old weights.
+_COMPILED: "weakref.WeakKeyDictionary[Module, dict]" = \
+    weakref.WeakKeyDictionary()
+_COMPILED_LOCK = threading.Lock()
+
+
+def compiled_expert_for(expert: Module, x: np.ndarray,
+                        quantize: bool = False):
+    """Fetch (or lazily build) the compiled executor for ``expert`` at
+    the input signature of ``x`` (feature shape + dtype; batch is free)."""
+    key = (x.shape[1:], x.dtype.str, bool(quantize))
+    with _COMPILED_LOCK:
+        per_expert = _COMPILED.get(expert)
+        if per_expert is None:
+            per_expert = {}
+            _COMPILED[expert] = per_expert
+        compiled = per_expert.get(key)
+    if compiled is None:
+        compiled = compile_expert(expert, x, quantize=quantize)
+        with _COMPILED_LOCK:
+            per_expert[key] = compiled
+    return compiled
 
 
 @dataclass
@@ -33,8 +79,25 @@ class ExpertOutput:
         return self.probs.argmax(axis=1)
 
 
-def expert_forward(expert: Module, x: np.ndarray) -> ExpertOutput:
-    """Run one expert in eval mode and compute (probs, entropy)."""
+def expert_forward(expert: Module, x: np.ndarray,
+                   engine: str = "tape") -> ExpertOutput:
+    """Run one expert in eval mode and compute (probs, entropy).
+
+    ``engine`` selects the forward implementation (see :data:`ENGINES`).
+    The compiled engines compute softmax/entropy with the exact numpy
+    expressions the tape ops use, so for networks the executor replays
+    byte-identically the whole ``ExpertOutput`` is byte-identical too.
+    """
+    if engine != "tape":
+        validate_engine(engine)
+        x = np.asarray(x)
+        compiled = compiled_expert_for(expert, x,
+                                       quantize=(engine == "compiled-int8"))
+        logits = compiled.run(x)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=-1, keepdims=True)
+        return ExpertOutput(probs=probs, entropy=predictive_entropy(logits))
     was_training = expert.training
     expert.eval()
     with no_grad():
@@ -46,7 +109,8 @@ def expert_forward(expert: Module, x: np.ndarray) -> ExpertOutput:
 
 
 def expert_forward_segments(expert: Module, x: np.ndarray,
-                            segments: list[int] | None) -> ExpertOutput:
+                            segments: list[int] | None,
+                            engine: str = "tape") -> ExpertOutput:
     """Run a coalesced batch whose rows belong to ``segments`` requests.
 
     ``segments`` lists the per-request row counts, in order, summing to
@@ -62,13 +126,14 @@ def expert_forward_segments(expert: Module, x: np.ndarray,
     """
     x = np.asarray(x)
     if segments is None or len(segments) <= 1:
-        return expert_forward(expert, x)
+        return expert_forward(expert, x, engine=engine)
     if sum(segments) != len(x):
         raise ValueError(f"segments {segments} do not cover {len(x)} rows")
     outputs = []
     offset = 0
     for rows in segments:
-        outputs.append(expert_forward(expert, x[offset:offset + rows]))
+        outputs.append(expert_forward(expert, x[offset:offset + rows],
+                                      engine=engine))
         offset += rows
     return ExpertOutput(
         probs=np.concatenate([o.probs for o in outputs], axis=0),
@@ -116,13 +181,15 @@ class TeamInference:
     byte-identical selections (asserted in the integration tests).
     """
 
-    def __init__(self, experts: list[Module]):
+    def __init__(self, experts: list[Module], engine: str = "tape"):
         if not experts:
             raise ValueError("need at least one expert")
         self.experts = experts
+        self.engine = validate_engine(engine)
 
     def forward_all(self, x: np.ndarray) -> list[ExpertOutput]:
-        return [expert_forward(e, x) for e in self.experts]
+        return [expert_forward(e, x, engine=self.engine)
+                for e in self.experts]
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         preds, _ = argmin_select(self.forward_all(x))

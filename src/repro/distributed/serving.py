@@ -288,10 +288,12 @@ class TeamNetServer:
                 if self.coalesce == "exact":
                     pending = self.master._begin(batch_x, segments=segments)
                     local = expert_forward_segments(self.master.expert,
-                                                    batch_x, segments)
+                                                    batch_x, segments,
+                                                    engine=self.master.engine)
                 else:
                     pending = self.master._begin(batch_x)
-                    local = expert_forward(self.master.expert, batch_x)
+                    local = expert_forward(self.master.expert, batch_x,
+                                           engine=self.master.engine)
             except Exception as exc:  # noqa: BLE001 - delivered via futures
                 for request in batch:
                     request.future._reject(exc)

@@ -51,7 +51,7 @@ from ..comm.base import Transport
 from ..comm.demux import FRAME_OVERHEAD_BYTES, ReplyDemux, ReplySlot
 from ..comm.transport import (MeteredSocket, TcpTransport, TransportStats)
 from ..core.inference import (ExpertOutput, argmin_select, expert_forward,
-                              expert_forward_segments)
+                              expert_forward_segments, validate_engine)
 from ..nn import CorruptModelError, Module, model_from_bytes
 from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
                          PeerResilience, QuorumError, ResilienceConfig,
@@ -208,8 +208,10 @@ class ExpertWorker:
 
     def __init__(self, expert: Module, host: str = "127.0.0.1", port: int = 0,
                  transport: Transport | None = None,
-                 store=None, expert_index: int | None = None):
+                 store=None, expert_index: int | None = None,
+                 engine: str = "tape"):
         self.expert = expert
+        self.engine = validate_engine(engine)
         self._host = host
         self._store = store
         self._expert_index = expert_index
@@ -351,7 +353,8 @@ class ExpertWorker:
                             # expert_forward_segments).
                             output = expert_forward_segments(
                                 self.expert, msg.arrays["x"],
-                                msg.meta.get("segments"))
+                                msg.meta.get("segments"),
+                                engine=self.engine)
                         except Exception as exc:  # noqa: BLE001 - reply, don't die
                             # A bad input (wrong shape, missing array) must
                             # cost the sender an error reply, not this serve
@@ -447,8 +450,9 @@ class TeamNetMaster:
                  transport: Transport | None = None,
                  resilience: ResilienceConfig | None = None,
                  degradation: DegradationPolicy | None = None,
-                 store=None):
+                 store=None, engine: str = "tape"):
         self.expert = expert
+        self.engine = validate_engine(engine)
         self.store = store
         self.degrade_on_failure = degrade_on_failure
         self.reply_timeout = reply_timeout
@@ -867,7 +871,8 @@ class TeamNetMaster:
         """
         pending = self._begin(x)
         # Step 3: run the local expert while the workers compute.
-        local_output = expert_forward(self.expert, pending.x)
+        local_output = expert_forward(self.expert, pending.x,
+                                      engine=self.engine)
         return self._finish(pending, local_output)
 
     def serve(self, **kwargs):
@@ -974,7 +979,8 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
                       reconnect_backoff_max: float = 5.0,
                       transport: Transport | None = None, host: str = "127.0.0.1",
                       resilience: ResilienceConfig | None = None,
-                      degradation: DegradationPolicy | None = None
+                      degradation: DegradationPolicy | None = None,
+                      engine: str = "tape"
                       ) -> tuple[TeamNetMaster, list[ExpertWorker]]:
     """Deploy expert 0 as master and the rest as localhost workers.
 
@@ -989,7 +995,8 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
         raise ValueError("a team needs >= 2 experts")
     workers = []
     for expert in experts[1:]:
-        worker = ExpertWorker(expert, host=host, transport=transport)
+        worker = ExpertWorker(expert, host=host, transport=transport,
+                              engine=engine)
         worker.start()
         workers.append(worker)
     master = TeamNetMaster(experts[0], [w.address for w in workers],
@@ -999,5 +1006,6 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
                            reconnect_backoff_max=reconnect_backoff_max,
                            transport=transport,
                            resilience=resilience,
-                           degradation=degradation)
+                           degradation=degradation,
+                           engine=engine)
     return master, workers

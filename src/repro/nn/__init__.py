@@ -7,6 +7,7 @@ Shake-Shake CNNs).  See DESIGN.md for why this replaces TensorFlow.
 
 from . import functional, profiler, quantize
 from .autograd import no_grad
+from .executor import CompiledExpert, TraceError, compile_expert
 from .layers import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout,
                      Flatten, GlobalAvgPool2d, Identity, LayerNorm, Linear,
                      MaxPool2d, Module, Parameter, ReLU, Sequential, Sigmoid,
@@ -31,4 +32,5 @@ __all__ = [
     "ArchitectureSpec", "mlp_spec", "shake_shake_spec", "downsize",
     "build_model", "save_model", "load_model", "model_to_bytes",
     "model_from_bytes", "CorruptModelError",
+    "compile_expert", "CompiledExpert", "TraceError",
 ]

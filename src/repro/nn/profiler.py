@@ -13,6 +13,7 @@ actually take longer) and to find engine hot spots.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from dataclasses import dataclass
@@ -20,7 +21,18 @@ from dataclasses import dataclass
 from . import autograd
 from .autograd import Function
 
-__all__ = ["OpProfiler", "OpStats"]
+__all__ = ["OpProfiler", "OpStats", "active_profiler"]
+
+# Stack of entered profilers.  The compiled executor bypasses
+# ``Function.apply`` entirely, so patching it is not enough: executor
+# kernels look up the innermost active profiler here and report timings
+# via :meth:`OpProfiler.record_forward`.
+_ACTIVE: list["OpProfiler"] = []
+
+
+def active_profiler() -> "OpProfiler | None":
+    """The innermost entered :class:`OpProfiler`, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
 
 
 @dataclass
@@ -43,6 +55,15 @@ class OpProfiler:
         self.stats: dict[str, OpStats] = defaultdict(OpStats)
         self._original_apply = None
         self._original_backward = None
+        self._lock = threading.Lock()
+
+    def record_forward(self, name: str, seconds: float) -> None:
+        """Attribute forward time to ``name`` (executor kernels report
+        here; worker threads may call concurrently)."""
+        with self._lock:
+            entry = self.stats[name]
+            entry.calls += 1
+            entry.forward_s += seconds
 
     # --------------------------------------------------------------- wiring
     def __enter__(self):
@@ -76,10 +97,13 @@ class OpProfiler:
             return out
 
         Function.apply = classmethod(timed_apply)
+        _ACTIVE.append(self)
         return self
 
     def __exit__(self, exc_type, exc, tb):
         Function.apply = self._original_apply
+        if self in _ACTIVE:
+            _ACTIVE.remove(self)
         return False
 
     # --------------------------------------------------------------- output

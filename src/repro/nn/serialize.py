@@ -52,8 +52,12 @@ def _normalized(path: str | Path) -> Path:
     return path
 
 
-def _pack(model: Module, spec: ArchitectureSpec) -> dict[str, np.ndarray]:
+def _pack(model: Module, spec: ArchitectureSpec,
+          quantize: bool = False) -> dict[str, np.ndarray]:
     payload = dict(model.state_dict())
+    if quantize:
+        from .quantize import quantize_state_dict
+        payload = quantize_state_dict(payload)
     spec_json = json.dumps(asdict(spec))
     payload[_SPEC_KEY] = np.frombuffer(spec_json.encode("utf-8"), dtype=np.uint8)
     return payload
@@ -90,6 +94,16 @@ def _unpack(archive) -> tuple[Module, ArchitectureSpec]:
     except (zipfile.BadZipFile, zlib.error, EOFError, ValueError) as exc:
         raise CorruptModelError(
             f"model archive state entries are corrupt: {exc}") from exc
+    if any(k.endswith(".q8") for k in state):
+        # Quantized archive (save_model/model_to_bytes with quantize=True):
+        # weights travel as int8 codes + per-channel scales and are
+        # rebuilt to float transparently here.
+        from .quantize import dequantize_state_dict
+        try:
+            state = dequantize_state_dict(state)
+        except (KeyError, ValueError) as exc:
+            raise CorruptModelError(
+                f"quantized model archive is inconsistent: {exc}") from exc
     try:
         model.load_state_dict(state)
     except (KeyError, ValueError) as exc:
@@ -99,15 +113,19 @@ def _unpack(archive) -> tuple[Module, ArchitectureSpec]:
     return model, spec
 
 
-def save_model(model: Module, spec: ArchitectureSpec, path: str | Path) -> None:
+def save_model(model: Module, spec: ArchitectureSpec, path: str | Path,
+               quantize: bool = False) -> None:
     """Write model weights + architecture spec to ``path`` (.npz).
 
     The suffix is normalized (``np.savez`` would otherwise append it
     behind the caller's back) and the write is atomic: a crash mid-save
-    leaves the previous file intact, never a torn archive.
+    leaves the previous file intact, never a torn archive.  With
+    ``quantize=True`` weight matrices are stored as int8 + scales (~4x
+    smaller, lossy); :func:`load_model` rebuilds floats transparently.
     """
     from ..store.artifact import atomic_write_bytes  # avoids import cycle
-    atomic_write_bytes(_normalized(path), model_to_bytes(model, spec))
+    atomic_write_bytes(_normalized(path),
+                       model_to_bytes(model, spec, quantize=quantize))
 
 
 def load_model(path: str | Path) -> tuple[Module, ArchitectureSpec]:
@@ -116,10 +134,17 @@ def load_model(path: str | Path) -> tuple[Module, ArchitectureSpec]:
         return _unpack(archive)
 
 
-def model_to_bytes(model: Module, spec: ArchitectureSpec) -> bytes:
-    """Serialize a model to bytes (for sending over a transport)."""
+def model_to_bytes(model: Module, spec: ArchitectureSpec,
+                   quantize: bool = False) -> bytes:
+    """Serialize a model to bytes (for sending over a transport).
+
+    ``quantize=True`` ships weight matrices as int8 codes + per-channel
+    scales: DEPLOY blobs and checkpoints shrink ~4x at the cost of one
+    quantization rounding (the receiver sees the dequantized weights, the
+    same floats :func:`repro.nn.quantize.quantize_model` would leave).
+    """
     buf = io.BytesIO()
-    np.savez(buf, **_pack(model, spec))
+    np.savez(buf, **_pack(model, spec, quantize=quantize))
     return buf.getvalue()
 
 

@@ -149,15 +149,19 @@ class CheckpointStore:
 
     # --------------------------------------------------------------- save
     def save(self, trainer, spec: ArchitectureSpec,
-             meta: dict | None = None) -> int:
+             meta: dict | None = None, quantize_experts: bool = False) -> int:
         """Snapshot ``trainer`` as a new generation; returns its id.
 
         Only *reads* trainer state (no RNG draws), so saving never
-        perturbs the training trajectory.
+        perturbs the training trajectory.  ``quantize_experts`` stores
+        expert archives as int8 (~4x smaller); it defaults to off because
+        quantization is lossy and bit-exact training resume depends on
+        float archives.
         """
         entries: dict[str, bytes] = {}
         for i, expert in enumerate(trainer.experts):
-            entries[expert_entry_name(i)] = model_to_bytes(expert, spec)
+            entries[expert_entry_name(i)] = model_to_bytes(
+                expert, spec, quantize=quantize_experts)
         for i, optimizer in enumerate(trainer.optimizers):
             entries[f"optim_{i}.npz"] = _arrays_to_bytes(
                 _indexed(optimizer._velocity, "velocity_"))

@@ -41,7 +41,7 @@ class SimCluster:
                  reply_timeout: float | None = 1.0,
                  reconnect_backoff: float = 0.0,
                  resilience=None, degradation=None,
-                 host: str = "sim"):
+                 host: str = "sim", engine: str = "tape"):
         if len(experts) < 2:
             raise ValueError("a team needs >= 2 experts")
         self.experts = list(experts)
@@ -51,7 +51,8 @@ class SimCluster:
         try:
             for expert in self.experts[1:]:
                 worker = ExpertWorker(expert, host=host,
-                                      transport=self.network.transport)
+                                      transport=self.network.transport,
+                                      engine=engine)
                 worker.start()
                 self.workers.append(worker)
             self.master = TeamNetMaster(
@@ -60,7 +61,8 @@ class SimCluster:
                 reply_timeout=reply_timeout,
                 reconnect_backoff=reconnect_backoff,
                 transport=self.network.transport,
-                resilience=resilience, degradation=degradation)
+                resilience=resilience, degradation=degradation,
+                engine=engine)
         except BaseException:
             self.close()
             raise

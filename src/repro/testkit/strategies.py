@@ -19,14 +19,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import MLP, Module
+from ..nn import (MLP, BatchNorm2d, Conv2d, Flatten, LayerNorm, Linear,
+                  Module, ReLU, Sequential, Tensor, no_grad)
 from .faults import REPLY, REQUEST, FaultSchedule, LinkFaults
 
 __all__ = [
     "rng_from", "batch_size", "num_classes", "feature_dim", "float_dtype",
     "array", "logits", "prob_rows", "temperature", "entropy_matrix",
     "linear_case", "conv_case", "array_spec", "link_faults",
-    "fault_schedule", "expert_team",
+    "fault_schedule", "expert_team", "executor_case",
 ]
 
 
@@ -183,6 +184,60 @@ def fault_schedule(rng: np.random.Generator,
         seed=seed,
         request=link_faults(rng, max_latency=max_latency),
         reply=link_faults(rng, max_latency=max_latency))
+
+
+# ---------------------------------------------------------------- executor
+def executor_case(rng: np.random.Generator) -> tuple[Module, np.ndarray]:
+    """A randomized ``(model, example)`` pair for tape-vs-compiled replay.
+
+    Samples across the three architecture families the executor lowers
+    differently — plain MLPs (linear+relu fusion), conv stacks with
+    batch-norm (conv+bn folding), and layer-normed MLPs (fallback replay
+    of mean/var/rsqrt ops) — with the usual hostile shapes: batch 1, odd
+    feature dims, non-square kernels, float32/float64 inputs.  Batch-norm
+    running statistics are warmed by training-mode forwards first, so the
+    folded eval path sees non-trivial mean/var.  The model is returned in
+    eval mode.
+    """
+    family = ("mlp", "conv", "layernorm")[int(rng.integers(0, 3))]
+    dtype = float_dtype(rng)
+    n = batch_size(rng, high=5)
+    seed = rng_from(int(rng.integers(0, 2 ** 31)))
+    if family == "mlp":
+        d = feature_dim(rng, 2, 16)
+        model = MLP(d, num_classes(rng), depth=int(rng.integers(1, 4)),
+                    width=int(rng.integers(3, 10)), rng=seed)
+        x = array(rng, (n, d), dtype=dtype)
+    elif family == "conv":
+        cfg = conv_case(rng)
+        cin, cout = cfg["in_channels"], cfg["out_channels"]
+        kh, kw = cfg["kernel"]
+        h, w = cfg["height"], cfg["width"]
+        out_h = (h + 2 * cfg["padding"] - kh) // cfg["stride"] + 1
+        out_w = (w + 2 * cfg["padding"] - kw) // cfg["stride"] + 1
+        layers = [Conv2d(cin, cout, (kh, kw), stride=cfg["stride"],
+                         padding=cfg["padding"], rng=seed)]
+        if rng.random() < 0.7:
+            layers.append(BatchNorm2d(cout))
+        if rng.random() < 0.7:
+            layers.append(ReLU())
+        layers += [Flatten(),
+                   Linear(cout * out_h * out_w, num_classes(rng), rng=seed)]
+        model = Sequential(*layers)
+        x = array(rng, (n, cin, h, w), dtype=dtype)
+    else:
+        d = feature_dim(rng, 2, 12)
+        width = int(rng.integers(3, 9))
+        model = Sequential(Linear(d, width, rng=seed), LayerNorm(width),
+                           ReLU(), Linear(width, num_classes(rng), rng=seed))
+        x = array(rng, (n, d), dtype=dtype)
+    # Warm any batch-norm running statistics so eval-mode folding is
+    # exercised against non-default mean/var.
+    with no_grad():
+        for _ in range(2):
+            model(Tensor(array(rng, x.shape, dtype=dtype)))
+    model.eval()
+    return model, x
 
 
 # ------------------------------------------------------------------- teams

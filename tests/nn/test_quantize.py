@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.nn import MLP, Tensor, build_model, mlp_spec, no_grad
-from repro.nn.quantize import (dequantize_array, dequantize_state_dict,
-                               quantization_error, quantize_array,
-                               quantize_model, quantize_state_dict,
-                               quantized_size_bytes)
+from repro.nn.quantize import (AlreadyQuantizedError, _should_quantize,
+                               dequantize_array, dequantize_state_dict,
+                               int8_conv2d, int8_linear, quantization_error,
+                               quantize_array, quantize_model,
+                               quantize_state_dict, quantized_size_bytes)
+from repro.testkit import strategies
 
 
 class TestQuantizeArray:
@@ -71,6 +73,129 @@ class TestStateDict:
 
     def test_error_metric_small(self, model):
         assert quantization_error(model.state_dict()) < 0.01
+
+
+class TestQuantizeProperties:
+    """Randomized property sweeps over shapes, axes and dtypes."""
+
+    def test_roundtrip_error_bounded_per_axis(self):
+        for case in range(40):
+            rng = strategies.rng_from(11, case)
+            ndim = int(rng.integers(2, 5))
+            shape = tuple(int(rng.integers(1, 7)) for _ in range(ndim))
+            axis = int(rng.integers(0, ndim))
+            w = strategies.array(rng, shape, dtype=np.float32,
+                                 scale=float(rng.uniform(0.01, 50.0)))
+            q, scales = quantize_array(w, axis=axis)
+            restored = dequantize_array(q, scales, axis=axis)
+            # Symmetric rounding: error <= scale/2 per element, with the
+            # scale of whichever channel the element belongs to.
+            view = [1] * ndim
+            view[axis] = -1
+            bound = np.asarray(scales).reshape(view) * 0.5 + 1e-6
+            assert (np.abs(restored - w) <= bound).all(), \
+                f"case {case}: shape={shape} axis={axis}"
+
+    def test_size_reduction_close_to_4x_across_models(self):
+        for case in range(5):
+            rng = strategies.rng_from(13, case)
+            model = MLP(int(rng.integers(32, 128)), 10, depth=2,
+                        width=int(rng.integers(32, 96)), rng=rng)
+            state = model.state_dict()
+            float_bytes = sum(np.asarray(v, dtype=np.float32).nbytes
+                              for v in state.values())
+            q_bytes = quantized_size_bytes(quantize_state_dict(state))
+            assert q_bytes < 0.35 * float_bytes
+
+    def test_should_quantize_skip_list(self):
+        matrix = np.zeros((4, 4))
+        vector = np.zeros(4)
+        assert _should_quantize("layer0.weight", matrix)
+        assert _should_quantize("blocks.3.conv.weight", np.zeros((2, 2, 3, 3)))
+        # Biases, 1-D batch-norm gains, and running-stat buffers stay float.
+        assert not _should_quantize("layer0.bias", vector)
+        assert not _should_quantize("bn.weight", vector)
+        assert not _should_quantize("buffer.running_mean", matrix)
+        assert not _should_quantize("buffer.running_var", matrix)
+
+    def test_double_quantize_rejected(self, rng):
+        state = MLP(16, 4, depth=1, width=8, rng=rng).state_dict()
+        qstate = quantize_state_dict(state)
+        with pytest.raises(AlreadyQuantizedError):
+            quantize_state_dict(qstate)
+        # ...but a dequantized dict is quantizable again (idempotent grid).
+        again = quantize_state_dict(dequantize_state_dict(qstate))
+        for name, value in qstate.items():
+            np.testing.assert_array_equal(again[name], value)
+
+    def test_quantized_archive_roundtrip(self, rng):
+        from repro.nn import model_from_bytes, model_to_bytes
+        spec = mlp_spec(2, in_shape=(64,), num_classes=10, width=32)
+        model = build_model(spec, np.random.default_rng(7))
+        float_blob = model_to_bytes(model, spec)
+        q_blob = model_to_bytes(model, spec, quantize=True)
+        assert len(q_blob) < 0.5 * len(float_blob)
+        restored, restored_spec = model_from_bytes(q_blob)
+        assert restored_spec == spec
+        # The receiver sees exactly the floats quantize_model would leave.
+        want = dequantize_state_dict(
+            quantize_state_dict(model.state_dict()))
+        got = restored.state_dict()
+        assert set(got) == set(want)
+        for name in want:
+            np.testing.assert_array_equal(got[name], want[name])
+
+
+class TestInt8Kernels:
+    """The dequantize-on-accumulate kernels against the float reference."""
+
+    def test_int8_linear_matches_dequantized_matmul(self):
+        for case in range(25):
+            rng = strategies.rng_from(17, case)
+            n = strategies.batch_size(rng)
+            d_in = strategies.feature_dim(rng, 1, 16)
+            d_out = strategies.feature_dim(rng, 1, 12)
+            dtype = strategies.float_dtype(rng)
+            x = strategies.array(rng, (n, d_in), dtype=dtype)
+            w = strategies.array(rng, (d_out, d_in), dtype=np.float32)
+            bias = (strategies.array(rng, (d_out,), dtype=np.float32)
+                    if rng.random() < 0.7 else None)
+            q, scales = quantize_array(w, axis=0)
+            want = x @ dequantize_array(q, scales).T
+            if bias is not None:
+                want = want + bias
+            got = int8_linear(x, q, scales, bias)
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-6)
+            # With caller-provided out/scratch buffers (the executor path).
+            out = np.empty((n, d_out), dtype=got.dtype)
+            scratch = np.empty(q.size, dtype=np.float32)
+            again = int8_linear(x, q, scales, bias, out=out, scratch=scratch)
+            assert again is out
+            np.testing.assert_array_equal(again, got)
+
+    def test_int8_conv2d_matches_dequantized_conv(self):
+        from repro.nn.functional import _im2col
+        for case in range(15):
+            rng = strategies.rng_from(19, case)
+            cfg = strategies.conv_case(rng)
+            kh, kw = cfg["kernel"]
+            x = strategies.array(
+                rng, (cfg["batch"], cfg["in_channels"], cfg["height"],
+                      cfg["width"]), dtype=strategies.float_dtype(rng))
+            w = strategies.array(
+                rng, (cfg["out_channels"], cfg["in_channels"], kh, kw),
+                dtype=np.float32)
+            bias = strategies.array(rng, (cfg["out_channels"],),
+                                    dtype=np.float32)
+            q, scales = quantize_array(w, axis=0)
+            deq = dequantize_array(q, scales, axis=0)
+            cols, oh, ow = _im2col(x, kh, kw, cfg["stride"], cfg["padding"])
+            want = (cols @ deq.reshape(deq.shape[0], -1).T + bias).reshape(
+                x.shape[0], oh, ow, -1).transpose(0, 3, 1, 2)
+            got = int8_conv2d(x, q, scales, bias, stride=cfg["stride"],
+                              padding=cfg["padding"])
+            assert got.shape == want.shape
+            np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-6)
 
 
 class TestAccuracyPreservation:

@@ -2,8 +2,11 @@
 
 :func:`run_serving_differential_case` queues a whole request set before
 the server starts, so the first broadcast genuinely coalesces a
-micro-batch, then asserts every served answer is byte-identical to a
-sequential ``master.infer`` of the same request on a fresh cluster.
+micro-batch, then asserts every served answer matches a sequential
+``master.infer`` of the same request on a fresh tape cluster — byte for
+byte for the ``tape`` and ``compiled`` engines, and up to near-tie
+decision tolerance for ``compiled-int8`` (both paths share the int8
+weight grid; only kernel accumulation order differs).
 """
 
 import numpy as np
@@ -23,12 +26,13 @@ def case_requests(seed):
     return experts, requests
 
 
+@pytest.mark.parametrize("engine", ["tape", "compiled", "compiled-int8"])
 @pytest.mark.parametrize("seed", [0, 1, 2])
-def test_served_answers_bit_identical_across_seeds(seed):
+def test_served_answers_match_reference_across_seeds(seed, engine):
     experts, requests = case_requests(seed)
     with forbid_sockets():
         batches = run_serving_differential_case(experts, requests,
-                                                max_batch=8)
+                                                max_batch=8, engine=engine)
     # The guarantee must have been earned on the coalesced wire path,
     # not on a degenerate one-broadcast-per-request run.
     assert batches < len(requests)
@@ -54,3 +58,20 @@ def test_mismatch_is_reported_not_swallowed():
     with pytest.raises(DifferentialMismatch):
         _assert_identical("forged", np.zeros(3, np.float32),
                           np.zeros(3, np.float64))
+
+
+def test_int8_comparator_rejects_decisive_flips():
+    """The near-tie tolerance must not excuse flips the reference scored
+    as decisive — only genuinely contested rows may differ."""
+    from repro.testkit.differential import _assert_decisions_close
+    margins = (np.array([0.5]), np.array([0.4]))  # decisive gaps
+    with pytest.raises(DifferentialMismatch, match="winner"):
+        _assert_decisions_close(0, np.array([3]), np.array([1]),
+                                np.array([3]), np.array([2]), margins, 1e-5)
+    with pytest.raises(DifferentialMismatch, match="prediction"):
+        _assert_decisions_close(0, np.array([3]), np.array([2]),
+                                np.array([4]), np.array([2]), margins, 1e-5)
+    # Near-tied rows are allowed to flip.
+    tied = (np.array([1e-7]), np.array([1e-7]))
+    _assert_decisions_close(0, np.array([3]), np.array([1]),
+                            np.array([4]), np.array([2]), tied, 1e-5)

@@ -33,6 +33,20 @@ class TestEquivalence:
         assert stats.failures == 0
         assert cluster.surviving_team == list(range(len(experts)))
 
+    def test_compiled_engine_matches_reference_exactly(self):
+        """The whole wire path on engine="compiled" — master and workers
+        forward through the traced executor — must still reproduce the
+        tape reference byte for byte on the MLP expert zoo."""
+        experts, x = make_team()
+        reference = TeamInference(experts)
+        ref_preds, ref_winner = reference.predict_with_winner(x)
+        with forbid_sockets(), \
+                SimCluster(experts, engine="compiled") as cluster:
+            preds, winner, stats = cluster.infer(x)
+        assert preds.tobytes() == ref_preds.tobytes()
+        assert winner.tobytes() == ref_winner.tobytes()
+        assert stats.failures == 0
+
     def test_repeated_inference_is_stable(self):
         experts, x = make_team()
         with SimCluster(experts) as cluster:
