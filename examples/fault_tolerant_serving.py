@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Fault-tolerant TeamNet serving + sustained-load capacity planning.
 
-Four extensions beyond the paper, built on its runtime:
+Five extensions beyond the paper, built on its runtime:
 
 1. **Graceful degradation** — kill a worker mid-stream and watch the
    master drop it from the team and keep answering from the survivors
@@ -19,7 +19,12 @@ Four extensions beyond the paper, built on its runtime:
    master pushes that slot's checkpointed expert onto a cold standby
    node and rewires the slot — full-team accuracy comes back even
    though the original node never does.
-4. **Capacity planning** — use the queueing simulator to find the request
+4. **Master failover** — kill the *master* mid-service: the workers'
+   leadership lease expires, a hot :class:`StandbyMaster` observes it,
+   promotes itself at the next epoch (fencing the old master off), and
+   the :class:`FailoverServer` re-drives every parked request to the
+   successor — no accepted request is dropped or answered twice.
+5. **Capacity planning** — use the queueing simulator to find the request
    rate each deployment sustains on Raspberry-Pi-class hardware.
 
 Run:  python examples/fault_tolerant_serving.py
@@ -32,8 +37,10 @@ import numpy as np
 
 from repro.core import TeamNet, TrainerConfig
 from repro.data import synthetic_mnist, train_test_split
-from repro.distributed import ResilienceConfig, deploy_local_team
-from repro.distributed.teamnet_runtime import ExpertWorker
+from repro.distributed import (FailoverServer, LeaseConfig, MasterFailover,
+                               ResilienceConfig, StandbyMaster,
+                               deploy_local_team)
+from repro.distributed.teamnet_runtime import ExpertWorker, TeamNetMaster
 from repro.edge import (RASPBERRY_PI_3B, WIFI, baseline_metrics,
                         capacity_sweep, profile_model, sustainable_rate,
                         teamnet_metrics)
@@ -48,7 +55,7 @@ def main() -> None:
     train, test = train_test_split(dataset, 0.2, rng=rng)
     checkpoint_dir = tempfile.mkdtemp(prefix="teamnet-ckpt-")
 
-    print("[1/5] training a 3-expert team (checkpointing every epoch) ...")
+    print("[1/6] training a 3-expert team (checkpointing every epoch) ...")
     team = TeamNet.from_reference(
         mlp_spec(depth=8, width=64), num_experts=3,
         config=TrainerConfig(epochs=8, seed=4), seed=4)
@@ -58,7 +65,7 @@ def main() -> None:
     print(f"      durable checkpoint: generation "
           f"{store.latest_valid()} in {checkpoint_dir}/")
 
-    print("\n[2/5] serving with degradation enabled, then killing a "
+    print("\n[2/6] serving with degradation enabled, then killing a "
           "worker ...")
     master, workers = deploy_local_team(
         team.experts, degrade_on_failure=True, reply_timeout=2.0,
@@ -81,7 +88,7 @@ def main() -> None:
               f"accuracy {np.mean(preds == labels):.3f}")
         print(f"      surviving winners: {sorted(set(winner.tolist()))}")
 
-        print("\n[3/5] restarting the worker on the same port ...")
+        print("\n[3/6] restarting the worker on the same port ...")
         workers[0].start()
         deadline = time.monotonic() + 10.0
         while master.failed_workers and time.monotonic() < deadline:
@@ -91,7 +98,7 @@ def main() -> None:
               f"failed={master.failed_workers}): "
               f"accuracy {np.mean(preds == labels):.3f}")
 
-        print("\n[4/5] killing worker 1 for good, then redeploying its "
+        print("\n[4/6] killing worker 1 for good, then redeploying its "
               "expert onto a standby node ...")
         workers[0].stop()
         # Drive the breaker past its cap: this node is not coming back.
@@ -125,7 +132,64 @@ def main() -> None:
         if standby is not None:
             standby.stop()
 
-    print("\n[5/5] sustainable request rates on Raspberry Pi 3B+ "
+    print("\n[5/6] killing the *master* mid-service: lease expiry, "
+          "standby promotion, request re-drive ...")
+    lease = LeaseConfig(duration_s=0.5)
+    team_workers = []
+    for expert in team.experts[1:]:
+        worker = ExpertWorker(expert)
+        worker.start()
+        team_workers.append(worker)
+    primary = TeamNetMaster(
+        team.experts[0], [w.address for w in team_workers],
+        epoch=1, leader_id="primary", degrade_on_failure=True,
+        reply_timeout=2.0, store=store)
+    # A *hot* standby this time: it mirrors the master expert and the
+    # worker roster so it can take over the live team, not just one slot.
+    hot_spare = StandbyMaster(
+        "standby-0", expert=team.experts[0], store=store,
+        roster={i: w.address for i, w in enumerate(team_workers, start=1)},
+        lease=lease)
+    hot_spare.start()
+    primary.standbys = [hot_spare.address]
+    front = promoted = None
+    try:
+        primary.attach()  # workers' leases now name "primary" at epoch 1
+        front = FailoverServer(primary.serve(max_batch=8))
+        flat = batch.reshape(len(batch), -1)  # serving takes 2-D batches
+        preds, _, _ = front.infer(flat, timeout=10.0)
+        print(f"      primary (epoch 1) serving: accuracy "
+              f"{np.mean(preds == labels):.3f}")
+        front.kill(closer=primary.close,
+                   error=MasterFailover("example: primary killed"))
+        parked = [front.submit(x) for x in np.array_split(flat, 4)]
+        print(f"      !! primary killed; {front.stats().parked} requests "
+              f"parked for re-drive")
+        time.sleep(lease.duration_s * 1.5)  # let every lease age out
+        view = hot_spare.poll()
+        print(f"      standby observes leader_lost={view.leader_lost} "
+              f"({len(view.reachable)} workers report stale leases)")
+        promoted = hot_spare.promote(degrade_on_failure=True,
+                                     reply_timeout=2.0)
+        redriven = front.failover_to(promoted.serve(max_batch=8))
+        answers = [future.result(timeout=10.0) for future in parked]
+        preds = np.concatenate([a[0] for a in answers])
+        stats = front.stats()
+        print(f"      promoted standby (epoch {promoted.epoch}) re-drove "
+              f"{redriven} requests: accuracy "
+              f"{np.mean(preds == labels):.3f} "
+              f"(completed {stats.completed}/{stats.submitted}, "
+              f"duplicates suppressed {stats.duplicates_suppressed})")
+    finally:
+        if front is not None:
+            front.close()
+        if promoted is not None:
+            promoted.close()
+        hot_spare.stop()
+        for worker in team_workers:
+            worker.stop()
+
+    print("\n[6/6] sustainable request rates on Raspberry Pi 3B+ "
           "(deployment scale):")
     ref = mlp_spec(8, width=2048)
     base = baseline_metrics(
@@ -145,8 +209,10 @@ def main() -> None:
               f"p95 @ 80% load {at80['p95_sojourn_ms']:6.1f} ms")
     print("\nDone: fewer, smaller experts per node -> more headroom per "
           "device, the team survives node failures, failed nodes rejoin "
-          "automatically when they come back, and permanently lost "
-          "experts redeploy from the checkpoint store onto standbys.")
+          "automatically when they come back, permanently lost experts "
+          "redeploy from the checkpoint store onto standbys, and even "
+          "the master itself fails over to a hot standby without "
+          "dropping a request.")
 
 
 if __name__ == "__main__":

@@ -32,6 +32,16 @@
 #       rounds each (default 25); a failing round writes a JSON repro
 #       (seed + round + crash point) to CRASH_REPRO_DIR
 #       (default .crash-repro/).
+#   scripts/ci.sh --failover                 # master-failover gate: the
+#       promotion chaos soak (kill the primary at seeded protocol points
+#       mid-traffic; every accepted request must resolve byte-identically
+#       to a no-failure run), one soak per seed in FAILOVER_SEEDS
+#       (default "0 1 2"), FAILOVER_ROUNDS rounds each (default 10); a
+#       failing round writes a JSON repro to FAILOVER_REPRO_DIR (default
+#       .testkit-repro/).  Then the recovery-time bench: kill -> detect
+#       -> elect -> promote -> re-drive must fit the lease's
+#       recovery_budget_s for every lease/latency pairing, writing the
+#       sweep to BENCH_failover.json (path override: FAILOVER_BENCH_JSON).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -111,6 +121,25 @@ if [[ "${1:-}" == "--crash" ]]; then
             python -m pytest -x -q tests/testkit/test_crash.py \
             --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
     done
+    exit 0
+fi
+
+if [[ "${1:-}" == "--failover" ]]; then
+    shift
+    export FAILOVER_REPRO_DIR="${FAILOVER_REPRO_DIR:-.testkit-repro}"
+    export FAILOVER_ROUNDS="${FAILOVER_ROUNDS:-10}"
+    for seed in ${FAILOVER_SEEDS:-0 1 2}; do
+        echo "=== failover soak: FAILOVER_SEED=$seed (FAILOVER_ROUNDS=$FAILOVER_ROUNDS) ==="
+        FAILOVER_SEED="$seed" \
+            timeout --signal=INT "$SUITE_TIMEOUT" \
+            python -m pytest -x -q tests/testkit/test_failover.py \
+            --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
+    done
+    export FAILOVER_BENCH_JSON="${FAILOVER_BENCH_JSON:-BENCH_failover.json}"
+    echo "=== failover bench: recovery within the lease budget ==="
+    timeout --signal=INT "$SUITE_TIMEOUT" \
+        python -m pytest -x -q -s benchmarks/test_bench_failover.py \
+        -p no:cacheprovider "$@"
     exit 0
 fi
 

@@ -19,7 +19,8 @@ import numpy as np
 
 __all__ = ["Message", "encode", "decode", "ProtocolError",
            "INFER", "RESULT", "ERROR", "SHUTDOWN", "PING", "PONG",
-           "DEPLOY", "DEPLOYED"]
+           "DEPLOY", "DEPLOYED", "ATTACH", "ATTACHED", "ROSTER",
+           "ROSTER_OK", "ELECT"]
 
 _LEN = struct.Struct(">I")
 
@@ -40,6 +41,20 @@ PONG = "pong"          # worker -> master: heartbeat reply, meta={"seq"}
 # acks it, echoing the seq, after the worker has swapped the model in.
 DEPLOY = "deploy"      # master -> worker: arrays={"model"}, meta={"seq"}
 DEPLOYED = "deployed"  # worker -> master: meta={"seq", "spec"}
+# Leadership (master failover).  ATTACH is the re-attach handshake a
+# (possibly newly promoted) master opens with every worker: it presents
+# its leadership epoch, and the worker accepts iff the epoch is >= the
+# highest it has seen — lower epochs are fenced off with an ERROR reply
+# carrying ``stale_epoch``.  ROSTER replicates the primary's worker
+# roster to hot standbys on membership change; ELECT carries one
+# Chang-Roberts election token between standbys (the transport-ring
+# incarnation of ``repro.distributed.election``).
+ATTACH = "attach"        # master -> worker: meta={"seq", "epoch", "leader"}
+ATTACHED = "attached"    # worker -> master: meta={"seq", "epoch"}
+ROSTER = "roster"        # primary -> standby: meta={"seq", "epoch",
+                         #   "version", "roster": [[index, host, port], ...]}
+ROSTER_OK = "roster-ok"  # standby -> primary: meta={"seq", "version"}
+ELECT = "elect"          # standby -> standby: meta={"tag"}, arrays={"data"}
 
 
 class ProtocolError(ValueError):

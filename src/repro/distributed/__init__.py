@@ -7,28 +7,35 @@ reproduce the single-node forward bit-for-bit — and meter their traffic so
 the edge simulator can replay it against device/WiFi profiles.
 """
 
+from .failover import (FailoverServer, FailoverStats, LeaseView,
+                       MasterFailover, StandbyMaster, TransportRing,
+                       WorkerView, REDRIVE_ERRORS)
 from .moe_runtime import (MoEGrpcMaster, MoEMpiRunner, moe_mpi_forward,
                           serve_expert)
 from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
-                         PeerResilience, QuorumError, ResilienceConfig,
-                         SuspicionTracker)
+                         LeaderLease, LeaseConfig, PeerResilience,
+                         QuorumError, ResilienceConfig, SuspicionTracker)
 from .mpi_branch import MpiBranchRunner, count_blocks, mpi_branch_forward
 from .mpi_kernel import (MpiKernelRunner, count_conv_layers,
                          kernel_split_conv, mpi_kernel_forward)
 from .mpi_matrix import (MpiMatrixRunner, mpi_matrix_forward,
                          split_linear_weights)
-from .serving import (ServeFuture, ServerClosed, ServerOverloaded,
-                      ServerStats, TeamNetServer)
-from .teamnet_runtime import (ExpertWorker, InferenceStats, TeamNetMaster,
-                              WorkerFailure, WorkerHealth, deploy_local_team)
+from .serving import (RequestAbandoned, ServeFuture, ServerClosed,
+                      ServerOverloaded, ServerStats, TeamNetServer)
+from .teamnet_runtime import (ExpertWorker, InferenceStats, LeadershipLost,
+                              TeamNetMaster, WorkerFailure, WorkerHealth,
+                              deploy_local_team)
 
 __all__ = [
     "TeamNetMaster", "ExpertWorker", "deploy_local_team", "InferenceStats",
-    "WorkerFailure", "WorkerHealth",
+    "WorkerFailure", "WorkerHealth", "LeadershipLost",
     "TeamNetServer", "ServeFuture", "ServerStats", "ServerClosed",
-    "ServerOverloaded",
+    "ServerOverloaded", "RequestAbandoned",
+    "MasterFailover", "REDRIVE_ERRORS", "FailoverServer", "FailoverStats",
+    "StandbyMaster", "TransportRing", "LeaseView", "WorkerView",
     "CircuitBreaker", "SuspicionTracker", "LatencyTracker",
     "ResilienceConfig", "DegradationPolicy", "QuorumError", "PeerResilience",
+    "LeaseConfig", "LeaderLease",
     "mpi_matrix_forward", "split_linear_weights", "MpiMatrixRunner",
     "mpi_kernel_forward", "kernel_split_conv", "count_conv_layers",
     "MpiKernelRunner", "mpi_branch_forward", "count_blocks",

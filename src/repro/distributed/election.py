@@ -6,44 +6,74 @@ by sending the results along with the uncertainty measures to a designated
 device."  The socket runtime implements the central version; this module
 implements the distributed one:
 
-* :func:`elect_leader` — a Chang–Roberts style ring election over an MPI
-  communicator: the highest (priority, rank) pair wins; every node learns
-  the winner in at most ``size`` ring hops.
+* :func:`elect_leader` — a Chang–Roberts style ring election: the
+  highest (priority, rank) pair wins; every node learns the winner in at
+  most ``size`` ring hops.  It only needs the four-method communicator
+  shape (``rank``/``size``/``send``/``recv``), so the same function runs
+  over the MPI :class:`~repro.comm.mpi.Communicator` *and* over framed
+  sockets via :class:`repro.distributed.failover.TransportRing` — which
+  is how hot-standby masters elect a replacement primary.
 * :func:`decentralized_select` — every node shares its (entropy,
   prediction) pair with the ring-elected leader, which computes the
   arg-min selection and broadcasts the final answer; all nodes return the
   same result, no pre-designated master required.
+
+Message tags are namespaced by an **election epoch** so that a straggler
+token from election N still in flight when election N+1 starts cannot be
+consumed by the wrong election (back-to-back elections over a delayed
+link used to cross-talk).  Callers may pin the epoch explicitly (the
+failover layer uses the leadership epoch being contested); by default
+each communicator counts its own elections — every rank runs the same
+call sequence, so the per-instance counters agree without coordination.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..comm.mpi import Communicator
 from ..core.inference import ExpertOutput
 
-__all__ = ["elect_leader", "decentralized_select"]
+__all__ = ["elect_leader", "decentralized_select", "election_tag"]
 
 
-def elect_leader(comm: Communicator,
-                 priority: float | None = None) -> int:
+def election_tag(epoch: int, hop: int) -> str:
+    """The message tag for ring hop ``hop`` of election ``epoch``."""
+    return f"_election{int(epoch)}.{int(hop)}"
+
+
+def _next_epoch(comm) -> int:
+    """Auto-number elections per communicator (SPMD: every rank makes
+    the same calls in the same order, so the counters stay in step)."""
+    epoch = getattr(comm, "_election_epoch", 0) + 1
+    comm._election_epoch = epoch
+    return epoch
+
+
+def elect_leader(comm, priority: float | None = None,
+                 epoch: int | None = None) -> int:
     """Ring-based leader election; returns the winning rank on every node.
 
     Each node injects its (priority, rank) token and forwards the maximum
     it has seen around the ring.  After ``size - 1`` hops every node has
     seen every token, so the maximum is globally agreed.  ``priority``
     defaults to the rank itself (deterministic); real deployments would
-    pass battery level, compute headroom, etc.
+    pass battery level, compute headroom, etc.  ``epoch`` namespaces the
+    message tags so consecutive elections cannot consume each other's
+    straggler tokens; when ``None`` the communicator's own election
+    counter is used.  ``comm`` may be anything with ``rank``, ``size``,
+    ``send(array, dest, tag)`` and ``recv(source, tag)``.
     """
     size = comm.size
     if size == 1:
         return 0
+    if epoch is None:
+        epoch = _next_epoch(comm)
     own_priority = float(priority if priority is not None else comm.rank)
     best = np.array([own_priority, float(comm.rank)])
     successor = (comm.rank + 1) % size
     predecessor = (comm.rank - 1) % size
     for hop in range(size - 1):
-        tag = f"_election{hop}"
+        tag = election_tag(epoch, hop)
         comm.send(best, successor, tag)
         incoming = comm.recv(predecessor, tag)
         # Lexicographic max of (priority, rank) — rank breaks ties.
@@ -52,17 +82,19 @@ def elect_leader(comm: Communicator,
     return int(best[1])
 
 
-def decentralized_select(comm: Communicator, output: ExpertOutput,
-                         priority: float | None = None
+def decentralized_select(comm, output: ExpertOutput,
+                         priority: float | None = None,
+                         epoch: int | None = None
                          ) -> tuple[np.ndarray, np.ndarray, int]:
     """Distributed Step 5: agree on the least-uncertain predictions.
 
     Every rank contributes its expert's (predictions, entropy); a ring
     election picks the aggregator, which computes the per-sample arg-min
     and broadcasts it.  Returns ``(predictions, winning_rank_per_sample,
-    leader_rank)`` — identical on every rank.
+    leader_rank)`` — identical on every rank.  ``epoch`` passes through
+    to :func:`elect_leader`.
     """
-    leader = elect_leader(comm, priority)
+    leader = elect_leader(comm, priority, epoch=epoch)
     payload = np.concatenate([output.entropy[None, :],
                               output.predictions[None, :].astype(float)])
     gathered = comm.gather(payload, root=leader)

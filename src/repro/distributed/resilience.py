@@ -23,6 +23,14 @@ silent one:
   is flagged (or refused): a minimum quorum of participating experts and
   an optional ceiling on the winning entropy.  Each expert only knows
   part of the data, so the caller must be able to see degradation.
+* :class:`LeaderLease` / :class:`LeaseConfig` — the lease-based
+  leadership record behind master failover: workers (and standby
+  masters) remember the highest leadership epoch they have seen and when
+  the leader last proved liveness; a lease older than
+  ``LeaseConfig.duration_s`` means the leader is presumed dead and a hot
+  standby may promote itself (:mod:`repro.distributed.failover`).
+  Epochs only move forward, which is the fencing rule that keeps a
+  deposed primary from answering as if it still led the team.
 
 Everything here is runtime-agnostic state machinery (no sockets, no
 threads); :mod:`repro.distributed.teamnet_runtime` wires it into the
@@ -41,7 +49,7 @@ import numpy as np
 __all__ = ["BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN",
            "CircuitBreaker", "SuspicionTracker", "LatencyTracker",
            "ResilienceConfig", "DegradationPolicy", "QuorumError",
-           "PeerResilience"]
+           "PeerResilience", "LeaseConfig", "LeaderLease"]
 
 BREAKER_CLOSED = "closed"
 BREAKER_OPEN = "open"
@@ -302,6 +310,90 @@ class LatencyTracker:
         if not self._samples:
             raise ValueError("no latency samples recorded yet")
         return float(np.quantile(np.fromiter(self._samples, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class LeaseConfig:
+    """Timing contract for lease-based leadership.
+
+    * ``duration_s`` — how long one renewal (a leader heartbeat, attach,
+      or broadcast) keeps the lease alive.  A worker whose lease is
+      older than this reports the leader as presumed dead, and a standby
+      observing that on every reachable worker may start an election.
+    * ``promotion_multiple`` — the recovery-time budget, as a multiple
+      of ``duration_s``: detection → election → re-attach → first served
+      answer must fit inside ``duration_s * promotion_multiple``.  The
+      failover benchmark gates on it.
+    """
+
+    duration_s: float = 0.5
+    promotion_multiple: float = 4.0
+
+    def __post_init__(self):
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.promotion_multiple < 1:
+            raise ValueError("promotion_multiple must be >= 1")
+
+    @property
+    def recovery_budget_s(self) -> float:
+        """The gated end-to-end recovery time."""
+        return self.duration_s * self.promotion_multiple
+
+
+class LeaderLease:
+    """One node's record of the current leader and its lease.
+
+    Pure clock-injected state machine (no threads, no sockets): the
+    runtime calls :meth:`renew` when a master proves liveness with an
+    epoch, and :meth:`age`/:meth:`expired` answer "how stale is the
+    leadership claim?".  The **fencing rule** lives here: a renewal with
+    an epoch lower than the highest seen is refused — the caller turns
+    that refusal into a ``stale_epoch`` error reply, which is what
+    deposes a zombie primary.  Epoch 0 means "no leader ever seen".
+    """
+
+    __slots__ = ("leader", "epoch", "renewed_at")
+
+    def __init__(self, leader: str | None = None, epoch: int = 0):
+        self.leader = leader
+        self.epoch = int(epoch)
+        self.renewed_at: float | None = None
+
+    def renew(self, leader: str | None, epoch: int, now: float) -> bool:
+        """Record a liveness proof from ``leader`` at ``epoch``.
+
+        Returns False (and changes nothing) when ``epoch`` is below the
+        highest epoch seen — the stale claim must be fenced off.  An
+        equal epoch refreshes the timestamp (the same leader renewing);
+        a higher one installs the new leader.
+        """
+        epoch = int(epoch)
+        if epoch < self.epoch:
+            return False
+        if epoch > self.epoch:
+            self.epoch = epoch
+            self.leader = leader
+        elif leader is not None:
+            self.leader = leader
+        self.renewed_at = float(now)
+        return True
+
+    def age(self, now: float) -> float | None:
+        """Seconds since the last renewal (None if never renewed)."""
+        if self.renewed_at is None:
+            return None
+        return max(0.0, float(now) - self.renewed_at)
+
+    def expired(self, now: float, duration_s: float) -> bool:
+        """Is the leadership claim stale under ``duration_s``?  A lease
+        never renewed counts as expired (no leader is a dead leader)."""
+        age = self.age(now)
+        return age is None or age > duration_s
+
+    def __repr__(self) -> str:
+        return (f"LeaderLease(leader={self.leader!r}, epoch={self.epoch}, "
+                f"renewed_at={self.renewed_at})")
 
 
 @dataclass(frozen=True)

@@ -49,7 +49,7 @@ from ..core.inference import expert_forward, expert_forward_segments
 from .teamnet_runtime import InferenceStats, TeamNetMaster
 
 __all__ = ["ServeFuture", "ServerStats", "ServerClosed", "ServerOverloaded",
-           "TeamNetServer"]
+           "RequestAbandoned", "TeamNetServer"]
 
 
 class ServerClosed(RuntimeError):
@@ -58,6 +58,11 @@ class ServerClosed(RuntimeError):
 
 class ServerOverloaded(RuntimeError):
     """The admission queue is full; the request was shed, not queued."""
+
+
+class RequestAbandoned(RuntimeError):
+    """``result()`` on a future its caller already :meth:`abandoned
+    <ServeFuture.abandon>`."""
 
 
 class ServeFuture:
@@ -70,44 +75,115 @@ class ServeFuture:
     ``done_at`` is the ``time.monotonic()`` completion stamp (set before
     waiters wake), which is what lets an open-loop driver measure sojourn
     without racing the wakeup.
+
+    A caller that gives up on a timed-out request should
+    :meth:`abandon` it: the request stays in flight (the broadcast is
+    already on the wire), but its eventual fate is *accounted* — an
+    answer landing on an abandoned future bumps
+    ``ServerStats.late_resolutions`` instead of vanishing silently, and
+    subsequent ``result()`` calls raise :class:`RequestAbandoned`.
+
+    ``state`` is one of ``"pending"``, ``"done"``, ``"failed"``,
+    ``"abandoned"`` (terminal for the caller even if a late outcome is
+    recorded underneath).  ``request_id`` is the stable id the failover
+    layer tags re-drives with (None for plain submissions).
     """
 
-    __slots__ = ("done_at", "_event", "_value", "_error")
+    __slots__ = ("done_at", "request_id", "_event", "_value", "_error",
+                 "_abandoned", "_callbacks", "_lock", "_abandon_hook")
 
-    def __init__(self):
+    def __init__(self, request_id: int | None = None):
         self.done_at: float | None = None
+        self.request_id = request_id
         self._event = threading.Event()
         self._value: tuple | None = None
         self._error: BaseException | None = None
+        self._abandoned = False
+        self._callbacks: list = []
+        self._lock = threading.Lock()
+        self._abandon_hook = None
 
     def done(self) -> bool:
         return self._event.is_set()
 
+    @property
+    def state(self) -> str:
+        if self._abandoned:
+            return "abandoned"
+        if not self._event.is_set():
+            return "pending"
+        return "failed" if self._error is not None else "done"
+
     def result(self, timeout: float | None = None
                ) -> tuple[np.ndarray, np.ndarray, InferenceStats]:
+        if self._abandoned:
+            raise RequestAbandoned("request was abandoned by its caller")
         if not self._event.wait(timeout):
             raise TimeoutError("request still in flight")
         if self._error is not None:
             raise self._error
         return self._value
 
-    def _resolve(self, value: tuple) -> None:
-        self._value = value
-        self.done_at = time.monotonic()
-        self._event.set()
+    def abandon(self) -> bool:
+        """Give up on a still-pending request (typically after a
+        ``result(timeout=...)`` TimeoutError).  Terminal for the caller;
+        the in-flight work still concludes and is counted.  Returns True
+        if this call made the transition (False: already settled or
+        already abandoned)."""
+        with self._lock:
+            if self._abandoned or self._event.is_set():
+                return False
+            self._abandoned = True
+            hook = self._abandon_hook
+        if hook is not None:
+            hook(self)
+        return True
 
-    def _reject(self, error: BaseException) -> None:
-        self._error = error
-        self.done_at = time.monotonic()
-        self._event.set()
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(future)`` once the request settles (immediately if it
+        already has).  Callbacks fire on resolve and reject alike, even
+        when the future was abandoned — the failover layer's re-drive
+        bookkeeping depends on seeing every outcome."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def outcome(self) -> tuple[tuple | None, BaseException | None]:
+        """``(value, error)`` of a settled future (both None while
+        pending)."""
+        return self._value, self._error
+
+    def _settle(self, value, error) -> bool:
+        """Record the outcome; returns True when it landed *late* (the
+        caller had already abandoned the request)."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._error = error
+            self.done_at = time.monotonic()
+            late = self._abandoned
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for fn in callbacks:
+            fn(self)
+        return late
+
+    def _resolve(self, value: tuple) -> bool:
+        return self._settle(value, None)
+
+    def _reject(self, error: BaseException) -> bool:
+        return self._settle(None, error)
 
 
 class _Request:
     __slots__ = ("x", "future")
 
-    def __init__(self, x: np.ndarray):
+    def __init__(self, x: np.ndarray, request_id: int | None = None):
         self.x = x
-        self.future = ServeFuture()
+        self.future = ServeFuture(request_id)
 
 
 @dataclass
@@ -119,6 +195,8 @@ class ServerStats:
     rejected: int = 0
     completed: int = 0
     failed: int = 0
+    abandoned: int = 0
+    late_resolutions: int = 0
     batches: int = 0
     batched_rows: int = 0
     max_batch_requests: int = 0
@@ -193,21 +271,39 @@ class TeamNetServer:
             self._collector.start()
         return self
 
-    def close(self, timeout: float = 10.0) -> None:
-        """Stop admitting requests and drain: everything already
-        submitted still completes (or fails through its future)."""
+    def close(self, timeout: float = 10.0, drain: bool = True,
+              error: BaseException | None = None) -> None:
+        """Stop admitting requests.
+
+        With ``drain=True`` (default) everything already submitted still
+        completes (or fails through its future).  ``drain=False`` kills
+        the queue instead: still-queued requests are rejected immediately
+        with ``error`` (default :class:`ServerClosed`) — the failover
+        path, where waiting out a dead master's backlog serves nobody;
+        batches already on the wire still conclude through the collector
+        (to whatever end the dead connections dictate).
+        """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
             # Never started: nothing will ever drain the queue — fail the
             # futures instead of leaving their waiters hanging.
-            leftovers = [] if self._started else list(self._queue)
+            leftovers = (list(self._queue)
+                         if (not drain or not self._started) else [])
             if leftovers:
                 self._queue.clear()
             self._cond.notify_all()
-        for request in leftovers:
-            request.future._reject(ServerClosed("server closed unstarted"))
+        if leftovers:
+            rejection = error if error is not None else ServerClosed(
+                "server closed" if self._started
+                else "server closed unstarted")
+            late = 0
+            for request in leftovers:
+                late += bool(request.future._reject(rejection))
+            with self._stats_lock:
+                self._stats.failed += len(leftovers)
+                self._stats.late_resolutions += late
         if self._started:
             self._dispatcher.join(timeout)
             self._collector.join(timeout)
@@ -220,13 +316,19 @@ class TeamNetServer:
         return False
 
     # ----------------------------------------------------------- admission
-    def submit(self, x: np.ndarray) -> ServeFuture:
-        """Admit one request (an ``(N, D)`` input batch) for inference."""
+    def submit(self, x: np.ndarray,
+               request_id: int | None = None) -> ServeFuture:
+        """Admit one request (an ``(N, D)`` input batch) for inference.
+
+        ``request_id`` is an optional caller-stable id carried on the
+        future; the failover layer uses it to dedup re-driven requests.
+        """
         x = np.asarray(x)
         if x.ndim != 2:
             raise ValueError(f"expected a 2-D input batch, got shape "
                              f"{x.shape}")
-        request = _Request(x)
+        request = _Request(x, request_id)
+        request.future._abandon_hook = self._note_abandoned
         with self._cond:
             if self._closed:
                 raise ServerClosed("server is closed")
@@ -245,6 +347,10 @@ class TeamNetServer:
               ) -> tuple[np.ndarray, np.ndarray, InferenceStats]:
         """Synchronous convenience: ``submit(x).result(timeout)``."""
         return self.submit(x).result(timeout)
+
+    def _note_abandoned(self, future: ServeFuture) -> None:
+        with self._stats_lock:
+            self._stats.abandoned += 1
 
     def stats(self) -> ServerStats:
         """A point-in-time copy of the cumulative serving counters."""
@@ -295,10 +401,12 @@ class TeamNetServer:
                     local = expert_forward(self.master.expert, batch_x,
                                            engine=self.master.engine)
             except Exception as exc:  # noqa: BLE001 - delivered via futures
+                late = 0
                 for request in batch:
-                    request.future._reject(exc)
+                    late += bool(request.future._reject(exc))
                 with self._stats_lock:
                     self._stats.failed += len(batch)
+                    self._stats.late_resolutions += late
                 continue
             with self._stats_lock:
                 self._stats.batches += 1
@@ -319,17 +427,22 @@ class TeamNetServer:
             try:
                 preds, winner, stats = self.master._finish(pending, local)
             except Exception as exc:  # noqa: BLE001 - delivered via futures
+                late = 0
                 for request in batch:
-                    request.future._reject(exc)
+                    late += bool(request.future._reject(exc))
                 with self._stats_lock:
                     self._stats.failed += len(batch)
+                    self._stats.late_resolutions += late
                 continue
             offset = 0
+            late = 0
             for request in batch:
                 rows = len(request.x)
-                request.future._resolve((preds[offset:offset + rows],
-                                         winner[offset:offset + rows],
-                                         stats))
+                late += bool(request.future._resolve(
+                    (preds[offset:offset + rows],
+                     winner[offset:offset + rows],
+                     stats)))
                 offset += rows
             with self._stats_lock:
                 self._stats.completed += len(batch)
+                self._stats.late_resolutions += late

@@ -54,11 +54,11 @@ from ..core.inference import (ExpertOutput, argmin_select, expert_forward,
                               expert_forward_segments, validate_engine)
 from ..nn import CorruptModelError, Module, model_from_bytes
 from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
-                         PeerResilience, QuorumError, ResilienceConfig,
-                         SuspicionTracker)
+                         LeaderLease, PeerResilience, QuorumError,
+                         ResilienceConfig, SuspicionTracker)
 
 __all__ = ["ExpertWorker", "TeamNetMaster", "WorkerFailure", "WorkerHealth",
-           "deploy_local_team", "InferenceStats"]
+           "LeadershipLost", "deploy_local_team", "InferenceStats"]
 
 
 @dataclass
@@ -209,12 +209,19 @@ class ExpertWorker:
     def __init__(self, expert: Module, host: str = "127.0.0.1", port: int = 0,
                  transport: Transport | None = None,
                  store=None, expert_index: int | None = None,
-                 engine: str = "tape"):
+                 engine: str = "tape", clock=None):
         self.expert = expert
         self.engine = validate_engine(engine)
         self._host = host
         self._store = store
         self._expert_index = expert_index
+        # Leadership view: the highest (leader, epoch) this worker has
+        # accepted and when that leader last proved liveness.  ``clock``
+        # is injectable so lease ages are deterministic on the testkit's
+        # virtual clock (the failover protocol's whole point).
+        self._clock = clock if clock is not None else time.monotonic
+        self.lease = LeaderLease()
+        self._lease_lock = threading.Lock()
         self._transport = transport if transport is not None else TcpTransport()
         self._listener = self._transport.listen(host, port)
         self._port = self._listener.port  # pin the port for restarts
@@ -231,6 +238,52 @@ class ExpertWorker:
     @property
     def address(self) -> tuple[str, int]:
         return (self._host, self._port)
+
+    def leader_view(self) -> tuple[str | None, int, float | None]:
+        """``(leader, epoch, lease_age_s)`` as this worker sees it."""
+        with self._lease_lock:
+            return (self.lease.leader, self.lease.epoch,
+                    self.lease.age(self._clock()))
+
+    # ---------------------------------------------------------- leadership
+    def _stale_epoch_reply(self, seq, claimed) -> bytes:
+        """Fence off a claim below the highest epoch seen (caller holds
+        ``_lease_lock``)."""
+        return protocol.encode(protocol.ERROR, {
+            "error": f"stale epoch {claimed} < {self.lease.epoch}",
+            "stale_epoch": True, "epoch": self.lease.epoch, "seq": seq})
+
+    def _handle_ping(self, msg: protocol.Message) -> bytes:
+        """Heartbeat reply.  A *leader* ping (meta carries ``epoch``)
+        renews the lease — or is fenced when the epoch is below the
+        highest seen.  An *observer* ping (no epoch; standbys and legacy
+        masters) just reads the lease: the pong's ``leader``/``epoch``/
+        ``lease_age_s`` payload is how standbys learn who leads and how
+        stale the claim is."""
+        seq = msg.meta.get("seq")
+        epoch = msg.meta.get("epoch")
+        with self._lease_lock:
+            if epoch is not None and not self.lease.renew(
+                    msg.meta.get("leader"), epoch, self._clock()):
+                return self._stale_epoch_reply(seq, epoch)
+            return protocol.encode(protocol.PONG, {
+                "seq": seq, "leader": self.lease.leader,
+                "epoch": self.lease.epoch,
+                "lease_age_s": self.lease.age(self._clock())})
+
+    def _handle_attach(self, msg: protocol.Message) -> bytes:
+        """The (re-)attach handshake: a master presenting an epoch >= the
+        highest seen becomes this worker's leader; lower epochs are
+        fenced.  This is how a promoted standby takes over live workers
+        — and how a zombie primary learns it has been deposed."""
+        seq = msg.meta.get("seq")
+        epoch = msg.meta.get("epoch", 0)
+        with self._lease_lock:
+            if not self.lease.renew(msg.meta.get("leader"), epoch,
+                                    self._clock()):
+                return self._stale_epoch_reply(seq, epoch)
+            return protocol.encode(protocol.ATTACHED,
+                                   {"seq": seq, "epoch": self.lease.epoch})
 
     def _reload_from_store(self) -> None:
         """Swap in the checkpointed expert, if the store holds one.
@@ -326,9 +379,13 @@ class ExpertWorker:
                         if msg.kind == protocol.SHUTDOWN:
                             return
                         if msg.kind == protocol.PING:
-                            if not self._safe_send(sock, protocol.encode(
-                                    protocol.PONG,
-                                    {"seq": msg.meta.get("seq")})):
+                            if not self._safe_send(sock,
+                                                   self._handle_ping(msg)):
+                                return
+                            continue
+                        if msg.kind == protocol.ATTACH:
+                            if not self._safe_send(sock,
+                                                   self._handle_attach(msg)):
                                 return
                             continue
                         if msg.kind == protocol.DEPLOY:
@@ -346,6 +403,24 @@ class ExpertWorker:
                                 {"error": f"unexpected {msg.kind!r}",
                                  "seq": seq}))
                             continue
+                        # Epoch fencing: a broadcast from a deposed
+                        # master (epoch below the highest seen) must be
+                        # refused, not answered — otherwise two masters
+                        # could serve conflicting answers during a
+                        # failover window.  A current-or-newer epoch
+                        # counts as a lease renewal: live traffic is
+                        # proof of leader liveness.
+                        epoch = msg.meta.get("epoch")
+                        if epoch is not None:
+                            with self._lease_lock:
+                                if not self.lease.renew(
+                                        msg.meta.get("leader"), epoch,
+                                        self._clock()):
+                                    reply = self._stale_epoch_reply(seq,
+                                                                    epoch)
+                                    if not self._safe_send(sock, reply):
+                                        return
+                                    continue
                         try:
                             # ``segments`` marks a coalesced micro-batch
                             # whose per-request row runs must be forwarded
@@ -404,6 +479,17 @@ class WorkerFailure(ConnectionError):
     """Raised when collaboration fails and degradation is disabled."""
 
 
+class LeadershipLost(RuntimeError):
+    """This master has been fenced: a worker (or a pong) presented a
+    leadership epoch higher than the master's own, meaning a standby was
+    promoted in its place.  The master is permanently deposed — every
+    subsequent broadcast raises this too — and its callers must re-drive
+    pending requests to the new leader
+    (:class:`repro.distributed.failover.FailoverServer` does exactly
+    that).  Deliberately *not* a ConnectionError: the workers are fine,
+    it is this master's claim to them that died."""
+
+
 class TeamNetMaster:
     """The master node: local expert + connections to all workers.
 
@@ -450,10 +536,24 @@ class TeamNetMaster:
                  transport: Transport | None = None,
                  resilience: ResilienceConfig | None = None,
                  degradation: DegradationPolicy | None = None,
-                 store=None, engine: str = "tape"):
+                 store=None, engine: str = "tape",
+                 epoch: int | None = None, leader_id: str | None = None):
         self.expert = expert
         self.engine = validate_engine(engine)
         self.store = store
+        # Leadership identity (master failover).  With an ``epoch`` set,
+        # every broadcast/ping/attach carries it and workers fence off
+        # anything below the highest epoch they have seen; ``None`` is
+        # the legacy single-master mode (no epochs on the wire, never
+        # fenced).  ``leader_id`` names this master in pong payloads so
+        # standbys can tell *who* leads, not just that someone does.
+        self.epoch = None if epoch is None else int(epoch)
+        self.leader_id = leader_id
+        self._deposed = False
+        #: standby-master addresses to push roster deltas to (see
+        #: :meth:`announce_roster`); the failover layer registers them.
+        self.standbys: list[tuple[str, int]] = []
+        self._roster_version = 0
         self.degrade_on_failure = degrade_on_failure
         self.reply_timeout = reply_timeout
         self.connect_timeout = connect_timeout
@@ -641,6 +741,7 @@ class TeamNetMaster:
                 failure_threshold=self.resilience.failure_threshold,
                 reset_timeout=self.resilience.reset_timeout,
                 reset_timeout_max=self.resilience.reset_timeout_max)
+        self._roster_changed()
 
     # ------------------------------------------------------------- failure
     def _fail(self, peer: _Peer, inference: InferenceStats,
@@ -734,6 +835,10 @@ class TeamNetMaster:
         x = np.asarray(x)
         inference = InferenceStats()
         with self._lock:
+            if self._deposed:
+                raise LeadershipLost(
+                    f"master {self.leader_id or ''} (epoch {self.epoch}) "
+                    "has been fenced by a higher epoch")
             self._maybe_reconnect()
             if not self.degrade_on_failure:
                 down = self.failed_workers
@@ -743,6 +848,8 @@ class TeamNetMaster:
             self._request_seq += 1
             seq = self._request_seq
             meta: dict = {"seq": seq}
+            if self.epoch is not None:
+                meta["epoch"] = self.epoch
             if segments is not None and len(segments) > 1:
                 meta["segments"] = [int(s) for s in segments]
             request = protocol.encode(protocol.INFER, meta, {"x": x})
@@ -788,12 +895,15 @@ class TeamNetMaster:
         inference = pending.inference
         gather_start = time.monotonic()
         results: dict[int, ExpertOutput | Exception] = {}
+        fenced_epoch: int | None = None
         for peer, slot in pending.waits:
             try:
                 message, latency, nbytes = slot.wait()
                 inference.messages_received += 1
                 inference.bytes_received += nbytes
                 if message.kind != protocol.RESULT:
+                    if message.meta.get("stale_epoch"):
+                        fenced_epoch = message.meta.get("epoch")
                     raise WorkerFailure(
                         "worker failure: "
                         f"{message.meta.get('error', message.kind)}")
@@ -836,6 +946,16 @@ class TeamNetMaster:
                     inference.stale_replies += stale
                     inference.messages_received += stale
                     inference.bytes_received += stale_bytes
+        # A stale-epoch refusal outranks every other failure mode, and
+        # fires even with degradation enabled: a deposed master must not
+        # keep serving "degraded" answers from whatever workers its
+        # broadcasts still reach before they learn of the new leader.
+        if fenced_epoch is not None:
+            with self._lock:
+                self._deposed = True
+            raise LeadershipLost(
+                f"epoch {self.epoch} fenced: a worker has accepted "
+                f"leadership epoch {fenced_epoch}")
         if first_error is not None and not self.degrade_on_failure:
             peer, exc = first_error
             raise WorkerFailure(f"worker {peer.index} failed: {exc}") from exc
@@ -904,11 +1024,18 @@ class TeamNetMaster:
                    else self.resilience.heartbeat_timeout)
         scratch = InferenceStats()  # counter sink for _fail bookkeeping
         rtts: dict[int, float | None] = {p.index: None for p in self._peers}
+        fenced_epoch: int | None = None
         with self._lock:
             self._maybe_reconnect()
             self._request_seq += 1
             seq = self._request_seq
-            ping = protocol.encode(protocol.PING, {"seq": seq})
+            meta: dict = {"seq": seq}
+            if self.epoch is not None:
+                # A leader ping renews the lease on every worker — the
+                # heartbeat loop *is* the lease renewal path.
+                meta["epoch"] = self.epoch
+                meta["leader"] = self.leader_id
+            ping = protocol.encode(protocol.PING, meta)
             waits: list[tuple[_Peer, ReplySlot]] = []
             for peer in self._peers:
                 if not peer.alive or not peer.breaker.allow():
@@ -932,9 +1059,15 @@ class TeamNetMaster:
                 self.heartbeat_traffic.messages_received += 1
                 self.heartbeat_traffic.bytes_received += nbytes
                 if message.kind != protocol.PONG:
+                    if message.meta.get("stale_epoch"):
+                        fenced_epoch = message.meta.get("epoch")
                     raise WorkerFailure(
                         f"worker {peer.index}: expected pong seq {seq}, "
                         f"got {message.kind!r} {message.meta}")
+                pong_epoch = message.meta.get("epoch")
+                if (self.epoch is not None and pong_epoch is not None
+                        and pong_epoch > self.epoch):
+                    fenced_epoch = pong_epoch
                 rtts[peer.index] = latency
                 with self._lock:
                     # Pongs carry no expert compute: decay the suspicion
@@ -952,11 +1085,173 @@ class TeamNetMaster:
                     stale, stale_bytes = peer.channel.take_stale()
                     self.heartbeat_traffic.messages_received += stale
                     self.heartbeat_traffic.bytes_received += stale_bytes
+        if fenced_epoch is not None:
+            with self._lock:
+                self._deposed = True
+            raise LeadershipLost(
+                f"epoch {self.epoch} fenced during heartbeat: a worker "
+                f"follows leadership epoch {fenced_epoch}")
         return rtts
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         preds, _, _ = self.infer(x)
         return preds
+
+    # ---------------------------------------------------------- leadership
+    @property
+    def deposed(self) -> bool:
+        """Has a higher epoch fenced this master off the team?"""
+        with self._lock:
+            return self._deposed
+
+    def roster(self) -> dict[int, tuple[str, int]]:
+        """The current worker roster: ``{team index: address}``."""
+        with self._lock:
+            return {peer.index: tuple(peer.address) for peer in self._peers}
+
+    def attach(self, timeout: float | None = None) -> dict[int, bool]:
+        """Present this master's leadership epoch to every worker.
+
+        The (re-)attach handshake: each reachable worker either accepts
+        (its lease now names this master at ``epoch``) or fences us off
+        with a ``stale_epoch`` error because it already follows a higher
+        epoch — in which case this master is permanently deposed and
+        :class:`LeadershipLost` is raised.  Returns ``{worker index:
+        attached}`` (False = unreachable or missed the deadline; those
+        workers learn the epoch from the next broadcast or heartbeat
+        instead).  Traffic is metered with the heartbeats.
+        """
+        if self.epoch is None:
+            raise ValueError("attach() needs a master with a leadership "
+                             "epoch (epoch=...)")
+        timeout = (timeout if timeout is not None
+                   else self.resilience.heartbeat_timeout)
+        scratch = InferenceStats()
+        acks: dict[int, bool] = {p.index: False for p in self._peers}
+        fenced_epoch: int | None = None
+        with self._lock:
+            self._maybe_reconnect()
+            self._request_seq += 1
+            seq = self._request_seq
+            request = protocol.encode(protocol.ATTACH, {
+                "seq": seq, "epoch": self.epoch, "leader": self.leader_id})
+            waits: list[tuple[_Peer, ReplySlot]] = []
+            for peer in self._peers:
+                if not peer.alive or not peer.breaker.allow():
+                    continue
+                slot = None
+                try:
+                    slot = peer.channel.expect(seq, timeout)
+                    peer.sock.send(request)
+                except (ConnectionError, OSError):
+                    if slot is not None:
+                        slot.cancel()
+                    self._fail(peer, scratch, sink=self.heartbeat_traffic)
+                    continue
+                self.heartbeat_traffic.messages_sent += 1
+                self.heartbeat_traffic.bytes_sent += \
+                    FRAME_OVERHEAD_BYTES + len(request)
+                waits.append((peer, slot))
+        for peer, slot in waits:
+            try:
+                message, _, nbytes = slot.wait()
+                self.heartbeat_traffic.messages_received += 1
+                self.heartbeat_traffic.bytes_received += nbytes
+                if message.kind != protocol.ATTACHED:
+                    if message.meta.get("stale_epoch"):
+                        fenced_epoch = message.meta.get("epoch")
+                    raise WorkerFailure(
+                        f"worker {peer.index} refused attach: "
+                        f"{message.meta.get('error', message.kind)}")
+                acks[peer.index] = True
+                with self._lock:
+                    peer.health.detector.observe()
+                    peer.breaker.record_success()
+            except Exception as exc:  # noqa: BLE001 - booked as a failure
+                with self._lock:
+                    self._fail(peer, scratch,
+                               timed_out=isinstance(exc, TimeoutError),
+                               sink=self.heartbeat_traffic)
+        with self._lock:
+            for peer, _ in waits:
+                if peer.channel is not None:
+                    stale, stale_bytes = peer.channel.take_stale()
+                    self.heartbeat_traffic.messages_received += stale
+                    self.heartbeat_traffic.bytes_received += stale_bytes
+        if fenced_epoch is not None:
+            with self._lock:
+                self._deposed = True
+            raise LeadershipLost(
+                f"attach at epoch {self.epoch} fenced: a worker follows "
+                f"leadership epoch {fenced_epoch}")
+        # Taking (or re-taking) leadership is a membership event: persist
+        # the roster under the new epoch and push the delta to standbys.
+        self._roster_changed()
+        return acks
+
+    def announce_roster(self, timeout: float | None = 2.0
+                        ) -> dict[tuple[str, int], bool]:
+        """Push the current worker roster to every registered standby.
+
+        Best-effort, synchronous per standby: dial, send one ``roster``
+        message (monotonic ``version`` so an old delta can never
+        overwrite a newer one), wait for the ack, close.  Returns
+        ``{standby address: acked}``; an unreachable standby is False,
+        never an exception — it will hydrate the roster from the
+        checkpoint store when it promotes.  Traffic is metered in
+        :attr:`redeploy_traffic` (roster deltas are control-plane
+        provisioning, like model pushes).
+        """
+        with self._lock:
+            self._request_seq += 1
+            seq = self._request_seq
+            self._roster_version += 1
+            message = protocol.encode(protocol.ROSTER, {
+                "seq": seq, "epoch": self.epoch,
+                "version": self._roster_version,
+                "roster": [[peer.index, peer.address[0], peer.address[1]]
+                           for peer in self._peers]})
+        return {tuple(address): self._push_roster(address, message, seq,
+                                                  timeout)
+                for address in list(self.standbys)}
+
+    def _push_roster(self, address, message: bytes, seq: int,
+                     timeout: float | None) -> bool:
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        try:
+            sock = self._transport.connect(*address,
+                                           timeout=self.connect_timeout)
+        except (ConnectionError, OSError):
+            return False
+        try:
+            sock.send(message)
+            while True:
+                remaining = (None if deadline is None
+                             else max(0.0, deadline - time.monotonic()))
+                reply = protocol.decode(sock.recv(timeout=remaining))
+                if reply.meta.get("seq") == seq:
+                    break
+            return reply.kind == protocol.ROSTER_OK
+        except (ConnectionError, OSError, TimeoutError,
+                protocol.ProtocolError):
+            return False
+        finally:
+            self.redeploy_traffic.merge(sock.stats)
+            sock.close()
+
+    def _roster_changed(self) -> None:
+        """Membership changed (redeploy): persist the roster and fan the
+        delta out to the hot standbys, so a later promotion starts from
+        the live team, not a stale snapshot."""
+        if self.store is not None and hasattr(self.store, "save_roster"):
+            try:
+                self.store.save_roster(self.roster(), epoch=self.epoch or 0,
+                                       leader=self.leader_id)
+            except OSError:
+                pass  # durability is best-effort here; deltas still flow
+        if self.standbys:
+            self.announce_roster()
 
     def close(self) -> None:
         for peer in self._peers:

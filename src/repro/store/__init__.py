@@ -18,10 +18,12 @@ this package makes *state* survive it too:
 from .artifact import (ArtifactStore, CorruptGenerationError,
                        NoValidGenerationError, StoreError,
                        atomic_write_bytes, fsync_dir)
-from .checkpoint import CheckpointStore, TeamCheckpoint, expert_entry_name
+from .checkpoint import (CheckpointStore, RosterSnapshot, TeamCheckpoint,
+                         expert_entry_name)
 
 __all__ = [
     "ArtifactStore", "StoreError", "CorruptGenerationError",
     "NoValidGenerationError", "atomic_write_bytes", "fsync_dir",
-    "CheckpointStore", "TeamCheckpoint", "expert_entry_name",
+    "CheckpointStore", "TeamCheckpoint", "RosterSnapshot",
+    "expert_entry_name",
 ]

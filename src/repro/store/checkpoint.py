@@ -34,7 +34,8 @@ from ..nn.models import ArchitectureSpec
 from ..nn.serialize import model_from_bytes, model_to_bytes
 from .artifact import ArtifactStore
 
-__all__ = ["CheckpointStore", "TeamCheckpoint", "expert_entry_name"]
+__all__ = ["CheckpointStore", "TeamCheckpoint", "RosterSnapshot",
+           "expert_entry_name"]
 
 CHECKPOINT_SCHEMA = 1
 _STATE_ENTRY = "training_state.json"
@@ -129,6 +130,16 @@ class TeamCheckpoint:
         trainer._epoch = self.epoch
 
 
+@dataclass(frozen=True)
+class RosterSnapshot:
+    """The persisted leadership/roster state a standby hydrates from."""
+
+    roster: dict[int, tuple[str, int]]
+    epoch: int
+    leader: str | None
+    version: int
+
+
 class CheckpointStore:
     """Durable home for :class:`TeamCheckpoint` generations.
 
@@ -137,11 +148,17 @@ class CheckpointStore:
     returns the newest checkpoint that validates (falling back past any
     corrupted generation), and ``expert_bytes`` hands the master a
     ready-to-push wire blob for :meth:`TeamNetMaster.redeploy`.
+
+    The master-failover layer additionally persists the live *worker
+    roster* here (``save_roster``/``load_roster``) in a nested store
+    under ``root/roster`` — nested because roster deltas churn on every
+    redeploy and must not rotate training checkpoints out of retention.
     """
 
     def __init__(self, root, retain: int = 3, fsync: bool = True, hook=None):
         self.store = ArtifactStore(root, retain=retain, fsync=fsync,
                                    hook=hook)
+        self._roster_store: ArtifactStore | None = None
 
     @property
     def root(self):
@@ -244,6 +261,46 @@ class CheckpointStore:
     def load_expert(self, index: int, generation: int | None = None):
         """Rebuild one expert model from the store: ``(model, spec)``."""
         return model_from_bytes(self.expert_bytes(index, generation))
+
+    # -------------------------------------------------------------- roster
+    def _rosters(self) -> ArtifactStore:
+        if self._roster_store is None:
+            self._roster_store = ArtifactStore(
+                self.store.root / "roster", retain=self.store.retain,
+                fsync=self.store.fsync)
+        return self._roster_store
+
+    def save_roster(self, roster: dict[int, tuple[str, int]],
+                    epoch: int = 0, leader: str | None = None) -> int:
+        """Persist the live worker roster (+ leadership identity) as a
+        new roster generation; returns its id, which doubles as the
+        snapshot ``version`` (generations are monotonic)."""
+        rosters = self._rosters()
+        known = rosters.generations()
+        version = (known[-1] + 1) if known else 1  # = the new generation id
+        blob = json.dumps({
+            "roster": [[int(i), str(h), int(p)]
+                       for i, (h, p) in sorted(roster.items())],
+            "epoch": int(epoch), "leader": leader, "version": version,
+        }, indent=2).encode("utf-8")
+        return rosters.write_generation(
+            {"roster.json": blob},
+            {"kind": "team-roster", "epoch": int(epoch), "leader": leader})
+
+    def load_roster(self) -> RosterSnapshot | None:
+        """The newest valid persisted roster, or None if none exists."""
+        from .artifact import NoValidGenerationError  # local: avoid cycle
+        try:
+            entries, _ = self._rosters().read_generation()
+        except NoValidGenerationError:
+            return None
+        state = json.loads(entries["roster.json"].decode("utf-8"))
+        return RosterSnapshot(
+            roster={int(i): (str(h), int(p))
+                    for i, h, p in state.get("roster", [])},
+            epoch=int(state.get("epoch", 0)),
+            leader=state.get("leader"),
+            version=int(state.get("version", 0)))
 
     # ------------------------------------------------------------- tooling
     def generations(self) -> list[int]:

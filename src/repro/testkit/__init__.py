@@ -37,21 +37,25 @@ cheap to check thousands of times:
 """
 
 from .clock import SimClock
-from .cluster import SimCluster
+from .cluster import SimCluster, SimFailoverCluster
 from .crash import (CrashInjector, SimulatedCrash, crash_resume_round,
-                    crash_resume_soak, tear_file, training_fingerprint)
+                    crash_resume_soak, tear_file, training_fingerprint,
+                    write_repro_artifact)
 from .differential import (DifferentialMismatch, differential_sweep,
                            run_differential_case,
                            run_serving_differential_case)
+from .failover import failover_round, failover_soak
 from .faults import FaultSchedule, LinkFaults
 from .guards import forbid_sockets
 from .sim_transport import SimNetwork, SimTransport
 
 __all__ = [
-    "SimClock", "SimCluster", "SimNetwork", "SimTransport",
+    "SimClock", "SimCluster", "SimFailoverCluster", "SimNetwork",
+    "SimTransport",
     "FaultSchedule", "LinkFaults", "forbid_sockets",
     "DifferentialMismatch", "run_differential_case", "differential_sweep",
     "run_serving_differential_case",
     "SimulatedCrash", "CrashInjector", "tear_file", "training_fingerprint",
-    "crash_resume_round", "crash_resume_soak",
+    "crash_resume_round", "crash_resume_soak", "write_repro_artifact",
+    "failover_round", "failover_soak",
 ]

@@ -11,14 +11,19 @@ crash, rejoin — runs in-process in milliseconds with scriptable faults.
 
 from __future__ import annotations
 
+import copy
+import threading
+
 import numpy as np
 
+from ..distributed.failover import StandbyMaster
+from ..distributed.resilience import LeaseConfig
 from ..distributed.teamnet_runtime import ExpertWorker, TeamNetMaster
 from ..nn import Module
 from .faults import FaultSchedule
 from .sim_transport import SimNetwork
 
-__all__ = ["SimCluster"]
+__all__ = ["SimCluster", "SimFailoverCluster"]
 
 
 class SimCluster:
@@ -119,6 +124,180 @@ class SimCluster:
     def close(self) -> None:
         if hasattr(self, "master"):
             self.master.close()
+        for worker in self.workers:
+            worker.stop()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+class SimFailoverCluster:
+    """A leased primary, hot standbys, and the fabric to fail over on.
+
+    Expert 0 is the primary master at leadership epoch 1 (attached, so
+    every worker's lease names it); the other experts are simulated
+    workers.  ``n_standbys`` :class:`StandbyMaster` spares run with a
+    deep copy of the primary's expert — *identical weights*, which is
+    what makes post-failover answers byte-comparable to a no-failure
+    run.  Workers and standbys read lease ages off the network's virtual
+    clock, so "the lease expired" is a deterministic
+    ``clock.advance(...)`` instead of a real-time sleep.
+    """
+
+    def __init__(self, experts: list[Module],
+                 schedule: FaultSchedule | None = None, *,
+                 n_standbys: int = 1,
+                 lease: LeaseConfig | None = None,
+                 store=None,
+                 degrade_on_failure: bool = False,
+                 reply_timeout: float | None = 1.0,
+                 resilience=None, degradation=None,
+                 host: str = "sim", engine: str = "tape"):
+        if len(experts) < 2:
+            raise ValueError("a team needs >= 2 experts")
+        if n_standbys < 1:
+            raise ValueError("a failover cluster needs >= 1 standby")
+        self.experts = list(experts)
+        self.network = SimNetwork(schedule)
+        self.lease = lease if lease is not None else LeaseConfig()
+        clock = lambda: self.network.clock.now  # noqa: E731
+        self._clock_fn = clock
+        self.workers: list[ExpertWorker] = []
+        self.standbys: list[StandbyMaster] = []
+        self.promoted: TeamNetMaster | None = None
+        self._master_kwargs = dict(
+            degrade_on_failure=degrade_on_failure,
+            reply_timeout=reply_timeout, reconnect_backoff=0.0,
+            transport=self.network.transport, resilience=resilience,
+            degradation=degradation, store=store, engine=engine)
+        try:
+            for expert in self.experts[1:]:
+                worker = ExpertWorker(expert, host=host,
+                                      transport=self.network.transport,
+                                      engine=engine, clock=clock)
+                worker.start()
+                self.workers.append(worker)
+            roster = {i: w.address
+                      for i, w in enumerate(self.workers, start=1)}
+            self.primary = TeamNetMaster(
+                self.experts[0], [w.address for w in self.workers],
+                epoch=1, leader_id="primary", **self._master_kwargs)
+            for i in range(n_standbys):
+                standby = StandbyMaster(
+                    f"standby-{i}", expert=copy.deepcopy(self.experts[0]),
+                    store=store, roster=roster,
+                    transport=self.network.transport, host=host,
+                    lease=self.lease, clock=clock, engine=engine)
+                standby.start()
+                self.standbys.append(standby)
+            self.primary.standbys = [s.address for s in self.standbys]
+            # The attach is the epoch-1 lease's first renewal: from here
+            # on every worker fences anything below epoch 1.
+            self.primary.attach()
+        except BaseException:
+            self.close()
+            raise
+
+    # -------------------------------------------------------------- access
+    @property
+    def clock(self):
+        return self.network.clock
+
+    @property
+    def standby(self) -> StandbyMaster:
+        return self.standbys[0]
+
+    def serve(self, **kwargs):
+        """A started TeamNetServer over the *primary* master."""
+        return self.primary.serve(**kwargs)
+
+    # ------------------------------------------------------------- failures
+    def kill_primary(self) -> float:
+        """Kill the primary the way a process death does: every worker
+        connection severed abruptly (no SHUTDOWN courtesy), nothing else
+        touched.  Returns the virtual kill time."""
+        master = self.primary
+        with master._lock:
+            for peer in master._peers:
+                if peer.channel is not None:
+                    peer.channel.close()
+                    peer.channel = None
+                if peer.sock is not None:
+                    peer.sock.close()
+                    peer.sock = None
+        return self.network.clock.now
+
+    def expire_lease(self, slack: float = 1e-3) -> float:
+        """Advance virtual time just past the lease duration so every
+        worker's last renewal is stale; returns the new time."""
+        return self.network.clock.advance(self.lease.duration_s + slack)
+
+    # ------------------------------------------------------------ promotion
+    def elect(self, priorities: list[float] | None = None,
+              epoch: int | None = None) -> int:
+        """Run the ring election among all standbys (concurrently — the
+        ring blocks each rank on its predecessor); returns the winning
+        rank, asserted identical on every participant."""
+        members = [s.address for s in self.standbys]
+        for standby in self.standbys:
+            if standby.ring is None:
+                standby.join_ring(members)
+        if epoch is None:
+            # Every rank must contest the *same* epoch or their tokens
+            # live in different tag namespaces.  Real deployments get
+            # there by each standby polling the workers (the lease view
+            # reports the highest epoch on the team); the testkit just
+            # takes the max across its in-process spares.
+            epoch = max(s.max_epoch_seen for s in self.standbys) + 1
+        results: list[int | None] = [None] * len(self.standbys)
+        errors: list[BaseException] = []
+
+        def run(rank: int, standby: StandbyMaster) -> None:
+            try:
+                results[rank] = standby.elect(
+                    priority=None if priorities is None
+                    else priorities[rank], epoch=epoch)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(i, s), daemon=True)
+                   for i, s in enumerate(self.standbys)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        if errors:
+            raise errors[0]
+        if len(set(results)) != 1 or results[0] is None:
+            raise AssertionError(f"election disagreed: {results}")
+        return results[0]
+
+    def promote(self, rank: int | None = None, **master_kwargs
+                ) -> TeamNetMaster:
+        """Promote standby ``rank`` (default: the election winner, or 0
+        with a single standby) to primary at the next epoch; re-attaches
+        every worker, fencing the old primary off."""
+        if rank is None:
+            rank = 0 if len(self.standbys) == 1 else self.elect()
+        kwargs = {k: v for k, v in self._master_kwargs.items()
+                  if k not in ("transport", "store", "engine")}
+        kwargs.update(master_kwargs)
+        self.promoted = self.standbys[rank].promote(
+            standbys=[s.address for s in self.standbys], **kwargs)
+        return self.promoted
+
+    # -------------------------------------------------------------- teardown
+    def close(self) -> None:
+        if self.promoted is not None:
+            self.promoted.close()
+        if hasattr(self, "primary"):
+            self.primary.close()
+        for standby in self.standbys:
+            standby.stop()
         for worker in self.workers:
             worker.stop()
 

@@ -42,7 +42,8 @@ from ..store import CheckpointStore, NoValidGenerationError
 
 __all__ = ["SimulatedCrash", "CrashInjector", "tear_file",
            "training_fingerprint", "crash_resume_round",
-           "crash_resume_soak", "DEFAULT_CRASH_REPRO_DIR"]
+           "crash_resume_soak", "write_repro_artifact",
+           "DEFAULT_CRASH_REPRO_DIR"]
 
 DEFAULT_CRASH_REPRO_DIR = ".crash-repro"
 
@@ -255,14 +256,29 @@ def crash_resume_soak(seed: int = 0, rounds: int = 5,
     return summary
 
 
+def write_repro_artifact(name: str, payload: dict,
+                         repro_dir: str | None = None,
+                         env_var: str = "CRASH_REPRO_DIR",
+                         default_dir: str = DEFAULT_CRASH_REPRO_DIR) -> str:
+    """Write one JSON repro artifact and return its path.
+
+    The directory resolution order (explicit ``repro_dir``, then the
+    ``env_var`` environment variable, then ``default_dir``) is shared by
+    every seeded soak in the testkit, so CI can point them all at one
+    upload root.
+    """
+    directory = repro_dir or os.environ.get(env_var) or default_dir
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return path
+
+
 def _dump_repro(repro_dir: str | None, seed: int, round_index: int,
                 error: Exception) -> str:
-    directory = (repro_dir or os.environ.get("CRASH_REPRO_DIR")
-                 or DEFAULT_CRASH_REPRO_DIR)
-    os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory, f"crash-seed{seed}-round{round_index}.json")
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump({
+    return write_repro_artifact(
+        f"crash-seed{seed}-round{round_index}.json", {
             "crash_seed": seed,
             "failed_round": round_index,
             "error": str(error),
@@ -270,5 +286,4 @@ def _dump_repro(repro_dir: str | None, seed: int, round_index: int,
                       "from repro.testkit.crash import crash_resume_round; "
                       f"crash_resume_round({seed}, {round_index}, "
                       "tempfile.mkdtemp())'",
-        }, handle, indent=2)
-    return path
+        }, repro_dir=repro_dir)

@@ -1,0 +1,190 @@
+"""Seeded master-failover chaos soak on the simulated fabric.
+
+The failover layer's three claims — every accepted request resolves, no
+request is answered twice, and answers are byte-identical to a
+no-failure run — are exactly the kind that hold on the happy path and
+break at one unlucky interleaving.  This module kills the primary at
+seeded, randomized protocol points mid-traffic and asserts all three
+claims on every round:
+
+* :func:`failover_round` — one (seed, round) case: derive the traffic,
+  the kill point (between settled requests, or with a burst in flight),
+  the standby count and the election priorities from the seed; run the
+  kill → lease-expiry detection → ring election → promotion → re-drive
+  sequence on a :class:`~repro.testkit.cluster.SimFailoverCluster`; and
+  check every request against a golden no-failure run of the same
+  experts and inputs.
+* :func:`failover_soak` — ``rounds`` rounds under
+  :func:`~repro.testkit.guards.forbid_sockets`; the first failing round
+  writes a JSON repro artifact (seed + round + error) via
+  :func:`~repro.testkit.crash.write_repro_artifact` and re-raises.
+
+Because workers, standbys and the lease all read the network's virtual
+clock, "the lease expired" is a deterministic ``clock.advance`` — no
+real-time sleeps, so a full round takes milliseconds and the soak can
+afford hundreds of kills per CI run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributed.failover import FailoverServer, MasterFailover
+from ..distributed.resilience import LeaseConfig
+from ..nn import MLP
+from .cluster import SimFailoverCluster
+from .crash import write_repro_artifact
+from .guards import forbid_sockets
+
+__all__ = ["failover_round", "failover_soak", "DEFAULT_FAILOVER_REPRO_DIR"]
+
+DEFAULT_FAILOVER_REPRO_DIR = ".testkit-repro"
+
+_FEATURES = 10
+_CLASSES = 3
+_TEAM = 3  # primary + 2 workers
+
+
+def _experts(case_seed: int) -> list[MLP]:
+    return [MLP(_FEATURES, _CLASSES, depth=1, width=6,
+                rng=np.random.default_rng((case_seed, i)))
+            for i in range(_TEAM)]
+
+
+def failover_round(seed: int, round_index: int) -> dict:
+    """One seeded kill-the-primary case; returns its report.
+
+    Everything is derived from ``(seed, round_index)``: the request
+    batch shapes and contents, how many requests settle before the kill,
+    whether the kill lands with a burst still in flight, how many
+    standbys compete and with which election priorities.  Asserts:
+
+    1. every submitted request resolves with an answer (full quorum on
+       both sides of the failover — nothing may degrade into an error);
+    2. answers are byte-identical to a sequential no-failure run of the
+       same experts over the same inputs, re-driven requests included;
+    3. request accounting closes: completed + failed == submitted, and
+       any late answer from the dying master is counted as a suppressed
+       duplicate rather than delivered.
+    """
+    rng = np.random.default_rng((0xFA11, seed, round_index))
+    case_seed = int(rng.integers(2**31))
+    n_requests = int(rng.integers(6, 12))
+    kill_at = int(rng.integers(0, n_requests))  # requests before the kill
+    inflight_kill = bool(rng.integers(2))
+    n_standbys = int(rng.integers(1, 3))
+    priorities = [float(p) for p in rng.random(n_standbys)]
+    lease = LeaseConfig(duration_s=float(rng.uniform(0.1, 1.0)))
+    xs = [rng.standard_normal((int(rng.integers(1, 4)), _FEATURES))
+          .astype(np.float32) for _ in range(n_requests)]
+
+    # Golden: the same experts and inputs, no failure, sequential.
+    with SimFailoverCluster(_experts(case_seed)) as ref:
+        golden = [ref.primary.infer(x)[:2] for x in xs]
+
+    report = {"seed": seed, "round": round_index, "case_seed": case_seed,
+              "requests": n_requests, "kill_at": kill_at,
+              "inflight_kill": inflight_kill, "standbys": n_standbys,
+              "lease_duration_s": lease.duration_s}
+    with SimFailoverCluster(_experts(case_seed), n_standbys=n_standbys,
+                            lease=lease) as cluster:
+        server = cluster.serve(max_batch=4, coalesce="exact")
+        front = FailoverServer(server)
+        futures = []
+        # Phase 1: traffic before the kill.  ``inflight_kill`` leaves the
+        # whole prefix racing the kill on the wire; otherwise each
+        # request settles before the next is admitted.
+        for x in xs[:kill_at]:
+            future = front.submit(x)
+            futures.append(future)
+            if not inflight_kill:
+                future.result(timeout=10.0)
+        t_kill = cluster.network.clock.now
+        front.kill(closer=cluster.kill_primary,
+                   error=MasterFailover("chaos: primary killed"))
+        # Phase 2: traffic arriving while the master is dead parks.
+        for x in xs[kill_at:]:
+            futures.append(front.submit(x))
+        # Detection on the virtual clock: one lease past the last renewal.
+        cluster.expire_lease()
+        view = cluster.standby.poll()
+        if not view.leader_lost:
+            raise AssertionError(f"lease not observed expired: {view}")
+        winner = 0 if n_standbys == 1 else cluster.elect(
+            priorities=priorities)
+        expected = max(range(n_standbys),
+                       key=lambda i: (priorities[i], i))
+        if winner != expected:
+            raise AssertionError(
+                f"election picked rank {winner}, priorities {priorities}")
+        promoted = cluster.promote(rank=winner)
+        t_promoted = cluster.network.clock.now
+        new_server = promoted.serve(max_batch=4, coalesce="exact")
+        try:
+            redriven = front.failover_to(new_server)
+            results = [future.result(timeout=10.0) for future in futures]
+            t_recovered = cluster.network.clock.now
+        finally:
+            front.close()
+        stats = front.stats()
+
+    for i, ((preds, winner_idx, _), (g_preds, g_winner)) in enumerate(
+            zip(results, golden)):
+        if not (np.array_equal(preds, g_preds)
+                and np.array_equal(winner_idx, g_winner)):
+            raise AssertionError(
+                f"request {i} diverged from the no-failure run "
+                f"(kill_at={kill_at}, inflight={inflight_kill})")
+    if stats.completed + stats.failed != stats.submitted:
+        raise AssertionError(f"request accounting does not close: {stats}")
+    if stats.failed:
+        raise AssertionError(f"{stats.failed} requests failed terminally "
+                             f"despite full post-failover quorum: {stats}")
+    report.update({
+        "promoted_epoch": promoted.epoch, "winner": winner,
+        "redriven": redriven,
+        "duplicates_suppressed": stats.duplicates_suppressed,
+        "virtual_kill_s": t_kill,
+        "virtual_promotion_s": t_promoted - t_kill,
+        "virtual_recovery_s": t_recovered - t_kill,
+    })
+    return report
+
+
+def failover_soak(seed: int = 0, rounds: int = 10,
+                  repro_dir: str | None = None) -> dict:
+    """Run ``rounds`` seeded failover cases; returns a summary.
+
+    The first failing round writes a JSON repro artifact (seed + round +
+    error + replay command) to ``repro_dir`` (default
+    ``$FAILOVER_REPRO_DIR`` or ``.testkit-repro/``) and re-raises.
+    """
+    summary = {"seed": seed, "rounds": rounds, "redriven": 0,
+               "duplicates_suppressed": 0, "inflight_kills": 0,
+               "max_virtual_recovery_s": 0.0}
+    with forbid_sockets():
+        for round_index in range(rounds):
+            try:
+                report = failover_round(seed, round_index)
+            except Exception as exc:
+                path = write_repro_artifact(
+                    f"failover-seed{seed}-round{round_index}.json", {
+                        "failover_seed": seed,
+                        "failed_round": round_index,
+                        "error": str(exc),
+                        "replay": "python -c 'from repro.testkit.failover "
+                                  "import failover_round; "
+                                  f"failover_round({seed}, {round_index})'",
+                    }, repro_dir=repro_dir, env_var="FAILOVER_REPRO_DIR",
+                    default_dir=DEFAULT_FAILOVER_REPRO_DIR)
+                raise AssertionError(
+                    f"failover soak seed {seed} round {round_index}: {exc} "
+                    f"(repro artifact: {path})") from exc
+            summary["redriven"] += report["redriven"]
+            summary["duplicates_suppressed"] += \
+                report["duplicates_suppressed"]
+            summary["inflight_kills"] += int(report["inflight_kill"])
+            summary["max_virtual_recovery_s"] = max(
+                summary["max_virtual_recovery_s"],
+                report["virtual_recovery_s"])
+    return summary

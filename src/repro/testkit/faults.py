@@ -136,6 +136,23 @@ class FaultSchedule:
         rng = np.random.default_rng((self.seed, conn_id, stream_id))
         return LinkStream(config, rng)
 
+    def with_override(self, address: tuple[str, int],
+                      request: LinkFaults | None = None,
+                      reply: LinkFaults | None = None) -> "FaultSchedule":
+        """A copy of this schedule with per-address fault overrides for
+        one listener address merged in (the original is untouched) —
+        the ergonomic way to target a single worker's links when
+        composing a scenario incrementally."""
+        directions = dict(self.per_address.get(tuple(address), {}))
+        if request is not None:
+            directions[REQUEST] = request
+        if reply is not None:
+            directions[REPLY] = reply
+        per_address = {tuple(a): dict(d) for a, d in self.per_address.items()}
+        per_address[tuple(address)] = directions
+        return FaultSchedule(seed=self.seed, request=self.request,
+                             reply=self.reply, per_address=per_address)
+
     def to_dict(self) -> dict:
         """JSON-safe description, sufficient to reconstruct the schedule
         (used by the differential checker's repro artifacts)."""

@@ -5,7 +5,8 @@ import pytest
 
 from repro.comm import run_group
 from repro.core import TeamInference, expert_forward
-from repro.distributed.election import decentralized_select, elect_leader
+from repro.distributed.election import (decentralized_select, elect_leader,
+                                        election_tag)
 from repro.nn import MLP
 
 
@@ -35,6 +36,43 @@ class TestElectLeader:
 
         leaders = run_group(3, work)
         assert set(leaders) == {2}
+
+    def test_back_to_back_elections_are_isolated(self):
+        """A straggler token from election N delivered late must not be
+        consumed by election N+1 (the old single-namespace tags allowed
+        exactly that cross-talk).  Simulate the delayed link by forging
+        an election-1-tagged token with an absurd priority *between* the
+        two elections: election 2 must be entirely unaffected by it."""
+        def work(comm):
+            first = elect_leader(comm, priority=float(comm.rank))
+            # The "delayed" frame: a token for the *previous* election
+            # arriving after it concluded, carrying a priority that
+            # would win any election it leaked into.
+            successor = (comm.rank + 1) % comm.size
+            comm.send(np.array([999.0, 0.0]), successor, election_tag(1, 0))
+            second = elect_leader(comm, priority=float(comm.size
+                                                       - comm.rank))
+            # Drain the forged token so the communicator ends clean.
+            comm.recv((comm.rank - 1) % comm.size, election_tag(1, 0))
+            return first, second
+
+        results = run_group(3, work)
+        assert {first for first, _ in results} == {2}
+        # Election 2 inverts the priorities: rank 0 must win — and must
+        # NOT be displaced by the forged 999-priority election-1 token.
+        assert {second for _, second in results} == {0}
+
+    def test_explicit_epoch_namespaces_tags(self):
+        """Two elections pinned to different epochs never share tags,
+        even run from communicators with no election history."""
+        def work(comm):
+            a = elect_leader(comm, priority=float(comm.rank), epoch=7)
+            b = elect_leader(comm, priority=float(-comm.rank), epoch=8)
+            return a, b
+
+        results = run_group(2, work)
+        assert {a for a, _ in results} == {1}
+        assert {b for _, b in results} == {0}
 
 
 class TestDecentralizedSelect:

@@ -12,8 +12,8 @@ import threading
 import numpy as np
 import pytest
 
-from repro.distributed.serving import (ServerClosed, ServerOverloaded,
-                                       TeamNetServer)
+from repro.distributed.serving import (RequestAbandoned, ServerClosed,
+                                       ServerOverloaded, TeamNetServer)
 from repro.distributed.teamnet_runtime import (WorkerFailure,
                                                deploy_local_team)
 from repro.testkit import SimCluster, forbid_sockets, strategies
@@ -189,6 +189,52 @@ class TestAdmissionAndLifecycle:
             server.close()
 
 
+class TestAbandonedRequests:
+    def test_timed_out_then_abandoned_future_counts_late_resolution(self):
+        experts, requests = team_and_requests(18, n_requests=1)
+        with forbid_sockets(), SimCluster(experts) as cluster:
+            server = TeamNetServer(cluster.master)  # not started yet
+            future = server.submit(requests[0])
+            with pytest.raises(TimeoutError, match="in flight"):
+                future.result(timeout=0.05)
+            # The TimeoutError alone changes nothing: the request is
+            # still in flight.  Abandoning it is the terminal act.
+            assert future.state == "pending"
+            assert future.abandon()
+            assert future.state == "abandoned"
+            assert not future.abandon()  # idempotent
+            stats = server.stats()
+            assert stats.abandoned == 1
+            assert stats.late_resolutions == 0
+            server.start()
+            server.close()  # drain completes the abandoned request
+            stats = server.stats()
+            assert stats.completed == 1
+            assert stats.late_resolutions == 1, \
+                "the late answer must be counted, not vanish silently"
+            with pytest.raises(RequestAbandoned):
+                future.result(timeout=1.0)
+            # The outcome itself is retained (the failover layer peeks
+            # at settled futures); it is only the abandoning caller that
+            # never sees it through result().
+            value, error = future.outcome()
+            assert error is None
+            preds, winner, _ = value
+            assert preds.shape == (len(requests[0]),)
+
+    def test_abandon_after_settlement_is_refused(self):
+        experts, requests = team_and_requests(19, n_requests=1)
+        with forbid_sockets(), SimCluster(experts) as cluster:
+            with cluster.serve() as server:
+                future = server.submit(requests[0])
+                future.result(timeout=30.0)
+                assert not future.abandon()
+                assert future.state == "done"
+                stats = server.stats()
+                assert stats.abandoned == 0
+                assert stats.late_resolutions == 0
+
+
 class TestFailurePropagation:
     def test_worker_failure_rejects_the_whole_batch(self):
         experts, requests = team_and_requests(14, n_requests=3)
@@ -206,6 +252,53 @@ class TestFailurePropagation:
                 assert server.stats().failed == len(requests)
             finally:
                 server.close()
+
+    def test_close_during_inflight_gather_with_dead_worker(self):
+        """close(drain=False) while a gather is on the wire against a
+        dead worker: the queued tail is rejected with ServerClosed
+        immediately (no waiting out the dead master's backlog), the
+        in-flight batch concludes through the collector with
+        WorkerFailure, and no server thread survives."""
+        experts, requests = team_and_requests(17, n_requests=4)
+        with forbid_sockets(), \
+                SimCluster(experts, degrade_on_failure=False,
+                           reply_timeout=0.5) as cluster:
+            cluster.crash_worker(1)
+            server = TeamNetServer(cluster.master, max_batch=1)
+            entered = threading.Event()
+            release = threading.Event()
+            begin = cluster.master._begin
+
+            def gated_begin(x, **kwargs):
+                entered.set()
+                release.wait(timeout=10.0)
+                return begin(x, **kwargs)
+
+            cluster.master._begin = gated_begin
+            futures = [server.submit(x) for x in requests]
+            server.start()
+            assert entered.wait(timeout=10.0)  # batch 0 is mid-gather
+            closer = threading.Thread(target=server.close,
+                                      kwargs={"drain": False,
+                                              "timeout": 30.0})
+            closer.start()
+            try:
+                # The queued tail must be rejected while batch 0 is
+                # still blocked on the wire.
+                for future in futures[1:]:
+                    with pytest.raises(ServerClosed):
+                        future.result(timeout=10.0)
+            finally:
+                release.set()
+                closer.join(timeout=30.0)
+            assert not closer.is_alive()
+            with pytest.raises(WorkerFailure):
+                futures[0].result(timeout=1.0)
+            assert not server._dispatcher.is_alive()
+            assert not server._collector.is_alive()
+            stats = server.stats()
+            assert stats.failed == len(requests)
+            assert stats.completed == 0
 
     def test_degraded_serving_keeps_answering(self):
         experts, requests = team_and_requests(15, n_requests=4)

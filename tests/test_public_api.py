@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.cascade",
     "repro.comm",
     "repro.distributed", "repro.distributed.election",
+    "repro.distributed.failover",
     "repro.edge", "repro.edge.loadsim",
     "repro.experiments", "repro.experiments.plots",
     "repro.store", "repro.store.artifact", "repro.store.checkpoint",
