@@ -42,6 +42,19 @@
 #       -> elect -> promote -> re-drive must fit the lease's
 #       recovery_budget_s for every lease/latency pairing, writing the
 #       sweep to BENCH_failover.json (path override: FAILOVER_BENCH_JSON).
+#   scripts/ci.sh --integrity                # data-plane integrity gate:
+#       the silent-corruption soak (sharpened experts, live weight
+#       bit-flips, stale-version reconnects, tampered wire payloads; the
+#       protected master must quarantine, auto-redeploy, and converge
+#       back to byte-identical answers), one soak per seed in
+#       INTEGRITY_SEEDS (default "0 1 2"), INTEGRITY_ROUNDS rounds each
+#       (default 8); a failing round writes a JSON repro to
+#       INTEGRITY_REPRO_DIR (default .testkit-repro/).  Then the
+#       detection-latency bench: quarantine within DETECT_PROBE_BUDGET
+#       canary probes and recovery within RECOVERY_PROBE_BUDGET for
+#       every corruption mode, with the unprotected baseline shown
+#       diverging on the same schedules; writes BENCH_integrity.json
+#       (path override: INTEGRITY_BENCH_JSON).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -139,6 +152,26 @@ if [[ "${1:-}" == "--failover" ]]; then
     echo "=== failover bench: recovery within the lease budget ==="
     timeout --signal=INT "$SUITE_TIMEOUT" \
         python -m pytest -x -q -s benchmarks/test_bench_failover.py \
+        -p no:cacheprovider "$@"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--integrity" ]]; then
+    shift
+    export INTEGRITY_REPRO_DIR="${INTEGRITY_REPRO_DIR:-.testkit-repro}"
+    export INTEGRITY_ROUNDS="${INTEGRITY_ROUNDS:-8}"
+    for seed in ${INTEGRITY_SEEDS:-0 1 2}; do
+        echo "=== integrity soak: INTEGRITY_SEED=$seed (INTEGRITY_ROUNDS=$INTEGRITY_ROUNDS) ==="
+        INTEGRITY_SEED="$seed" \
+            timeout --signal=INT "$SUITE_TIMEOUT" \
+            python -m pytest -x -q tests/testkit/test_integrity.py \
+            tests/distributed/test_integrity.py \
+            --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
+    done
+    export INTEGRITY_BENCH_JSON="${INTEGRITY_BENCH_JSON:-BENCH_integrity.json}"
+    echo "=== integrity bench: detection within the probe budget ==="
+    timeout --signal=INT "$SUITE_TIMEOUT" \
+        python -m pytest -x -q -s benchmarks/test_bench_integrity.py \
         -p no:cacheprovider "$@"
     exit 0
 fi

@@ -10,7 +10,10 @@ Commands:
 * ``simulate``   — price an approach on a device/network profile;
 * ``checkpoint`` — inspect a durable checkpoint store: per-generation
   validity (checksums re-verified), metadata, and the generation a
-  resume would land on.
+  resume would land on;
+* ``resilience`` — run a seeded integrity demo on the simulated fabric
+  (optionally corrupting a worker) and print the master's resilience
+  table, including quarantine state.
 """
 
 from __future__ import annotations
@@ -173,6 +176,46 @@ def cmd_checkpoint_inspect(args) -> int:
     return 0
 
 
+def cmd_resilience_inspect(args) -> int:
+    """Deploy a seeded team on the sim fabric, optionally corrupt one
+    worker, drive canary probes, and print the resilience table."""
+    from .distributed import IntegrityConfig, make_canary_set
+    from .edge import resilience_table
+    from .nn import MLP
+    from .testkit import SimCluster, sharpen_expert
+
+    rng = np.random.default_rng(args.seed)
+    features, classes = 8, 4
+    experts = [MLP(features, classes, depth=1, width=6,
+                   rng=np.random.default_rng((args.seed, i)))
+               for i in range(args.experts)]
+    canaries = make_canary_set(experts,
+                               rng.standard_normal((4, features)))
+    integrity = IntegrityConfig(probe_every=1, auto_redeploy=False)
+    with SimCluster(experts, integrity=integrity,
+                    canaries=canaries) as cluster:
+        if args.corrupt is not None:
+            if not 1 <= args.corrupt < args.experts:
+                raise SystemExit(f"--corrupt must name a worker slot in "
+                                 f"[1, {args.experts - 1}]")
+            cluster.corrupt_worker(args.corrupt, sharpen_expert)
+            print(f"corrupted worker {args.corrupt} "
+                  f"(sharpened: confidently wrong)")
+        for _ in range(args.probes):
+            cluster.heartbeat()
+        for _ in range(args.requests):
+            cluster.infer(rng.standard_normal((2, features)))
+        snapshot = cluster.master.resilience_snapshot()
+        print(resilience_table(snapshot))
+        benched = [peer for peer in snapshot.values()
+                   if getattr(peer, "quarantined", False)]
+        for peer in benched:
+            print(f"worker {peer.index} quarantined: "
+                  f"{peer.quarantine_reason}")
+        print(f"participants: {cluster.surviving_team}")
+    return 1 if benched else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -234,6 +277,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "show what a resume would load")
     inspect.add_argument("dir", type=Path)
     inspect.set_defaults(func=cmd_checkpoint_inspect)
+
+    resilience = sub.add_parser(
+        "resilience", help="inspect runtime resilience/integrity state")
+    res_actions = resilience.add_subparsers(dest="action", required=True)
+    res_inspect = res_actions.add_parser(
+        "inspect", help="run a seeded sim-fabric demo and print the "
+                        "resilience table (quarantine state included)")
+    res_inspect.add_argument("--experts", type=int, default=3)
+    res_inspect.add_argument("--corrupt", type=int, default=None,
+                             metavar="WORKER",
+                             help="sharpen this worker's expert so the "
+                                  "canary probe quarantines it")
+    res_inspect.add_argument("--probes", type=int, default=3,
+                             help="heartbeat/canary rounds to drive")
+    res_inspect.add_argument("--requests", type=int, default=4)
+    res_inspect.add_argument("--seed", type=int, default=0)
+    res_inspect.set_defaults(func=cmd_resilience_inspect)
     return parser
 
 

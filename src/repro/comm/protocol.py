@@ -20,7 +20,7 @@ import numpy as np
 __all__ = ["Message", "encode", "decode", "ProtocolError",
            "INFER", "RESULT", "ERROR", "SHUTDOWN", "PING", "PONG",
            "DEPLOY", "DEPLOYED", "ATTACH", "ATTACHED", "ROSTER",
-           "ROSTER_OK", "ELECT"]
+           "ROSTER_OK", "ELECT", "CANARY"]
 
 _LEN = struct.Struct(">I")
 
@@ -31,7 +31,14 @@ _LEN = struct.Struct(">I")
 # pong must echo, so a late pong from an earlier probe cannot satisfy a
 # newer one.
 INFER = "infer"        # master -> worker: broadcast input, arrays={"x"}
-RESULT = "result"      # worker -> master: arrays={"probs", "entropy"}
+RESULT = "result"      # worker -> master: arrays={"probs", "entropy"};
+                       #   meta may carry "model_version" (the worker's
+                       #   weights fingerprint) for the integrity layer
+# CANARY is a known-answer probe (repro.distributed.integrity): the same
+# shape as INFER on the wire, answered with a RESULT, but carrying inputs
+# whose golden outputs the master recorded at deploy time — so the reply
+# proves the worker still computes what its deployed weights should.
+CANARY = "canary"      # master -> worker: arrays={"x"}, meta={"seq"}
 ERROR = "error"        # worker -> master: meta={"error": reason}
 SHUTDOWN = "shutdown"  # master -> worker: close this connection
 PING = "ping"          # master -> worker: heartbeat probe, meta={"seq"}
@@ -119,6 +126,15 @@ def decode(blob: bytes) -> Message:
         raise ProtocolError(f"bad header: {exc}") from exc
     if not isinstance(header, dict) or "kind" not in header:
         raise ProtocolError("header missing 'kind'")
+    if not isinstance(header["kind"], str):
+        raise ProtocolError(f"message kind must be a string, "
+                            f"got {type(header['kind']).__name__}")
+    meta = header.get("meta", {})
+    if not isinstance(meta, dict):
+        # A non-dict meta would blow up every ``msg.meta.get(...)`` in
+        # the worker/master state machines — refuse it at the boundary.
+        raise ProtocolError(f"message meta must be an object, "
+                            f"got {type(meta).__name__}")
     payload = blob[header_end:]
     manifest = header.get("arrays", [])
     if not isinstance(manifest, list):
@@ -130,8 +146,12 @@ def decode(blob: bytes) -> Message:
         end = start + nbytes
         if end > len(payload):
             raise ProtocolError(f"array {name!r} out of bounds")
-        dtype = np.dtype(entry["dtype"])
-        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        dtype = _validate_dtype(entry)
+        # Pure-python ints: a manifest with absurd dims must fail the
+        # nbytes consistency check, not wrap around in int64.
+        expected = dtype.itemsize
+        for dim in shape:
+            expected *= dim
         if expected != nbytes:
             raise ProtocolError(
                 f"array {name!r}: manifest nbytes {nbytes} "
@@ -146,7 +166,29 @@ def decode(blob: bytes) -> Message:
         if start < prev_end:
             raise ProtocolError(
                 f"arrays {prev_name!r} and {name!r} overlap in the payload")
-    return Message(header["kind"], header.get("meta", {}), arrays)
+    return Message(header["kind"], meta, arrays)
+
+
+def _validate_dtype(entry) -> np.dtype:
+    """Resolve a manifest entry's dtype string, typed-error on garbage.
+
+    ``np.dtype`` raises TypeError on junk like ``"garbage"`` (and
+    accepts some non-string inputs we must not trust); object dtypes
+    are refused outright — ``frombuffer`` would fail on them anyway,
+    but with an opaque error rather than a protocol one.
+    """
+    raw = entry.get("dtype")
+    name = entry.get("name")
+    if not isinstance(raw, str):
+        raise ProtocolError(f"array {name!r}: dtype must be a string, "
+                            f"got {raw!r}")
+    try:
+        dtype = np.dtype(raw)
+    except TypeError as exc:
+        raise ProtocolError(f"array {name!r}: bad dtype {raw!r}") from exc
+    if dtype.hasobject:
+        raise ProtocolError(f"array {name!r}: object dtype {raw!r} refused")
+    return dtype
 
 
 def _validate_entry(entry) -> tuple[str, int, int, list[int]]:

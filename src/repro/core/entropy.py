@@ -29,19 +29,38 @@ def predictive_entropy(logits) -> np.ndarray:
 
     Accepts a Tensor or ndarray of shape (N, C); returns an ndarray (N,).
     Computed via log-softmax for numerical stability.
+
+    A row containing NaN/inf logits has no defined distribution; its
+    entropy is ``+inf`` — maximally uncertain, so the arg-min gate can
+    never select a corrupted expert's output (``np.argmin`` would
+    otherwise treat a NaN entropy as the minimum).
     """
     data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
-    shifted = data - data.max(axis=-1, keepdims=True)
+    data = np.asarray(data, dtype=np.result_type(data.dtype, np.float64)
+                      if data.dtype.kind != "f" else data.dtype)
+    finite = np.isfinite(data).all(axis=-1)
+    safe = np.where(finite[..., None], data, 0.0)
+    shifted = safe - safe.max(axis=-1, keepdims=True)
     log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
     log_p = shifted - log_z
     p = np.exp(log_p)
-    return -(p * log_p).sum(axis=-1)
+    entropy = -(p * log_p).sum(axis=-1)
+    return np.where(finite, entropy, np.inf)
 
 
 def entropy_from_probs(probs: np.ndarray) -> np.ndarray:
-    """Entropy of explicit probability rows (N, C)."""
-    probs = np.asarray(probs)
-    return -(probs * np.log(probs + _EPS)).sum(axis=-1)
+    """Entropy of explicit probability rows (N, C).
+
+    Exact at the boundary: a zero probability contributes exactly 0
+    (the ``p log p`` limit), not ``0 * log(eps)``; a row containing
+    NaN/inf (or a negative "probability") evaluates to ``+inf`` so a
+    corrupted distribution can never win the arg-min gate.
+    """
+    probs = np.asarray(probs, dtype=float)
+    valid = (np.isfinite(probs) & (probs >= 0.0)).all(axis=-1)
+    safe = np.where(valid[..., None] & (probs > 0.0), probs, 1.0)
+    entropy = -(safe * np.log(safe)).sum(axis=-1)
+    return np.where(valid, entropy, np.inf)
 
 
 def entropy_matrix(experts: list[Module], x: np.ndarray) -> np.ndarray:

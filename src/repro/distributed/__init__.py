@@ -10,6 +10,10 @@ the edge simulator can replay it against device/WiFi profiles.
 from .failover import (FailoverServer, FailoverStats, LeaseView,
                        MasterFailover, StandbyMaster, TransportRing,
                        WorkerView, REDRIVE_ERRORS)
+from .integrity import (CanaryProber, CanarySet, IntegrityConfig,
+                        IntegrityViolation, QuarantineManager,
+                        QuarantineRecord, ReplyValidator, make_canary_set,
+                        structural_reason)
 from .moe_runtime import (MoEGrpcMaster, MoEMpiRunner, moe_mpi_forward,
                           serve_expert)
 from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
@@ -36,6 +40,9 @@ __all__ = [
     "CircuitBreaker", "SuspicionTracker", "LatencyTracker",
     "ResilienceConfig", "DegradationPolicy", "QuorumError", "PeerResilience",
     "LeaseConfig", "LeaderLease",
+    "IntegrityConfig", "IntegrityViolation", "ReplyValidator",
+    "CanarySet", "make_canary_set", "CanaryProber",
+    "QuarantineManager", "QuarantineRecord", "structural_reason",
     "mpi_matrix_forward", "split_linear_weights", "MpiMatrixRunner",
     "mpi_kernel_forward", "kernel_split_conv", "count_conv_layers",
     "MpiKernelRunner", "mpi_branch_forward", "count_blocks",

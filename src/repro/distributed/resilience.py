@@ -417,3 +417,11 @@ class PeerResilience:
     hedges: int
     reconnects: int
     redeployments: int = 0
+    # Data-plane integrity (repro.distributed.integrity); all defaulted
+    # so snapshots from masters without an integrity layer still build.
+    invalid_replies: int = 0
+    quarantined: bool = False
+    quarantines: int = 0
+    quarantine_reason: str | None = None
+    canary_failures: int = 0
+    readmissions: int = 0

@@ -52,7 +52,11 @@ from ..comm.demux import FRAME_OVERHEAD_BYTES, ReplyDemux, ReplySlot
 from ..comm.transport import (MeteredSocket, TcpTransport, TransportStats)
 from ..core.inference import (ExpertOutput, argmin_select, expert_forward,
                               expert_forward_segments, validate_engine)
-from ..nn import CorruptModelError, Module, model_from_bytes
+from ..nn import (CorruptModelError, Module, model_from_bytes,
+                  weights_fingerprint)
+from .integrity import (CanaryProber, CanarySet, IntegrityConfig,
+                        IntegrityViolation, QuarantineManager, ReplyValidator,
+                        structural_reason)
 from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
                          LeaderLease, PeerResilience, QuorumError,
                          ResilienceConfig, SuspicionTracker)
@@ -91,6 +95,10 @@ class InferenceStats:
     #: stale frames (duplicated/reordered replies to *earlier* requests)
     #: discarded by seq correlation during this gather
     stale_replies: int = 0
+    #: replies rejected by the data-plane integrity layer (malformed
+    #: payload, broken simplex, inconsistent entropy, version mismatch);
+    #: each is also counted in ``failures``
+    invalid_replies: int = 0
 
     @classmethod
     def from_transport(cls, stats: TransportStats) -> "InferenceStats":
@@ -114,6 +122,7 @@ class WorkerHealth:
     reconnects: int = 0
     hedges: int = 0
     redeployments: int = 0
+    invalid_replies: int = 0
     last_reply_latency_s: float | None = None
     total_reply_latency_s: float = 0.0
     detector: SuspicionTracker = field(default_factory=SuspicionTracker)
@@ -215,6 +224,12 @@ class ExpertWorker:
         self._host = host
         self._store = store
         self._expert_index = expert_index
+        # The model-version stamp for the integrity layer: the weights
+        # fingerprint taken when the expert was *installed* (construction,
+        # checkpoint reload, deploy) — deliberately not per-reply, so a
+        # live in-memory corruption keeps answering under the installed
+        # version and only a canary probe's wrong answer can expose it.
+        self._fingerprint = weights_fingerprint(expert)
         # Leadership view: the highest (leader, epoch) this worker has
         # accepted and when that leader last proved liveness.  ``clock``
         # is injectable so lease ages are deterministic on the testkit's
@@ -238,6 +253,11 @@ class ExpertWorker:
     @property
     def address(self) -> tuple[str, int]:
         return (self._host, self._port)
+
+    @property
+    def fingerprint(self) -> str:
+        """The weights fingerprint stamped on this worker's replies."""
+        return self._fingerprint
 
     def leader_view(self) -> tuple[str | None, int, float | None]:
         """``(leader, epoch, lease_age_s)`` as this worker sees it."""
@@ -297,6 +317,7 @@ class ExpertWorker:
         except NoValidGenerationError:
             return
         self.expert = model
+        self._fingerprint = weights_fingerprint(model)
 
     def start(self) -> None:
         if self._running:
@@ -348,6 +369,7 @@ class ExpertWorker:
             return self._safe_send(sock, protocol.encode(
                 protocol.ERROR, {"error": f"deploy: {exc}", "seq": seq}))
         self.expert = model
+        self._fingerprint = weights_fingerprint(model)
         return self._safe_send(sock, protocol.encode(
             protocol.DEPLOYED, {"seq": seq, "spec": spec.name}))
 
@@ -397,7 +419,7 @@ class ExpertWorker:
                         # an earlier request must never be mistaken for the
                         # answer to the current one.
                         seq = msg.meta.get("seq")
-                        if msg.kind != protocol.INFER:
+                        if msg.kind not in (protocol.INFER, protocol.CANARY):
                             self._safe_send(sock, protocol.encode(
                                 protocol.ERROR,
                                 {"error": f"unexpected {msg.kind!r}",
@@ -425,7 +447,10 @@ class ExpertWorker:
                             # ``segments`` marks a coalesced micro-batch
                             # whose per-request row runs must be forwarded
                             # separately for bit-exactness (see
-                            # expert_forward_segments).
+                            # expert_forward_segments).  A canary probe is
+                            # an ordinary forward on the known-answer
+                            # batch — an honest worker cannot tell probes
+                            # from traffic, which is the point.
                             output = expert_forward_segments(
                                 self.expert, msg.arrays["x"],
                                 msg.meta.get("segments"),
@@ -439,7 +464,10 @@ class ExpertWorker:
                                 {"error": f"inference: {exc}", "seq": seq}))
                             continue
                         sock.send(protocol.encode(
-                            protocol.RESULT, {"seq": seq}, {
+                            protocol.RESULT, {
+                                "seq": seq,
+                                "model_version": self._fingerprint,
+                            }, {
                                 "probs": output.probs,
                                 "entropy": output.entropy,
                             }))
@@ -537,7 +565,10 @@ class TeamNetMaster:
                  resilience: ResilienceConfig | None = None,
                  degradation: DegradationPolicy | None = None,
                  store=None, engine: str = "tape",
-                 epoch: int | None = None, leader_id: str | None = None):
+                 epoch: int | None = None, leader_id: str | None = None,
+                 integrity: IntegrityConfig | None = None,
+                 canaries: CanarySet | None = None,
+                 expected_versions: dict[int, str] | None = None):
         self.expert = expert
         self.engine = validate_engine(engine)
         self.store = store
@@ -582,6 +613,27 @@ class TeamNetMaster:
         self.heartbeat_traffic = TransportStats()
         #: cumulative traffic spent pushing models to standby workers
         self.redeploy_traffic = TransportStats()
+        #: cumulative traffic spent on known-answer canary probes
+        self.canary_traffic = TransportStats()
+        # Data-plane integrity (repro.distributed.integrity): reply
+        # validation + version fencing on every gather, canary probes on
+        # the heartbeat cadence, quarantine on failure.  All optional —
+        # with ``integrity=None`` only the always-on structural reply
+        # checks run (garbage payloads become WorkerFailure, never a raw
+        # numpy error in the gate).
+        self.integrity = integrity
+        self._validator = (ReplyValidator(integrity)
+                           if integrity is not None else None)
+        self.quarantine = (QuarantineManager(integrity.readmit_passes)
+                           if integrity is not None else None)
+        self._expected_versions: dict[int, str] = dict(expected_versions
+                                                       or {})
+        if (canaries is None and integrity is not None
+                and store is not None and hasattr(store, "load_canary")):
+            canaries = store.load_canary()
+        self._prober = (CanaryProber(integrity, canaries)
+                        if integrity is not None and canaries is not None
+                        else None)
         # Golden-trace capture for the differential testkit: the expert
         # outputs and original team indices that fed the last selection.
         self.last_outputs: dict[int, ExpertOutput] = {}
@@ -610,8 +662,11 @@ class TeamNetMaster:
 
         Render with :func:`repro.edge.monitor.resilience_table`.
         """
-        return {
-            peer.index: PeerResilience(
+        snapshot = {}
+        for peer in self._peers:
+            record = (self.quarantine.snapshot(peer.index)
+                      if self.quarantine is not None else None)
+            snapshot[peer.index] = PeerResilience(
                 index=peer.index, address=peer.address, alive=peer.alive,
                 breaker_state=peer.breaker.state,
                 consecutive_failures=peer.breaker.consecutive_failures,
@@ -624,8 +679,14 @@ class TeamNetMaster:
                 timeouts=peer.health.timeouts,
                 hedges=peer.health.hedges,
                 reconnects=peer.health.reconnects,
-                redeployments=peer.health.redeployments)
-            for peer in self._peers}
+                redeployments=peer.health.redeployments,
+                invalid_replies=peer.health.invalid_replies,
+                quarantined=record.quarantined if record else False,
+                quarantines=record.quarantines if record else 0,
+                quarantine_reason=record.reason if record else None,
+                canary_failures=record.canary_failures if record else 0,
+                readmissions=record.readmissions if record else 0)
+        return snapshot
 
     # ------------------------------------------------------------ recovery
     def _maybe_reconnect(self) -> None:
@@ -741,7 +802,40 @@ class TeamNetMaster:
                 failure_threshold=self.resilience.failure_threshold,
                 reset_timeout=self.resilience.reset_timeout,
                 reset_timeout_max=self.resilience.reset_timeout_max)
+            if self._validator is not None:
+                # The pushed archive defines the slot's new expected
+                # version: replies from here on must stamp it, and a
+                # pre-deploy worker reconnecting with the old expert is
+                # fenced by the mismatch.
+                self._expected_versions[index] = weights_fingerprint(
+                    model_from_bytes(blob)[0])
         self._roster_changed()
+
+    def _auto_redeploy(self, peer: _Peer) -> bool:
+        """Best-effort push of the stored (known-good) expert onto a slot
+        that just failed an integrity check.
+
+        Quarantine without repair would bench the slot forever; the
+        checkpoint store holds the weights the slot *should* be running,
+        so push them back.  Failures here are swallowed — the slot stays
+        quarantined and the next canary failure retries, which *is* the
+        retry policy.  Returns True when the redeploy committed.
+        """
+        if (self.integrity is None or not self.integrity.auto_redeploy
+                or self.store is None):
+            return False
+        from ..store import NoValidGenerationError  # local: optional dep
+        try:
+            blob = self.store.expert_bytes(peer.index)
+        except (NoValidGenerationError, OSError, KeyError):
+            return False
+        try:
+            self.redeploy(peer.index, tuple(peer.address), blob=blob)
+        except (WorkerFailure, OSError):
+            return False
+        if self.quarantine is not None:
+            self.quarantine.note_redeploy(peer.index)
+        return True
 
     # ------------------------------------------------------------- failure
     def _fail(self, peer: _Peer, inference: InferenceStats,
@@ -840,11 +934,17 @@ class TeamNetMaster:
                     f"master {self.leader_id or ''} (epoch {self.epoch}) "
                     "has been fenced by a higher epoch")
             self._maybe_reconnect()
+            quarantined = (set(self.quarantine.quarantined())
+                           if self.quarantine is not None else set())
             if not self.degrade_on_failure:
                 down = self.failed_workers
                 if down:
                     raise WorkerFailure(f"workers {down} are down and "
                                         "degradation is disabled")
+                if quarantined:
+                    raise WorkerFailure(
+                        f"workers {sorted(quarantined)} are quarantined "
+                        "and degradation is disabled")
             self._request_seq += 1
             seq = self._request_seq
             meta: dict = {"seq": seq}
@@ -853,8 +953,13 @@ class TeamNetMaster:
             if segments is not None and len(segments) > 1:
                 meta["segments"] = [int(s) for s in segments]
             request = protocol.encode(protocol.INFER, meta, {"x": x})
+            # A quarantined slot gets no broadcast: its answers are
+            # untrustworthy, so it earns no gate entry and no quorum
+            # credit.  It still receives canary probes — the only road
+            # back to the team.
             targets = [peer for peer in self._peers
-                       if peer.alive and peer.breaker.allow()]
+                       if peer.alive and peer.breaker.allow()
+                       and peer.index not in quarantined]
             hedge_delay, hedged_set = self._hedge_plan(targets)
             inference.hedge_delay_s = hedge_delay
             waits: list[tuple[_Peer, ReplySlot]] = []
@@ -907,9 +1012,36 @@ class TeamNetMaster:
                     raise WorkerFailure(
                         "worker failure: "
                         f"{message.meta.get('error', message.kind)}")
+                probs = message.arrays.get("probs")
+                entropy = message.arrays.get("entropy")
+                rows = pending.x.shape[0]
+                # Structural checks are always on: a wrong-shaped reply
+                # would otherwise crash the gate's np.stack with a raw
+                # numpy error instead of surfacing as a worker failure.
+                reason = structural_reason(probs, entropy, rows)
+                if reason is None and self._validator is not None:
+                    claimed = message.meta.get("model_version")
+                    with self._lock:
+                        expected = self._expected_versions.get(peer.index)
+                    reason = self._validator.validate(
+                        probs, entropy, rows,
+                        claimed_version=claimed,
+                        expected_version=expected)
+                    if (reason is None and expected is None
+                            and claimed is not None
+                            and self.integrity.pin_first_version):
+                        # Trust-on-first-use: pin the first stamped
+                        # version so later swaps (a stale worker
+                        # reconnecting after a redeploy it missed) are
+                        # fenced even when no deploy recorded a version.
+                        with self._lock:
+                            self._expected_versions.setdefault(
+                                peer.index, claimed)
+                if reason is not None:
+                    raise IntegrityViolation(
+                        f"worker {peer.index}: {reason}")
                 outcome: ExpertOutput | Exception = ExpertOutput(
-                    probs=message.arrays["probs"],
-                    entropy=message.arrays["entropy"])
+                    probs=probs, entropy=entropy)
                 with self._lock:
                     self._record_reply(peer, latency, inference)
             except Exception as exc:  # noqa: BLE001 - booked as a failure
@@ -925,12 +1057,26 @@ class TeamNetMaster:
         outputs = [local_output]
         indices = [0]
         first_error: tuple[_Peer, Exception] | None = None
+        quarantine_actions: list[tuple[_Peer, str]] = []
         with self._lock:
             for peer, _ in pending.waits:
                 outcome = results[peer.index]
                 if isinstance(outcome, ExpertOutput):
                     outputs.append(outcome)
                     indices.append(peer.index)
+                elif isinstance(outcome, IntegrityViolation):
+                    # The connection is fine — the *data* lies.  Book the
+                    # failure without closing the socket: the channel must
+                    # stay healthy so canary probes can later readmit (or
+                    # keep condemning) the slot.
+                    inference.failures += 1
+                    inference.invalid_replies += 1
+                    peer.health.failures += 1
+                    peer.health.invalid_replies += 1
+                    peer.health.detector.miss()
+                    quarantine_actions.append((peer, str(outcome)))
+                    if first_error is None:
+                        first_error = (peer, outcome)
                 else:
                     self._fail(peer, inference,
                                timed_out=isinstance(outcome, TimeoutError),
@@ -946,6 +1092,13 @@ class TeamNetMaster:
                     inference.stale_replies += stale
                     inference.messages_received += stale
                     inference.bytes_received += stale_bytes
+        # Quarantine outside the lock (auto-redeploy pushes a model over
+        # the network) but before any raise below: a slot that lied must
+        # be benched even when this gather also ends in an error.
+        for peer, reason in quarantine_actions:
+            if self.quarantine is not None:
+                self.quarantine.record_invalid(peer.index, reason)
+                self._auto_redeploy(peer)
         # A stale-epoch refusal outranks every other failure mode, and
         # fires even with degradation enabled: a deposed master must not
         # keep serving "degraded" answers from whatever workers its
@@ -1091,7 +1244,132 @@ class TeamNetMaster:
             raise LeadershipLost(
                 f"epoch {self.epoch} fenced during heartbeat: a worker "
                 f"follows leadership epoch {fenced_epoch}")
+        # Canary probes ride the heartbeat cadence: every ``probe_every``
+        # beats the known-answer batch goes out on the same wire.
+        if self._prober is not None and self._prober.due():
+            self.canary_probe()
         return rtts
+
+    # ------------------------------------------------------------ integrity
+    def canary_probe(self, timeout: float | None = None) -> dict[int, str]:
+        """Send the known-answer canary batch to every reachable worker.
+
+        Each reply is judged against the golden outputs recorded at
+        deploy time (:class:`~repro.distributed.integrity.CanaryProber`).
+        Quarantined slots are probed too — consecutive passes are their
+        only road back to the gate; a failure re-arms the quarantine and
+        retries the auto-redeploy.  Normally fired from
+        :meth:`heartbeat` on the ``probe_every`` cadence, but callable
+        directly.  Traffic is metered in :attr:`canary_traffic`.
+
+        Returns ``{worker index: outcome}`` where outcome is ``"pass"``,
+        ``"readmitted"``, ``"unreachable"``, or the failure reason.
+        """
+        if self._prober is None:
+            raise ValueError(
+                "canary_probe() needs integrity=IntegrityConfig(...) and "
+                "a canary set (canaries=... or a checkpoint store that "
+                "holds one)")
+        timeout = (timeout if timeout is not None
+                   else self.reply_timeout
+                   if self.reply_timeout is not None
+                   else self.resilience.heartbeat_timeout)
+        scratch = InferenceStats()
+        outcomes: dict[int, str] = {}
+        fenced_epoch: int | None = None
+        with self._lock:
+            self._maybe_reconnect()
+            self._request_seq += 1
+            seq = self._request_seq
+            meta: dict = {"seq": seq}
+            if self.epoch is not None:
+                meta["epoch"] = self.epoch
+                meta["leader"] = self.leader_id
+            request = protocol.encode(protocol.CANARY, meta,
+                                      {"x": self._prober.canaries.x})
+            waits: list[tuple[_Peer, ReplySlot]] = []
+            for peer in self._peers:
+                # Quarantined slots ARE probed (unlike broadcasts): the
+                # canary verdict is what readmits or keeps benching them.
+                if not peer.alive or not peer.breaker.allow():
+                    continue
+                slot = None
+                try:
+                    slot = peer.channel.expect(seq, timeout)
+                    peer.sock.send(request)
+                except (ConnectionError, OSError):
+                    if slot is not None:
+                        slot.cancel()
+                    self._fail(peer, scratch, sink=self.canary_traffic)
+                    outcomes[peer.index] = "unreachable"
+                    continue
+                self.canary_traffic.messages_sent += 1
+                self.canary_traffic.bytes_sent += \
+                    FRAME_OVERHEAD_BYTES + len(request)
+                waits.append((peer, slot))
+        quarantine_actions: list[tuple[_Peer, str]] = []
+        for peer, slot in waits:
+            try:
+                message, latency, nbytes = slot.wait()
+                self.canary_traffic.messages_received += 1
+                self.canary_traffic.bytes_received += nbytes
+                if message.kind != protocol.RESULT:
+                    if message.meta.get("stale_epoch"):
+                        fenced_epoch = message.meta.get("epoch")
+                    raise WorkerFailure(
+                        f"canary: error reply: "
+                        f"{message.meta.get('error', message.kind)}")
+            except Exception as exc:  # noqa: BLE001 - booked as a failure
+                with self._lock:
+                    self._fail(peer, scratch,
+                               timed_out=isinstance(exc, TimeoutError),
+                               sink=self.canary_traffic)
+                outcomes[peer.index] = "unreachable"
+                continue
+            with self._lock:
+                expected = self._expected_versions.get(peer.index)
+            reason = self._prober.evaluate(
+                peer.index,
+                message.arrays.get("probs"),
+                message.arrays.get("entropy"),
+                claimed_version=message.meta.get("model_version"),
+                expected_version=expected)
+            if reason is None:
+                with self._lock:
+                    # A passing canary is a real forward pass: it closes
+                    # half-open breakers and decays suspicion, the same
+                    # re-admission probes heartbeats provide.
+                    peer.health.detector.observe(latency)
+                    peer.breaker.record_success()
+                readmitted = (self.quarantine.record_canary_pass(peer.index)
+                              if self.quarantine is not None else False)
+                outcomes[peer.index] = "readmitted" if readmitted else "pass"
+            else:
+                with self._lock:
+                    peer.health.failures += 1
+                    peer.health.invalid_replies += 1
+                    peer.health.detector.miss()
+                quarantine_actions.append((peer, reason))
+                outcomes[peer.index] = reason
+        with self._lock:
+            for peer, _ in waits:
+                if peer.channel is not None:
+                    stale, stale_bytes = peer.channel.take_stale()
+                    self.canary_traffic.messages_received += stale
+                    self.canary_traffic.bytes_received += stale_bytes
+        if fenced_epoch is not None:
+            with self._lock:
+                self._deposed = True
+            raise LeadershipLost(
+                f"epoch {self.epoch} fenced during canary probe: a worker "
+                f"follows leadership epoch {fenced_epoch}")
+        for peer, reason in quarantine_actions:
+            if self.quarantine is not None:
+                self.quarantine.record_canary_failure(peer.index, reason)
+            # Every canary failure retries the repair — this *is* the
+            # redeploy retry policy for a persistently sick slot.
+            self._auto_redeploy(peer)
+        return outcomes
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         preds, _, _ = self.infer(x)
@@ -1275,7 +1553,10 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
                       transport: Transport | None = None, host: str = "127.0.0.1",
                       resilience: ResilienceConfig | None = None,
                       degradation: DegradationPolicy | None = None,
-                      engine: str = "tape"
+                      engine: str = "tape",
+                      integrity: IntegrityConfig | None = None,
+                      canaries: CanarySet | None = None,
+                      store=None
                       ) -> tuple[TeamNetMaster, list[ExpertWorker]]:
     """Deploy expert 0 as master and the rest as localhost workers.
 
@@ -1283,8 +1564,11 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
     passes a :class:`repro.testkit.SimTransport` to run the identical
     protocol in-process).  ``resilience``/``degradation`` configure the
     control plane (breakers, hedging, quorum); see
-    :mod:`repro.distributed.resilience`.  Callers must ``master.close()``
-    then ``worker.stop()`` when done.
+    :mod:`repro.distributed.resilience`.  ``integrity`` arms the
+    data-plane defenses (:mod:`repro.distributed.integrity`); the
+    expected model versions are fingerprinted from the live experts at
+    deploy time, so a later weight swap on any worker is fenced.
+    Callers must ``master.close()`` then ``worker.stop()`` when done.
     """
     if len(experts) < 2:
         raise ValueError("a team needs >= 2 experts")
@@ -1294,6 +1578,13 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
                               engine=engine)
         worker.start()
         workers.append(worker)
+    expected_versions = None
+    if integrity is not None:
+        # This deployment hands each worker its expert directly, so the
+        # deploy-time fingerprints are authoritative from the first reply.
+        expected_versions = {index: weights_fingerprint(expert)
+                             for index, expert in enumerate(experts)
+                             if index >= 1}
     master = TeamNetMaster(experts[0], [w.address for w in workers],
                            degrade_on_failure=degrade_on_failure,
                            reply_timeout=reply_timeout,
@@ -1302,5 +1593,9 @@ def deploy_local_team(experts: list[Module], degrade_on_failure: bool = False,
                            transport=transport,
                            resilience=resilience,
                            degradation=degradation,
-                           engine=engine)
+                           engine=engine,
+                           integrity=integrity,
+                           canaries=canaries,
+                           expected_versions=expected_versions,
+                           store=store)
     return master, workers

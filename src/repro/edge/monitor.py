@@ -75,14 +75,27 @@ def resilience_table(snapshot) -> str:
     duck-typed so this module needs no import from the runtime).  One
     row per worker: breaker state, suspicion score, latency EWMA and the
     cumulative reply/failure/hedge counters an operator needs to see why
-    a worker is being skipped.
+    a worker is being skipped.  The ``quar`` column carries the
+    integrity verdict: ``-`` (healthy), ``QUAR`` (currently benched;
+    the failing reason follows the table via the snapshot's
+    ``quarantine_reason``), or ``N×`` lifetime quarantine episodes for
+    a slot that was benched and readmitted.
     """
     header = ["worker", "addr", "state", "breaker", "suspicion",
-              "ewma (ms)", "replies", "failures", "hedges", "reconnects"]
+              "ewma (ms)", "replies", "failures", "invalid", "quar",
+              "hedges", "reconnects"]
     rows = [header]
     for index in sorted(snapshot):
         peer = snapshot[index]
         ewma = peer.ewma_reply_latency_s
+        quarantined = getattr(peer, "quarantined", False)
+        quarantines = getattr(peer, "quarantines", 0)
+        if quarantined:
+            quar = "QUAR"
+        elif quarantines:
+            quar = f"{quarantines}x"
+        else:
+            quar = "-"
         rows.append([
             str(peer.index),
             f"{peer.address[0]}:{peer.address[1]}",
@@ -92,6 +105,8 @@ def resilience_table(snapshot) -> str:
             "-" if ewma is None else f"{ewma * 1e3:.2f}",
             str(peer.replies),
             str(peer.failures),
+            str(getattr(peer, "invalid_replies", 0)),
+            quar,
             str(peer.hedges),
             str(peer.reconnects),
         ])

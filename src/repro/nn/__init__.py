@@ -18,7 +18,7 @@ from .models import (MLP, ArchitectureSpec, ShakeShakeBlock, ShakeShakeCNN,
                      build_model, downsize, mlp_spec, shake_shake_spec)
 from .optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
 from .serialize import (CorruptModelError, load_model, model_from_bytes,
-                        model_to_bytes, save_model)
+                        model_to_bytes, save_model, weights_fingerprint)
 from .tensor import Tensor, arange, ones, randn, tensor, zeros
 
 __all__ = [
@@ -31,6 +31,6 @@ __all__ = [
     "LayerNorm", "MLP", "ShakeShakeCNN", "ShakeShakeBlock",
     "ArchitectureSpec", "mlp_spec", "shake_shake_spec", "downsize",
     "build_model", "save_model", "load_model", "model_to_bytes",
-    "model_from_bytes", "CorruptModelError",
+    "model_from_bytes", "weights_fingerprint", "CorruptModelError",
     "compile_expert", "CompiledExpert", "TraceError",
 ]

@@ -33,7 +33,7 @@ from .models import ArchitectureSpec, build_model
 from .layers import Module
 
 __all__ = ["save_model", "load_model", "model_to_bytes", "model_from_bytes",
-           "CorruptModelError"]
+           "weights_fingerprint", "CorruptModelError"]
 
 _SPEC_KEY = "__architecture_spec__"
 
@@ -155,3 +155,27 @@ def model_from_bytes(blob: bytes) -> tuple[Module, ArchitectureSpec]:
     """
     with _open_archive(io.BytesIO(blob), "model blob") as archive:
         return _unpack(archive)
+
+
+def weights_fingerprint(model: Module | dict) -> str:
+    """SHA-256 over a model's state dict (name, dtype, shape, raw bytes).
+
+    The *model-version tag* of the integrity layer: workers stamp it on
+    every reply, masters compare it against the version recorded at
+    deploy time, and a mismatch fences the reply off
+    (:mod:`repro.distributed.integrity`).  Accepts either a module or a
+    state dict.  Entries hash in sorted-name order, so two models with
+    identical weights fingerprint identically regardless of parameter
+    registration order; dtype and shape are folded in so a reshaped or
+    recast tensor with the same bytes still reads as a different model.
+    """
+    import hashlib
+    state = model if isinstance(model, dict) else model.state_dict()
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(repr(tuple(array.shape)).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()

@@ -31,7 +31,8 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from ..nn.models import ArchitectureSpec
-from ..nn.serialize import model_from_bytes, model_to_bytes
+from ..nn.serialize import (model_from_bytes, model_to_bytes,
+                            weights_fingerprint)
 from .artifact import ArtifactStore
 
 __all__ = ["CheckpointStore", "TeamCheckpoint", "RosterSnapshot",
@@ -159,6 +160,7 @@ class CheckpointStore:
         self.store = ArtifactStore(root, retain=retain, fsync=fsync,
                                    hook=hook)
         self._roster_store: ArtifactStore | None = None
+        self._canary_store: ArtifactStore | None = None
 
     @property
     def root(self):
@@ -206,6 +208,27 @@ class CheckpointStore:
         store_meta = {"kind": "team-checkpoint",
                       "epoch": state["epoch"], "step": state["step"],
                       "num_experts": state["num_experts"],
+                      "spec_name": spec.name}
+        if meta:
+            store_meta.update(meta)
+        return self.store.write_generation(entries, store_meta)
+
+    def save_experts(self, experts, spec: ArchitectureSpec,
+                     meta: dict | None = None,
+                     quantize_experts: bool = False) -> int:
+        """Snapshot a serving team's expert archives (no trainer state).
+
+        Serving/integrity deployments have experts but no live trainer;
+        this writes a generation holding only the ``expert_<i>.model.npz``
+        entries, which is everything :meth:`expert_bytes` /
+        :meth:`load_expert` / :meth:`expert_fingerprint` (and therefore
+        redeploy and worker restart) need.  ``load()`` does *not* apply
+        to such generations — there is no training state to decode.
+        """
+        entries = {expert_entry_name(i): model_to_bytes(
+                       expert, spec, quantize=quantize_experts)
+                   for i, expert in enumerate(experts)}
+        store_meta = {"kind": "expert-team", "num_experts": len(entries),
                       "spec_name": spec.name}
         if meta:
             store_meta.update(meta)
@@ -261,6 +284,48 @@ class CheckpointStore:
     def load_expert(self, index: int, generation: int | None = None):
         """Rebuild one expert model from the store: ``(model, spec)``."""
         return model_from_bytes(self.expert_bytes(index, generation))
+
+    def expert_fingerprint(self, index: int,
+                           generation: int | None = None) -> str:
+        """The weights fingerprint of a stored expert — the model
+        version the integrity layer expects that slot's replies to be
+        stamped with (:mod:`repro.distributed.integrity`).  Computed
+        from the archive's decoded state, so it matches what a worker
+        that loaded this archive will stamp."""
+        model, _ = self.load_expert(index, generation)
+        return weights_fingerprint(model)
+
+    # -------------------------------------------------------------- canary
+    def _canaries(self) -> ArtifactStore:
+        if self._canary_store is None:
+            self._canary_store = ArtifactStore(
+                self.store.root / "canary", retain=self.store.retain,
+                fsync=self.store.fsync)
+        return self._canary_store
+
+    def save_canary(self, canaries) -> int:
+        """Persist a :class:`~repro.distributed.integrity.CanarySet`
+        (inputs + per-expert golden outputs) next to the checkpoints.
+
+        Nested under ``root/canary`` like the roster store: canary sets
+        are rewritten at every deploy and must not rotate training
+        checkpoints out of retention.  Returns the generation id.
+        """
+        return self._canaries().write_generation(
+            {"canary.npz": _arrays_to_bytes(canaries.to_arrays())},
+            {"kind": "canary-set",
+             "num_experts": len(canaries.golden),
+             "rows": int(np.asarray(canaries.x).shape[0])})
+
+    def load_canary(self):
+        """The newest valid persisted canary set, or None if none exists."""
+        from ..distributed.integrity import CanarySet  # local: avoid cycle
+        from .artifact import NoValidGenerationError
+        try:
+            entries, _ = self._canaries().read_generation()
+        except NoValidGenerationError:
+            return None
+        return CanarySet.from_arrays(_bytes_to_arrays(entries["canary.npz"]))
 
     # -------------------------------------------------------------- roster
     def _rosters(self) -> ArtifactStore:

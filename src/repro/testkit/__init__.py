@@ -34,6 +34,11 @@ cheap to check thousands of times:
   corrupts committed entries, and :func:`crash_resume_soak` asserts
   that resume is always bit-identical to an uninterrupted run (the
   fingerprint differential) and never serves partial state.
+* :mod:`~repro.testkit.integrity` — seeded *silent-corruption* faults
+  (live weight bit-flips, confidently-wrong sharpened experts, stale
+  workers rejoining after a redeploy, tampered wire payloads) plus a
+  soak asserting the data-plane integrity layer detects, quarantines,
+  auto-repairs, and converges back to byte-identical answers.
 """
 
 from .clock import SimClock
@@ -47,6 +52,8 @@ from .differential import (DifferentialMismatch, differential_sweep,
 from .failover import failover_round, failover_soak
 from .faults import FaultSchedule, LinkFaults
 from .guards import forbid_sockets
+from .integrity import (flip_weight_bits, integrity_round, integrity_soak,
+                        sharpen_expert)
 from .sim_transport import SimNetwork, SimTransport
 
 __all__ = [
@@ -58,4 +65,6 @@ __all__ = [
     "SimulatedCrash", "CrashInjector", "tear_file", "training_fingerprint",
     "crash_resume_round", "crash_resume_soak", "write_repro_artifact",
     "failover_round", "failover_soak",
+    "integrity_round", "integrity_soak", "flip_weight_bits",
+    "sharpen_expert",
 ]

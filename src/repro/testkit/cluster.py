@@ -19,7 +19,7 @@ import numpy as np
 from ..distributed.failover import StandbyMaster
 from ..distributed.resilience import LeaseConfig
 from ..distributed.teamnet_runtime import ExpertWorker, TeamNetMaster
-from ..nn import Module
+from ..nn import Module, weights_fingerprint
 from .faults import FaultSchedule
 from .sim_transport import SimNetwork
 
@@ -46,13 +46,22 @@ class SimCluster:
                  reply_timeout: float | None = 1.0,
                  reconnect_backoff: float = 0.0,
                  resilience=None, degradation=None,
-                 host: str = "sim", engine: str = "tape"):
+                 host: str = "sim", engine: str = "tape",
+                 integrity=None, canaries=None, store=None):
         if len(experts) < 2:
             raise ValueError("a team needs >= 2 experts")
         self.experts = list(experts)
         self.network = SimNetwork(schedule)
         self.workers: list[ExpertWorker] = []
         self._listeners = []
+        expected_versions = None
+        if integrity is not None:
+            # Fingerprint the live experts at deploy time: any later
+            # weight swap on a worker answers under a different version
+            # and is fenced by the master's validator.
+            expected_versions = {
+                index: weights_fingerprint(expert)
+                for index, expert in enumerate(self.experts) if index >= 1}
         try:
             for expert in self.experts[1:]:
                 worker = ExpertWorker(expert, host=host,
@@ -67,7 +76,8 @@ class SimCluster:
                 reconnect_backoff=reconnect_backoff,
                 transport=self.network.transport,
                 resilience=resilience, degradation=degradation,
-                engine=engine)
+                engine=engine, integrity=integrity, canaries=canaries,
+                expected_versions=expected_versions, store=store)
         except BaseException:
             self.close()
             raise
@@ -113,6 +123,26 @@ class SimCluster:
     def restart_worker(self, index: int) -> None:
         """Restart a crashed worker on its original (pinned) port."""
         self._worker(index).start()
+
+    def corrupt_worker(self, index: int, corruptor) -> None:
+        """Apply ``corruptor(expert)`` to worker ``index``'s live expert —
+        a *silent* fault: no crash, no error reply, the worker keeps
+        answering (under its cached install-time version stamp) with
+        whatever the damaged weights compute.  See
+        :mod:`repro.testkit.integrity` for stock corruptors."""
+        corruptor(self._worker(index).expert)
+
+    def swap_worker_expert(self, index: int, expert: Module) -> None:
+        """Replace worker ``index``'s expert wholesale (stopping and
+        restarting the worker so the install-time fingerprint is
+        recomputed) — the stale-worker-after-redeploy scenario: the
+        worker honestly stamps its *old* model's version and the master
+        fences it."""
+        worker = self._worker(index)
+        self.crash_worker(index)
+        worker.expert = expert
+        worker._fingerprint = weights_fingerprint(expert)
+        worker.start()
 
     def _worker(self, index: int) -> ExpertWorker:
         if not 1 <= index <= len(self.workers):

@@ -38,6 +38,11 @@ class LinkFaults:
       no real time is ever slept.
     * ``kill_after`` — kill the connection mid-frame on the Nth send
       (0-based); the receiver sees a frame error, both ends go dead.
+    * ``tamper`` — probability one payload byte is flipped in transit
+      (a silent corruption fault for the integrity layer: the frame
+      still parses as a length-prefixed message whenever the flipped
+      byte lands in the array payload, so only data-plane validation —
+      not the framing — can catch it).
     """
 
     drop: float = 0.0
@@ -45,9 +50,10 @@ class LinkFaults:
     reorder: float = 0.0
     latency: tuple[float, float] = (0.0, 0.0)
     kill_after: int | None = None
+    tamper: float = 0.0
 
     def __post_init__(self):
-        for name in ("drop", "duplicate", "reorder"):
+        for name in ("drop", "duplicate", "reorder", "tamper"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {p}")
@@ -58,14 +64,15 @@ class LinkFaults:
     def to_dict(self) -> dict:
         return {"drop": self.drop, "duplicate": self.duplicate,
                 "reorder": self.reorder, "latency": list(self.latency),
-                "kill_after": self.kill_after}
+                "kill_after": self.kill_after, "tamper": self.tamper}
 
     @classmethod
     def from_dict(cls, d: dict) -> "LinkFaults":
         return cls(drop=d.get("drop", 0.0), duplicate=d.get("duplicate", 0.0),
                    reorder=d.get("reorder", 0.0),
                    latency=tuple(d.get("latency", (0.0, 0.0))),
-                   kill_after=d.get("kill_after"))
+                   kill_after=d.get("kill_after"),
+                   tamper=d.get("tamper", 0.0))
 
 
 @dataclass(frozen=True)
@@ -77,14 +84,24 @@ class Delivery:
     reorder: bool = False
     delay: float = 0.0
     kill: bool = False
+    tamper: bool = False
+    tamper_u: float = 0.0  # in [0, 1): picks which payload byte to flip
 
 
 class LinkStream:
-    """Deterministic sequence of :class:`Delivery` decisions for one link."""
+    """Deterministic sequence of :class:`Delivery` decisions for one link.
 
-    def __init__(self, config: LinkFaults, rng: np.random.Generator):
+    ``tamper_rng`` is a *separate* stream: the original four-draw stream
+    (drop/dup/reorder/delay) must stay byte-aligned with every seeded
+    schedule recorded before tampering existed, so tamper decisions may
+    not consume from it.
+    """
+
+    def __init__(self, config: LinkFaults, rng: np.random.Generator,
+                 tamper_rng: np.random.Generator | None = None):
         self.config = config
         self._rng = rng
+        self._tamper_rng = tamper_rng
         self._sent = 0
 
     def next(self) -> Delivery:
@@ -96,12 +113,19 @@ class LinkStream:
         # One draw per knob, always consumed, so the stream stays aligned
         # with the seed regardless of which faults are enabled.
         u_drop, u_dup, u_reorder, u_delay = self._rng.random(4)
+        tamper = False
+        tamper_u = 0.0
+        if self._tamper_rng is not None:
+            u_tamper, tamper_u = self._tamper_rng.random(2)
+            tamper = u_tamper < cfg.tamper
         lo, hi = cfg.latency
         return Delivery(
             drop=u_drop < cfg.drop,
             duplicate=u_dup < cfg.duplicate,
             reorder=u_reorder < cfg.reorder,
             delay=lo + (hi - lo) * u_delay,
+            tamper=tamper,
+            tamper_u=tamper_u,
         )
 
 
@@ -134,7 +158,11 @@ class FaultSchedule:
             config = self.request if direction == REQUEST else self.reply
         stream_id = 0 if direction == REQUEST else 1
         rng = np.random.default_rng((self.seed, conn_id, stream_id))
-        return LinkStream(config, rng)
+        # Tamper draws come from their own stream (extra component 1 in
+        # the seed tuple) so enabling tampering never shifts the
+        # drop/dup/reorder/delay sequence of an existing seeded schedule.
+        tamper_rng = np.random.default_rng((self.seed, conn_id, stream_id, 1))
+        return LinkStream(config, rng, tamper_rng)
 
     def with_override(self, address: tuple[str, int],
                       request: LinkFaults | None = None,

@@ -1,0 +1,293 @@
+"""Seeded silent-corruption soak for the data-plane integrity layer.
+
+Crash chaos (:mod:`repro.testkit.crash`) proves the team survives
+workers that go *quiet*.  This module attacks the opposite — and for an
+arg-min entropy gate, worse — failure mode: workers that keep answering
+**wrong**.  Three seeded corruption faults, none of which crashes
+anything:
+
+* ``sharpen`` — the live expert's output layer is permuted and scaled,
+  so it emits *confidently wrong* answers: low entropy, wins the gate,
+  poisons every inference it touches.  The worst case for TeamNet's
+  selection rule, and the one the unprotected baseline demonstrably
+  loses to.
+* ``bitflip`` — one weight bit flipped in memory (an exponent bit, so
+  the damage is macroscopic).  The worker's version stamp was cached at
+  install time and therefore still *matches* — only a canary probe's
+  wrong answer can expose this one.
+* ``stale-reconnect`` — the redeploy-then-stale-worker race: a worker
+  crashes and rejoins running its *old* expert.  It answers honestly
+  under the old weights fingerprint and is fenced by the model-version
+  check on its first reply.
+
+:func:`integrity_round` runs one seeded case end to end on a
+:class:`~repro.testkit.cluster.SimCluster` with the integrity layer
+armed and a :class:`~repro.store.CheckpointStore` holding the pristine
+archives: corrupt → canary detection → quarantine → auto-redeploy →
+consecutive-pass readmission → **byte-identical answers** vs the
+no-corruption golden run.  For ``sharpen`` it also runs the unprotected
+baseline and asserts it *does* serve wrong answers on the same
+schedule — the protection must be load-bearing, not vacuous.
+:func:`integrity_soak` wraps rounds with
+:func:`~repro.testkit.guards.forbid_sockets` and writes a JSON repro
+artifact for the first failing round.
+"""
+
+from __future__ import annotations
+
+import copy
+import tempfile
+
+import numpy as np
+
+from ..distributed.integrity import IntegrityConfig, make_canary_set
+from ..nn import MLP, Module
+from ..nn.models import ArchitectureSpec
+from ..store import CheckpointStore
+from .cluster import SimCluster
+from .crash import write_repro_artifact
+from .guards import forbid_sockets
+
+__all__ = ["flip_weight_bits", "sharpen_expert", "integrity_round",
+           "integrity_soak", "MODES", "DEFAULT_INTEGRITY_REPRO_DIR"]
+
+DEFAULT_INTEGRITY_REPRO_DIR = ".testkit-repro"
+
+MODES = ("sharpen", "bitflip", "stale-reconnect")
+
+_FEATURES = 8
+_CLASSES = 3
+_TEAM = 3  # master + 2 workers
+_MAX_DETECT_PROBES = 5
+_MAX_RECOVERY_PROBES = 10
+
+
+# ------------------------------------------------------------- corruptors
+def flip_weight_bits(module: Module, rng: np.random.Generator,
+                     n_bits: int = 1) -> None:
+    """Flip ``n_bits`` exponent bits in the live parameter arrays.
+
+    Mutates the tensors in place through ``parameters()`` (state_dict
+    copies would corrupt nothing).  Targets an exponent bit of the
+    float's most significant byte so the damage is macroscopic — a
+    random mantissa tail bit could hide below every tolerance and make
+    the soak vacuously green.
+    """
+    params = [p for p in module.parameters() if p.data.size > 0]
+    if not params:
+        raise ValueError("module has no parameters to corrupt")
+    for _ in range(n_bits):
+        param = params[int(rng.integers(len(params)))]
+        flat = np.ascontiguousarray(param.data).view(np.uint8).reshape(
+            param.data.size, param.data.itemsize)
+        element = int(rng.integers(flat.shape[0]))
+        live = param.data.reshape(-1)
+        view = live.view(np.uint8).reshape(flat.shape)
+        view[element, -1] ^= 0x10  # little-endian: MSB holds the exponent
+
+
+def sharpen_expert(module: Module, scale: float = 8.0,
+                   roll: int = 1) -> None:
+    """Make the expert *confidently wrong*: permute and sharpen its
+    output layer in place.
+
+    Rolling the last linear layer's rows (``out_features`` axis) swaps
+    which class each logit row feeds, and scaling by ``scale`` sharpens
+    the softmax — the corrupted expert now answers a *wrong* class with
+    *low* entropy, which is exactly the payload that always wins an
+    unprotected arg-min gate.
+    """
+    mats = [p for p in module.parameters() if p.data.ndim == 2]
+    if not mats:
+        raise ValueError("module has no 2-D weights to sharpen")
+    weight = mats[-1].data
+    weight[:] = np.roll(weight, roll, axis=0) * scale
+    out_features = weight.shape[0]
+    for param in reversed(module.parameters()):
+        if param.data.ndim == 1 and param.data.shape[0] == out_features:
+            param.data[:] = np.roll(param.data, roll) * scale
+            break
+
+
+# ----------------------------------------------------------------- rounds
+def _spec() -> ArchitectureSpec:
+    return ArchitectureSpec("mlp", depth=1, in_shape=(_FEATURES,),
+                            num_classes=_CLASSES, width=6)
+
+
+def _experts(case_seed: int) -> list[MLP]:
+    return [MLP(_FEATURES, _CLASSES, depth=1, width=6,
+                rng=np.random.default_rng((case_seed, i)))
+            for i in range(_TEAM)]
+
+
+def integrity_round(seed: int, round_index: int) -> dict:
+    """One seeded silent-corruption case; returns its report.
+
+    Everything derives from ``(seed, round_index)``: the experts, the
+    request batches, the corruption mode, the victim worker, and where
+    in the request stream the corruption lands.  Asserts:
+
+    1. pre-corruption answers are byte-identical to the golden run;
+    2. the corruption is detected (slot quarantined) within
+       ``_MAX_DETECT_PROBES`` canary probes;
+    3. auto-redeploy + consecutive canary passes readmit the slot within
+       ``_MAX_RECOVERY_PROBES`` probes;
+    4. post-recovery answers are byte-identical to the golden run with
+       the **full** team participating — the corruption left no residue;
+    5. (``sharpen`` only) an unprotected cluster on the same schedule
+       serves at least one wrong answer — the defense is load-bearing.
+    """
+    rng = np.random.default_rng((0x1CE, seed, round_index))
+    case_seed = int(rng.integers(2**31))
+    mode = MODES[int(rng.integers(len(MODES)))]
+    victim = int(rng.integers(1, _TEAM))
+    n_before = int(rng.integers(2, 5))
+    n_after = int(rng.integers(2, 5))
+    xs = [rng.standard_normal((int(rng.integers(1, 4)), _FEATURES))
+          .astype(np.float64) for _ in range(n_before + n_after)]
+    canary_x = rng.standard_normal((3, _FEATURES)).astype(np.float64)
+
+    experts = _experts(case_seed)
+    # Stale expert for the reconnect race: *valid* weights, wrong
+    # generation — it answers honestly and only the version fence can
+    # tell it apart from the expert that should be there.
+    stale = MLP(_FEATURES, _CLASSES, depth=1, width=6,
+                rng=np.random.default_rng((case_seed, 1000 + victim)))
+
+    # Golden: the same experts and inputs, never corrupted.
+    with SimCluster([copy.deepcopy(e) for e in experts]) as ref:
+        golden = [ref.infer(x)[:2] for x in xs]
+
+    report = {"seed": seed, "round": round_index, "case_seed": case_seed,
+              "mode": mode, "victim": victim,
+              "requests_before": n_before, "requests_after": n_after}
+    config = IntegrityConfig(probe_every=1, readmit_passes=2,
+                             auto_redeploy=True)
+    canaries = make_canary_set(experts, canary_x)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(tmp, fsync=False)
+        store.save_experts(experts, _spec())
+        store.save_canary(canaries)
+        with SimCluster([copy.deepcopy(e) for e in experts],
+                        integrity=config, canaries=canaries,
+                        store=store) as cluster:
+            # Phase 1: clean traffic must match the golden run exactly.
+            for i, x in enumerate(xs[:n_before]):
+                preds, winner, _ = cluster.infer(x)
+                g_preds, g_winner = golden[i]
+                if not (np.array_equal(preds, g_preds)
+                        and np.array_equal(winner, g_winner)):
+                    raise AssertionError(
+                        f"pre-corruption request {i} diverged from golden")
+            # Phase 2: corrupt, silently.
+            if mode == "sharpen":
+                cluster.corrupt_worker(victim, sharpen_expert)
+            elif mode == "bitflip":
+                cluster.corrupt_worker(
+                    victim, lambda m: flip_weight_bits(m, rng))
+            else:  # stale-reconnect
+                cluster.swap_worker_expert(victim, stale)
+            # Phase 3: detection — canary probes ride the heartbeat.
+            detect_probes = 0
+            while not (cluster.master.quarantine is not None
+                       and cluster.master.quarantine.is_quarantined(victim)):
+                if detect_probes >= _MAX_DETECT_PROBES:
+                    raise AssertionError(
+                        f"{mode}: worker {victim} not quarantined after "
+                        f"{detect_probes} canary probes")
+                cluster.heartbeat()
+                detect_probes += 1
+            # Phase 4: recovery — auto-redeploy already retries on every
+            # canary failure; passes on the restored weights readmit.
+            recovery_probes = 0
+            while cluster.master.quarantine.is_quarantined(victim):
+                if recovery_probes >= _MAX_RECOVERY_PROBES:
+                    raise AssertionError(
+                        f"{mode}: worker {victim} not readmitted after "
+                        f"{recovery_probes} probes")
+                cluster.heartbeat()
+                recovery_probes += 1
+            # Phase 5: post-recovery answers byte-identical, full team.
+            for i, x in enumerate(xs[n_before:], start=n_before):
+                preds, winner, stats = cluster.infer(x)
+                g_preds, g_winner = golden[i]
+                if not (np.array_equal(preds, g_preds)
+                        and np.array_equal(winner, g_winner)):
+                    raise AssertionError(
+                        f"{mode}: post-recovery request {i} diverged "
+                        f"from golden")
+                if stats.participants != _TEAM:
+                    raise AssertionError(
+                        f"{mode}: post-recovery request {i} ran with "
+                        f"{stats.participants}/{_TEAM} participants")
+            snapshot = cluster.master.resilience_snapshot()[victim]
+            report.update({
+                "detect_probes": detect_probes,
+                "recovery_probes": recovery_probes,
+                "quarantines": snapshot.quarantines,
+                "canary_failures": snapshot.canary_failures,
+                "invalid_replies": snapshot.invalid_replies,
+                "readmissions": snapshot.readmissions,
+            })
+
+    # Phase 6 (sharpen): the unprotected baseline must actually be wrong
+    # on the same schedule, or this whole module proves nothing.
+    if mode == "sharpen":
+        with SimCluster([copy.deepcopy(e) for e in experts]) as naked:
+            for x in xs[:n_before]:
+                naked.infer(x)
+            naked.corrupt_worker(victim, sharpen_expert)
+            diverged = 0
+            for i, x in enumerate(xs[n_before:], start=n_before):
+                preds, winner, _ = naked.infer(x)
+                g_preds, g_winner = golden[i]
+                if not (np.array_equal(preds, g_preds)
+                        and np.array_equal(winner, g_winner)):
+                    diverged += 1
+        if diverged == 0:
+            raise AssertionError(
+                "sharpened expert never won the unprotected gate — the "
+                "corruption is too weak to prove the defense matters")
+        report["baseline_diverged"] = diverged
+    return report
+
+
+def integrity_soak(seed: int = 0, rounds: int = 8,
+                   repro_dir: str | None = None) -> dict:
+    """Run ``rounds`` seeded corruption cases; returns a summary.
+
+    The first failing round writes a JSON repro artifact (seed + round +
+    error + replay command) to ``repro_dir`` (default
+    ``$INTEGRITY_REPRO_DIR`` or ``.testkit-repro/``) and re-raises.
+    """
+    summary = {"seed": seed, "rounds": rounds,
+               "modes": {mode: 0 for mode in MODES},
+               "max_detect_probes": 0, "max_recovery_probes": 0,
+               "baseline_divergences": 0}
+    with forbid_sockets():
+        for round_index in range(rounds):
+            try:
+                report = integrity_round(seed, round_index)
+            except Exception as exc:
+                path = write_repro_artifact(
+                    f"integrity-seed{seed}-round{round_index}.json", {
+                        "integrity_seed": seed,
+                        "failed_round": round_index,
+                        "error": str(exc),
+                        "replay": "python -c 'from repro.testkit.integrity "
+                                  "import integrity_round; "
+                                  f"integrity_round({seed}, {round_index})'",
+                    }, repro_dir=repro_dir, env_var="INTEGRITY_REPRO_DIR",
+                    default_dir=DEFAULT_INTEGRITY_REPRO_DIR)
+                raise AssertionError(
+                    f"integrity soak seed {seed} round {round_index}: {exc} "
+                    f"(repro artifact: {path})") from exc
+            summary["modes"][report["mode"]] += 1
+            summary["max_detect_probes"] = max(
+                summary["max_detect_probes"], report["detect_probes"])
+            summary["max_recovery_probes"] = max(
+                summary["max_recovery_probes"], report["recovery_probes"])
+            summary["baseline_divergences"] += \
+                report.get("baseline_diverged", 0)
+    return summary

@@ -105,6 +105,17 @@ class SimEndpoint:
             peer._note_lost()
             self._note_lost()
             return
+        if decision.tamper and len(payload) > 0:
+            # Flip one bit of one byte in transit.  The length prefix and
+            # JSON header usually survive (the byte is picked uniformly,
+            # and array payloads dominate the frame), so the frame still
+            # parses — the corruption is *silent* and only the data-plane
+            # integrity layer can catch it.
+            index = min(int(decision.tamper_u * len(payload)),
+                        len(payload) - 1)
+            tampered = bytearray(payload)
+            tampered[index] ^= 0x40
+            payload = bytes(tampered)
         arrival = self._clock.now + decision.delay
         peer._push(payload, arrival, decision.delay, front=decision.reorder)
         if decision.duplicate:

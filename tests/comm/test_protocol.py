@@ -186,3 +186,54 @@ class TestMessage:
     def test_repr(self):
         msg = Message("test", {"a": 1}, {"x": np.zeros(2)})
         assert "test" in repr(msg) and "x" in repr(msg)
+
+
+class TestHardenedDecode:
+    """Regressions for decode hardening: garbage that used to escape as
+    raw TypeErrors/ValueErrors (killing worker serve threads) must
+    surface as ProtocolError."""
+
+    @staticmethod
+    def _frame(header_obj, payload=b""):
+        header = json.dumps(header_obj).encode()
+        return struct.pack(">I", len(header)) + header + payload
+
+    def test_non_string_kind(self):
+        with pytest.raises(ProtocolError, match="kind"):
+            decode(self._frame({"kind": 7, "meta": {}, "arrays": []}))
+
+    def test_non_dict_meta(self):
+        with pytest.raises(ProtocolError, match="meta"):
+            decode(self._frame({"kind": "x", "meta": [1, 2], "arrays": []}))
+
+    def test_garbage_dtype_string(self):
+        # np.dtype("garbage") raises TypeError, which used to escape.
+        entry = {"name": "a", "dtype": "garbage", "shape": [1],
+                 "offset": 0, "nbytes": 8}
+        with pytest.raises(ProtocolError, match="dtype"):
+            decode(self._frame({"kind": "x", "meta": {},
+                                "arrays": [entry]}, b"\x00" * 8))
+
+    def test_non_string_dtype(self):
+        entry = {"name": "a", "dtype": ["f8"], "shape": [1],
+                 "offset": 0, "nbytes": 8}
+        with pytest.raises(ProtocolError, match="dtype"):
+            decode(self._frame({"kind": "x", "meta": {},
+                                "arrays": [entry]}, b"\x00" * 8))
+
+    def test_object_dtype_refused(self):
+        entry = {"name": "a", "dtype": "object", "shape": [1],
+                 "offset": 0, "nbytes": 8}
+        with pytest.raises(ProtocolError, match="object"):
+            decode(self._frame({"kind": "x", "meta": {},
+                                "arrays": [entry]}, b"\x00" * 8))
+
+    def test_overflowing_shape_product(self):
+        # dims whose product wraps int64 back to a small nbytes: the
+        # consistency check must run in pure python ints and refuse.
+        dim = 2**62
+        entry = {"name": "a", "dtype": "f8", "shape": [dim, dim, 4],
+                 "offset": 0, "nbytes": 0}
+        with pytest.raises(ProtocolError, match="inconsistent"):
+            decode(self._frame({"kind": "x", "meta": {},
+                                "arrays": [entry]}))

@@ -96,3 +96,63 @@ class TestBatchStatistics:
     def test_delta_safe_for_zero_entropy(self):
         H = np.zeros((5, 2))
         assert np.isfinite(relative_mean_abs_deviation(H))
+
+
+class TestEntropySafety:
+    """NaN/inf poisoning: a corrupted distribution must map to +inf
+    entropy — never selectable by the arg-min gate — and exact zeros
+    must contribute exactly 0 (the 0*log 0 limit), not NaN.
+
+    Property-style: randomized rows with seeded NaN/inf injection, so
+    the invariant holds across shapes and poison placements, not just on
+    one hand-written example.
+    """
+
+    SEED = 0x5AFE
+    CASES = 50
+
+    def test_zero_prob_contributes_zero(self):
+        probs = np.array([[0.0, 1.0, 0.0], [0.5, 0.5, 0.0]])
+        h = entropy_from_probs(probs)
+        np.testing.assert_allclose(h, [0.0, np.log(2.0)], atol=1e-12)
+
+    def test_one_hot_entropy_exactly_zero(self):
+        eye = np.eye(7)
+        np.testing.assert_array_equal(entropy_from_probs(eye),
+                                      np.zeros(7))
+
+    def test_nan_row_maps_to_inf_not_nan(self):
+        probs = np.array([[np.nan, 0.5, 0.5], [0.2, 0.3, 0.5]])
+        h = entropy_from_probs(probs)
+        assert h[0] == np.inf
+        assert np.isfinite(h[1])
+
+    def test_inf_logits_map_to_inf_entropy(self):
+        logits = np.array([[np.inf, 0.0], [1.0, 2.0]])
+        h = predictive_entropy(Tensor(logits))
+        assert h[0] == np.inf
+        assert np.isfinite(h[1])
+
+    def test_poisoned_rows_never_win_argmin(self):
+        for case in range(self.CASES):
+            rng = np.random.default_rng((self.SEED, case))
+            rows = int(rng.integers(2, 9))
+            classes = int(rng.integers(2, 6))
+            logits = rng.standard_normal((rows, classes))
+            poison_row = int(rng.integers(rows))
+            poison_col = int(rng.integers(classes))
+            logits[poison_row, poison_col] = \
+                np.nan if rng.integers(2) else np.inf
+            h = predictive_entropy(Tensor(logits))
+            assert h[poison_row] == np.inf, f"case {case}"
+            clean = [r for r in range(rows) if r != poison_row]
+            assert np.isfinite(h[clean]).all(), f"case {case}"
+            # the gate picks per-row minima across experts; an all-inf
+            # candidate must lose to any finite one
+            assert int(np.argmin([h[poison_row],
+                                  h[clean[0]]])) == 1, f"case {case}"
+
+    def test_negative_probs_map_to_inf(self):
+        probs = np.array([[-0.1, 0.6, 0.5], [0.2, 0.3, 0.5]])
+        h = entropy_from_probs(probs)
+        assert h[0] == np.inf and np.isfinite(h[1])

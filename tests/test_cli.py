@@ -107,3 +107,26 @@ class TestCheckpointCommand:
         out = capsys.readouterr().out
         assert "CORRUPT" in out and "gate_meta.npz" in out
         assert "refuse" in out
+
+
+class TestResilienceCommand:
+    def test_inspect_healthy_team(self, capsys):
+        rc = main(["resilience", "inspect", "--probes", "2",
+                   "--requests", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "quar" in out and "QUAR" not in out
+        assert "participants: [0, 1, 2]" in out
+
+    def test_inspect_corrupted_worker(self, capsys):
+        rc = main(["resilience", "inspect", "--corrupt", "1",
+                   "--probes", "2", "--requests", "2"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "QUAR" in out
+        assert "worker 1 quarantined:" in out
+        assert "participants: [0, 2]" in out
+
+    def test_corrupt_rejects_master_slot(self):
+        with pytest.raises(SystemExit, match="--corrupt"):
+            main(["resilience", "inspect", "--corrupt", "0"])

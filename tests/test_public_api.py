@@ -16,11 +16,11 @@ PUBLIC_MODULES = [
     "repro.cascade",
     "repro.comm",
     "repro.distributed", "repro.distributed.election",
-    "repro.distributed.failover",
+    "repro.distributed.failover", "repro.distributed.integrity",
     "repro.edge", "repro.edge.loadsim",
     "repro.experiments", "repro.experiments.plots",
     "repro.store", "repro.store.artifact", "repro.store.checkpoint",
-    "repro.testkit", "repro.testkit.crash",
+    "repro.testkit", "repro.testkit.crash", "repro.testkit.integrity",
     "repro.cli",
 ]
 

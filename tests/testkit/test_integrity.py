@@ -1,0 +1,176 @@
+"""Seeded silent-corruption soak plus the tamper wire fault.
+
+``INTEGRITY_SEED`` / ``INTEGRITY_ROUNDS`` come from the environment so
+CI's ``scripts/ci.sh --integrity`` can fan the soak out over many seeds;
+the defaults keep one short soak in the tier-1 suite.  A failing round
+writes a JSON repro artifact to ``INTEGRITY_REPRO_DIR``.
+"""
+
+import copy
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributed import IntegrityConfig, make_canary_set
+from repro.nn import MLP
+from repro.testkit import (FaultSchedule, LinkFaults, SimCluster,
+                           flip_weight_bits, integrity_round,
+                           integrity_soak, sharpen_expert)
+from repro.testkit.faults import REPLY, Delivery
+
+INTEGRITY_SEED = int(os.environ.get("INTEGRITY_SEED", "0"))
+INTEGRITY_ROUNDS = int(os.environ.get("INTEGRITY_ROUNDS", "6"))
+
+FEATURES, CLASSES = 8, 3
+
+
+def _experts(n=3, seed=0):
+    return [MLP(FEATURES, CLASSES, depth=1, width=6,
+                rng=np.random.default_rng((seed, i))) for i in range(n)]
+
+
+class TestCorruptors:
+    def test_flip_weight_bits_changes_output(self, rng):
+        expert = _experts(1)[0]
+        x = rng.standard_normal((4, FEATURES))
+        from repro.core.inference import expert_forward
+        before = expert_forward(expert, x)
+        flip_weight_bits(expert, np.random.default_rng(0))
+        after = expert_forward(expert, x)
+        assert not np.array_equal(before.probs, after.probs)
+
+    def test_flip_is_deterministic_per_seed(self):
+        a, b = _experts(1, seed=3)[0], _experts(1, seed=3)[0]
+        flip_weight_bits(a, np.random.default_rng(42), n_bits=3)
+        flip_weight_bits(b, np.random.default_rng(42), n_bits=3)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_sharpen_makes_wrong_but_confident(self, rng):
+        from repro.core.inference import expert_forward
+        expert = _experts(1)[0]
+        x = rng.standard_normal((16, FEATURES))
+        honest = expert_forward(expert, x)
+        sharpen_expert(copy.deepcopy(expert))  # copies must not alias
+        np.testing.assert_array_equal(
+            expert_forward(expert, x).probs, honest.probs)
+        sharpen_expert(expert)
+        corrupt = expert_forward(expert, x)
+        # sharper (lower entropy) on average, and differently classed
+        assert corrupt.entropy.mean() < honest.entropy.mean()
+        assert (corrupt.probs.argmax(axis=1)
+                != honest.probs.argmax(axis=1)).any()
+
+
+class TestTamperFault:
+    def test_tamper_draws_do_not_shift_existing_streams(self):
+        """Enabling tampering must not perturb the drop/dup/reorder/delay
+        sequence of an already-seeded schedule (recorded chaos repro
+        artifacts stay replayable)."""
+        base = FaultSchedule(seed=7, reply=LinkFaults(drop=0.3,
+                                                      latency=(0.0, 0.1)))
+        tampering = FaultSchedule(
+            seed=7, reply=LinkFaults(drop=0.3, latency=(0.0, 0.1),
+                                     tamper=0.5))
+        addr = ("sim", 49152)
+        a = base.link(3, REPLY, addr)
+        b = tampering.link(3, REPLY, addr)
+        for _ in range(64):
+            da, db = a.next(), b.next()
+            assert (da.drop, da.duplicate, da.reorder, da.delay) == \
+                (db.drop, db.duplicate, db.reorder, db.delay)
+
+    def test_tamper_roundtrip_through_dict(self):
+        faults = LinkFaults(tamper=0.25)
+        assert LinkFaults.from_dict(faults.to_dict()) == faults
+        assert LinkFaults.from_dict({"drop": 0.1}).tamper == 0.0
+
+    def test_delivery_defaults(self):
+        assert Delivery().tamper is False
+
+    def test_tampered_replies_never_poison_answers(self, rng):
+        """Reply-direction tampering at 100%: every reply from worker 1
+        is corrupted in transit.  The protected master must keep
+        answering — a materially corrupted frame surfaces as a channel
+        or validation failure (never a raw numpy error), and a flip in
+        a low mantissa byte is sub-tolerance by design, so whatever the
+        gate consumed, the answer must match the single-process
+        reference over the actual participants to within the accepted
+        perturbation (identical class predictions)."""
+        from repro.core.inference import TeamInference
+
+        experts = _experts(seed=21)
+        schedule = FaultSchedule(seed=5).with_override(
+            ("sim", 49152),  # first listener: worker 1
+            reply=LinkFaults(tamper=1.0))
+        canaries = make_canary_set(
+            experts, rng.standard_normal((2, FEATURES)))
+        xs = [rng.standard_normal((2, FEATURES)) for _ in range(6)]
+        rejected = 0
+        with SimCluster([copy.deepcopy(e) for e in experts], schedule,
+                        integrity=IntegrityConfig(auto_redeploy=False),
+                        canaries=canaries) as cluster:
+            for x in xs:
+                preds, winner, stats = cluster.infer(x)
+                rejected += stats.failures + stats.invalid_replies
+                participants = cluster.surviving_team
+                assert set(np.atleast_1d(winner).tolist()) <= \
+                    set(participants)
+                reference = TeamInference(
+                    [experts[i] for i in participants])
+                np.testing.assert_array_equal(preds, reference.predict(x))
+        # the seeded schedule must actually have rejected some frames
+        assert rejected >= 1
+
+    def test_tamper_determinism(self, rng):
+        """Two runs of the same seeded tamper schedule produce identical
+        outcomes, byte for byte."""
+        def run():
+            experts = _experts(seed=33)
+            schedule = FaultSchedule(
+                seed=9, reply=LinkFaults(tamper=0.4))
+            out = []
+            with SimCluster(experts, schedule) as cluster:
+                case_rng = np.random.default_rng(77)
+                for _ in range(5):
+                    x = case_rng.standard_normal((2, FEATURES))
+                    preds, winner, stats = cluster.infer(x)
+                    out.append((preds.tobytes(),
+                                np.asarray(winner).tobytes(),
+                                stats.failures, stats.invalid_replies))
+            return out
+
+        assert run() == run()
+
+
+class TestIntegritySoak:
+    def test_single_round_report(self):
+        report = integrity_round(INTEGRITY_SEED, 0)
+        assert report["mode"] in ("sharpen", "bitflip", "stale-reconnect")
+        assert report["detect_probes"] >= 1
+        assert report["readmissions"] == 1
+
+    def test_soak(self, tmp_path):
+        summary = integrity_soak(INTEGRITY_SEED, rounds=INTEGRITY_ROUNDS,
+                                 repro_dir=str(tmp_path))
+        assert summary["rounds"] == INTEGRITY_ROUNDS
+        assert summary["max_detect_probes"] >= 1
+        # no repro artifacts: every round converged
+        assert list(tmp_path.iterdir()) == []
+        if summary["modes"]["sharpen"]:
+            assert summary["baseline_divergences"] >= 1
+
+    def test_failing_round_writes_repro_artifact(self, tmp_path,
+                                                 monkeypatch):
+        import repro.testkit.integrity as mod
+
+        def boom(seed, round_index):
+            raise AssertionError("synthetic failure")
+
+        monkeypatch.setattr(mod, "integrity_round", boom)
+        with pytest.raises(AssertionError, match="repro artifact"):
+            mod.integrity_soak(0, rounds=1, repro_dir=str(tmp_path))
+        artifacts = list(tmp_path.iterdir())
+        assert len(artifacts) == 1
+        assert "integrity-seed0-round0" in artifacts[0].name
