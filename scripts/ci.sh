@@ -55,6 +55,18 @@
 #       every corruption mode, with the unprotected baseline shown
 #       diverging on the same schedules; writes BENCH_integrity.json
 #       (path override: INTEGRITY_BENCH_JSON).
+#   scripts/ci.sh --overload                 # overload-control gate: the
+#       seeded virtual-time overload soak (warm 1x / burst 10x / recover
+#       1x Poisson arrivals; the protected serving model must keep >= 70%
+#       of warm goodput through the burst and recovery, answer within the
+#       deadline at p99, and never start service on an expired request,
+#       while the unbounded-FIFO baseline queue-collapses on identical
+#       arrivals) plus the deadline/shedding unit suites, one run per
+#       seed in OVERLOAD_SEEDS (default "0 1 2"), OVERLOAD_ROUNDS soak
+#       rounds each (default 3); a failing round writes a JSON repro to
+#       OVERLOAD_REPRO_DIR (default .testkit-repro/).  Then the goodput
+#       bench, writing both runs' per-phase trajectories to
+#       BENCH_overload.json (path override: OVERLOAD_BENCH_JSON).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -172,6 +184,26 @@ if [[ "${1:-}" == "--integrity" ]]; then
     echo "=== integrity bench: detection within the probe budget ==="
     timeout --signal=INT "$SUITE_TIMEOUT" \
         python -m pytest -x -q -s benchmarks/test_bench_integrity.py \
+        -p no:cacheprovider "$@"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--overload" ]]; then
+    shift
+    export OVERLOAD_REPRO_DIR="${OVERLOAD_REPRO_DIR:-.testkit-repro}"
+    export OVERLOAD_ROUNDS="${OVERLOAD_ROUNDS:-3}"
+    for seed in ${OVERLOAD_SEEDS:-0 1 2}; do
+        echo "=== overload soak: OVERLOAD_SEED=$seed (OVERLOAD_ROUNDS=$OVERLOAD_ROUNDS) ==="
+        OVERLOAD_SEED="$seed" \
+            timeout --signal=INT "$SUITE_TIMEOUT" \
+            python -m pytest -x -q tests/testkit/test_overload.py \
+            tests/distributed/test_overload.py \
+            --per-test-timeout="$PER_TEST_TIMEOUT" "$@"
+    done
+    export OVERLOAD_BENCH_JSON="${OVERLOAD_BENCH_JSON:-BENCH_overload.json}"
+    echo "=== overload bench: goodput floor under a 10x burst ==="
+    timeout --signal=INT "$SUITE_TIMEOUT" \
+        python -m pytest -x -q -s benchmarks/test_bench_overload.py \
         -p no:cacheprovider "$@"
     exit 0
 fi

@@ -178,11 +178,14 @@ def cmd_checkpoint_inspect(args) -> int:
 
 def cmd_resilience_inspect(args) -> int:
     """Deploy a seeded team on the sim fabric, optionally corrupt one
-    worker, drive canary probes, and print the resilience table."""
-    from .distributed import IntegrityConfig, make_canary_set
-    from .edge import resilience_table
+    worker or slow one link past the deadline budget, drive canary
+    probes, and print the resilience and overload tables."""
+    from .distributed import (IntegrityConfig, OverloadConfig,
+                              make_canary_set)
+    from .edge import overload_table, resilience_table
     from .nn import MLP
     from .testkit import SimCluster, sharpen_expert
+    from .testkit.faults import FaultSchedule, LinkFaults
 
     rng = np.random.default_rng(args.seed)
     features, classes = 8, 4
@@ -192,7 +195,24 @@ def cmd_resilience_inspect(args) -> int:
     canaries = make_canary_set(experts,
                                rng.standard_normal((4, features)))
     integrity = IntegrityConfig(probe_every=1, auto_redeploy=False)
-    with SimCluster(experts, integrity=integrity,
+    deadline_s = (args.deadline_ms * 1e-3
+                  if args.deadline_ms is not None else None)
+    schedule = None
+    if deadline_s is not None and args.slow is not None:
+        if not 1 <= args.slow < args.experts:
+            raise SystemExit(f"--slow must name a worker slot in "
+                             f"[1, {args.experts - 1}]")
+        # Sim-fabric ports are assigned deterministically from the
+        # ephemeral base, worker 1 first — so the slow worker's listener
+        # address is known before the cluster exists.
+        from .testkit.sim_transport import SimNetwork
+        address = ("sim", SimNetwork._FIRST_PORT + args.slow - 1)
+        lag = 3.0 * deadline_s
+        schedule = FaultSchedule(seed=args.seed).with_override(
+            address, request=LinkFaults(latency=(lag, lag)))
+        print(f"worker {args.slow} link delayed {lag * 1e3:.0f}ms "
+              f"(deadline budget {args.deadline_ms:.0f}ms)")
+    with SimCluster(experts, schedule, integrity=integrity,
                     canaries=canaries) as cluster:
         if args.corrupt is not None:
             if not 1 <= args.corrupt < args.experts:
@@ -204,7 +224,8 @@ def cmd_resilience_inspect(args) -> int:
         for _ in range(args.probes):
             cluster.heartbeat()
         for _ in range(args.requests):
-            cluster.infer(rng.standard_normal((2, features)))
+            cluster.infer(rng.standard_normal((2, features)),
+                          deadline_budget_s=deadline_s)
         snapshot = cluster.master.resilience_snapshot()
         print(resilience_table(snapshot))
         benched = [peer for peer in snapshot.values()
@@ -213,6 +234,17 @@ def cmd_resilience_inspect(args) -> int:
             print(f"worker {peer.index} quarantined: "
                   f"{peer.quarantine_reason}")
         print(f"participants: {cluster.surviving_team}")
+        # The serving-path controls: run the same requests through an
+        # overload-enabled server and show limiter pressure / brownout.
+        server = cluster.serve(overload=OverloadConfig())
+        try:
+            futures = [server.submit(rng.standard_normal((2, features)))
+                       for _ in range(args.requests)]
+            for future in futures:
+                future.result(timeout=30.0)
+        finally:
+            server.close()
+        print(overload_table(server.overload_snapshot()))
     return 1 if benched else 0
 
 
@@ -285,6 +317,13 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="run a seeded sim-fabric demo and print the "
                         "resilience table (quarantine state included)")
     res_inspect.add_argument("--experts", type=int, default=3)
+    res_inspect.add_argument("--deadline-ms", type=float, default=None,
+                             help="per-request deadline budget propagated "
+                                  "to the workers (shed column)")
+    res_inspect.add_argument("--slow", type=int, default=None,
+                             help="worker slot whose request link is "
+                                  "delayed past the deadline budget "
+                                  "(requires --deadline-ms)")
     res_inspect.add_argument("--corrupt", type=int, default=None,
                              metavar="WORKER",
                              help="sharpen this worker's expert so the "

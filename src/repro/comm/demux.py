@@ -153,6 +153,15 @@ class ReplyDemux:
             self._cond.notify_all()
             return slot
 
+    @property
+    def inflight(self) -> int:
+        """Reply slots currently outstanding on this connection — the
+        per-peer occupancy signal the overload snapshot surfaces (a
+        connection with many pending slots is a gather pipeline running
+        deep, not a protocol error)."""
+        with self._cond:
+            return len(self._pending)
+
     def take_stale(self) -> tuple[int, int]:
         """Drain and return ``(stale frame count, stale bytes)``."""
         with self._cond:

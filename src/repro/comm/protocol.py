@@ -20,7 +20,7 @@ import numpy as np
 __all__ = ["Message", "encode", "decode", "ProtocolError",
            "INFER", "RESULT", "ERROR", "SHUTDOWN", "PING", "PONG",
            "DEPLOY", "DEPLOYED", "ATTACH", "ATTACHED", "ROSTER",
-           "ROSTER_OK", "ELECT", "CANARY"]
+           "ROSTER_OK", "ELECT", "CANARY", "EXPIRED"]
 
 _LEN = struct.Struct(">I")
 
@@ -30,10 +30,27 @@ _LEN = struct.Struct(">I")
 # detector's heartbeat: a ping carries a ``seq`` meta field which the
 # pong must echo, so a late pong from an earlier probe cannot satisfy a
 # newer one.
-INFER = "infer"        # master -> worker: broadcast input, arrays={"x"}
+INFER = "infer"        # master -> worker: broadcast input, arrays={"x"}.
+                       #   Overload control (repro.distributed.overload)
+                       #   may add deadline meta: "deadline_budget_s" (the
+                       #   request's remaining relative budget),
+                       #   "sent_at" (the sender's clock at send time, so
+                       #   transit is charged when clocks are comparable)
+                       #   and, for coalesced micro-batches,
+                       #   "segment_budgets_s" (per-segment budgets
+                       #   parallel to "segments"; null = no deadline).
 RESULT = "result"      # worker -> master: arrays={"probs", "entropy"};
                        #   meta may carry "model_version" (the worker's
-                       #   weights fingerprint) for the integrity layer
+                       #   weights fingerprint) for the integrity layer,
+                       #   and "expired_segments" (segment indices a
+                       #   deadline-shedding worker skipped mid-batch —
+                       #   their rows are uniform max-entropy filler that
+                       #   can never win the arg-min gate)
+# EXPIRED is the typed deadline-shed reply: the whole request's budget
+# was spent before the worker could start the forward, so it answers
+# with this instead of wasting the compute.  The master books it as
+# shed, NOT as a failure — breakers and suspicion must not trip on load.
+EXPIRED = "expired"    # worker -> master: meta={"seq", "rows"}
 # CANARY is a known-answer probe (repro.distributed.integrity): the same
 # shape as INFER on the wire, answered with a RESULT, but carrying inputs
 # whose golden outputs the master recorded at deploy time — so the reply

@@ -16,6 +16,9 @@ from .integrity import (CanaryProber, CanarySet, IntegrityConfig,
                         structural_reason)
 from .moe_runtime import (MoEGrpcMaster, MoEMpiRunner, moe_mpi_forward,
                           serve_expert)
+from .overload import (AdmissionController, BrownoutController,
+                       DeadlineExpired, OverloadConfig, RetryBudget,
+                       remaining_budget, BROWNOUT_LEVELS)
 from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
                          LeaderLease, LeaseConfig, PeerResilience,
                          QuorumError, ResilienceConfig, SuspicionTracker)
@@ -40,6 +43,8 @@ __all__ = [
     "CircuitBreaker", "SuspicionTracker", "LatencyTracker",
     "ResilienceConfig", "DegradationPolicy", "QuorumError", "PeerResilience",
     "LeaseConfig", "LeaderLease",
+    "OverloadConfig", "AdmissionController", "BrownoutController",
+    "RetryBudget", "DeadlineExpired", "remaining_budget", "BROWNOUT_LEVELS",
     "IntegrityConfig", "IntegrityViolation", "ReplyValidator",
     "CanarySet", "make_canary_set", "CanaryProber",
     "QuarantineManager", "QuarantineRecord", "structural_reason",

@@ -56,6 +56,7 @@ from ..comm import protocol
 from ..comm.demux import ChannelDead
 from ..comm.transport import TcpTransport
 from .election import elect_leader
+from .overload import RetryBudget
 from .resilience import LeaseConfig
 from .serving import ServeFuture, ServerClosed, TeamNetServer
 from .teamnet_runtime import LeadershipLost, TeamNetMaster
@@ -535,6 +536,9 @@ class FailoverStats:
     parked: int = 0
     duplicates_suppressed: int = 0
     failovers: int = 0
+    #: re-drives refused because the shared retry budget was exhausted
+    #: (the request fails fast instead of amplifying load)
+    budget_denied: int = 0
 
 
 class _Tracked:
@@ -565,9 +569,16 @@ class FailoverServer:
     """
 
     def __init__(self, server: TeamNetServer | None = None,
-                 redrive_errors: tuple = REDRIVE_ERRORS):
+                 redrive_errors: tuple = REDRIVE_ERRORS,
+                 retry_budget: RetryBudget | None = None):
         self._server = server
         self._redrive_errors = redrive_errors
+        # The shared retry token bucket (usually the master's): every
+        # re-drive spends one token, and an empty bucket fails the
+        # request fast — re-driving a whole backlog at a cluster that is
+        # already drowning is the retry-amplification path to metastable
+        # failure.  None = unlimited (legacy behaviour).
+        self._retry_budget = retry_budget
         self._killed = server is None
         self._rid = 0
         self._tracked: dict[int, _Tracked] = {}
@@ -636,7 +647,15 @@ class FailoverServer:
                            or self._killed) and not self._closed
                 if redrive:
                     server = None if self._killed else self._server
-                    if server is not None:
+                    if server is not None and self._retry_budget is not None \
+                            and not self._retry_budget.try_spend():
+                        # Budget empty: fail fast with the original error
+                        # instead of re-driving into the overload.
+                        self._tracked.pop(rid, None)
+                        self._stats.failed += 1
+                        self._stats.budget_denied += 1
+                        settle = ("reject", error)
+                    elif server is not None:
                         # The master is already replaced: go straight to
                         # the new incarnation, no parking stop.
                         tracked.resubmits += 1
@@ -707,6 +726,15 @@ class FailoverServer:
         redriven = 0
         for tracked in parked:
             if tracked.outer.done():
+                continue
+            if (self._retry_budget is not None
+                    and not self._retry_budget.try_spend()):
+                with self._lock:
+                    self._tracked.pop(tracked.rid, None)
+                    self._stats.failed += 1
+                    self._stats.budget_denied += 1
+                tracked.outer._reject(MasterFailover(
+                    "retry budget exhausted; re-drive abandoned"))
                 continue
             with self._lock:
                 tracked.resubmits += 1

@@ -88,6 +88,15 @@ class ResilienceConfig:
       *suspect* at ``score >= suspicion_threshold``.
     * ``heartbeat_timeout`` — per-probe reply deadline for
       :meth:`~repro.distributed.teamnet_runtime.TeamNetMaster.heartbeat`.
+    * ``backoff_jitter`` / ``jitter_seed`` — seeded jitter fraction on
+      every breaker's OPEN window (the reconnect/redeploy backoff
+      clock).  Workers that died together — a rack power blip, a
+      partition healing — would otherwise all retry in lockstep,
+      hammering the recovering side at exactly the wrong moment; each
+      peer jitters its windows by up to ``±backoff_jitter`` of their
+      nominal length, from a per-peer RNG seeded with
+      ``(jitter_seed, peer index)`` so testkit schedules stay
+      reproducible.  0 (default) keeps the exact legacy windows.
     """
 
     failure_threshold: int = 3
@@ -103,6 +112,8 @@ class ResilienceConfig:
     success_decay: float = 0.5
     suspicion_threshold: float = 2.0
     heartbeat_timeout: float = 0.25
+    backoff_jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self):
         if self.failure_threshold < 1:
@@ -121,6 +132,17 @@ class ResilienceConfig:
             raise ValueError("ewma_alpha must be in (0, 1]")
         if not 0.0 <= self.success_decay < 1.0:
             raise ValueError("success_decay must be in [0, 1)")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+
+    def breaker_rng(self, peer_index: int) -> np.random.Generator | None:
+        """The seeded per-peer jitter stream for one breaker (None when
+        jitter is disabled) — every rebuild of peer ``i``'s breaker must
+        come back here so the stream stays tied to the slot, not to the
+        object lifetime."""
+        if self.backoff_jitter <= 0.0:
+            return None
+        return np.random.default_rng((self.jitter_seed, peer_index))
 
 
 @dataclass(frozen=True)
@@ -152,13 +174,18 @@ class DegradationPolicy:
                              f"got {self.on_violation!r}")
 
     def violations(self, participants: int,
-                   max_winner_entropy: float | None) -> list[str]:
+                   max_winner_entropy: float | None,
+                   min_quorum: int | None = None) -> list[str]:
         """Human-readable policy breaches for one inference (empty =
-        the answer is acceptable)."""
+        the answer is acceptable).  ``min_quorum`` overrides the
+        configured floor for this call — the brownout ladder's
+        "quorum-min" rung lowers it under sustained overload without
+        mutating this frozen policy."""
         found = []
-        if participants < self.min_quorum:
+        floor = self.min_quorum if min_quorum is None else min_quorum
+        if participants < floor:
             found.append(f"quorum: {participants} participant(s) < "
-                         f"min_quorum {self.min_quorum}")
+                         f"min_quorum {floor}")
         if (self.max_entropy is not None and max_winner_entropy is not None
                 and max_winner_entropy > self.max_entropy):
             found.append(f"entropy: winning entropy {max_winner_entropy:.4f} "
@@ -176,31 +203,49 @@ class CircuitBreaker:
     success closes the breaker and resets the timeout, a failure
     re-opens it with a longer one.  ``clock`` is injectable so the
     state machine is unit-testable without sleeping.
+
+    ``jitter``/``rng`` de-synchronize the OPEN windows: each trip's
+    window is scaled by a factor drawn uniformly from ``[1 - jitter,
+    1 + jitter]``, so peers that failed in the same instant (their
+    breakers all tripped on one partition) spread their half-open
+    probes out instead of dialing back in a synchronized storm.  The
+    *nominal* window (base, doubling, cap) is tracked unjittered —
+    jitter perturbs each wait, never the backoff trajectory.  Seed the
+    RNG per peer (``ResilienceConfig.breaker_rng``) and the whole
+    storm stays deterministic for the testkit.
     """
 
     __slots__ = ("failure_threshold", "reset_timeout", "reset_timeout_max",
-                 "_clock", "_state", "_consecutive_failures", "_opened_at",
-                 "_timeout", "trips")
+                 "jitter", "_rng", "_clock", "_state",
+                 "_consecutive_failures", "_opened_at", "_timeout",
+                 "_window", "trips")
 
     def __init__(self, failure_threshold: int = 3, reset_timeout: float = 0.25,
-                 reset_timeout_max: float = 5.0, clock=time.monotonic):
+                 reset_timeout_max: float = 5.0, clock=time.monotonic,
+                 jitter: float = 0.0, rng=None):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self.reset_timeout_max = reset_timeout_max
+        self.jitter = jitter
+        self._rng = rng if rng is not None else (
+            np.random.default_rng(0) if jitter > 0.0 else None)
         self._clock = clock
         self._state = BREAKER_CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._timeout = 0.0
+        self._window = 0.0
         self.trips = 0
 
     @property
     def state(self) -> str:
         """Current state; an elapsed OPEN window promotes to HALF-OPEN."""
         if (self._state == BREAKER_OPEN
-                and self._clock() >= self._opened_at + self._timeout):
+                and self._clock() >= self._opened_at + self._window):
             self._state = BREAKER_HALF_OPEN
         return self._state
 
@@ -210,8 +255,9 @@ class CircuitBreaker:
 
     @property
     def open_timeout_s(self) -> float:
-        """The current OPEN window length (grows per re-trip)."""
-        return self._timeout
+        """The current OPEN window length (grows per re-trip; includes
+        this trip's jitter)."""
+        return self._window
 
     def allow(self) -> bool:
         """May traffic (a broadcast, a reconnect, a probe) flow now?"""
@@ -222,6 +268,7 @@ class CircuitBreaker:
         self._state = BREAKER_CLOSED
         self._consecutive_failures = 0
         self._timeout = 0.0
+        self._window = 0.0
 
     def record_failure(self) -> None:
         """A round-trip failed; trips the breaker at the threshold, and
@@ -232,6 +279,12 @@ class CircuitBreaker:
             self._timeout = (self.reset_timeout if self._timeout <= 0.0
                              else min(self._timeout * 2,
                                       self.reset_timeout_max))
+            self._window = self._timeout
+            if self._rng is not None and self.jitter > 0.0:
+                # Scale this wait only; the nominal doubling trajectory
+                # above is what the next trip builds on.
+                self._window *= 1.0 + self.jitter * float(
+                    self._rng.uniform(-1.0, 1.0))
             self._opened_at = self._clock()
             self._state = BREAKER_OPEN
             self.trips += 1
@@ -425,3 +478,8 @@ class PeerResilience:
     quarantine_reason: str | None = None
     canary_failures: int = 0
     readmissions: int = 0
+    # Overload control (repro.distributed.overload): deadline-shed work
+    # this peer reported instead of computing.  Defaulted for snapshots
+    # from masters predating the overload layer.
+    expired_replies: int = 0
+    expired_segments: int = 0

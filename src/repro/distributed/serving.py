@@ -46,6 +46,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.inference import expert_forward, expert_forward_segments
+from .overload import (AdmissionController, BrownoutController,
+                       DeadlineExpired, OverloadConfig)
 from .teamnet_runtime import InferenceStats, TeamNetMaster
 
 __all__ = ["ServeFuture", "ServerStats", "ServerClosed", "ServerOverloaded",
@@ -57,7 +59,22 @@ class ServerClosed(RuntimeError):
 
 
 class ServerOverloaded(RuntimeError):
-    """The admission queue is full; the request was shed, not queued."""
+    """The request was shed at admission, not queued.
+
+    Carries the shed context so callers and benches can distinguish
+    causes without parsing the message: ``queue_depth`` (requests queued
+    at the moment of rejection), ``limit`` (the admission limit in force
+    — the AIMD limiter's when overload control is on, ``max_queue``
+    otherwise) and ``oldest_age_s`` (how long the oldest queued request
+    has been waiting; the queue-death telltale)."""
+
+    def __init__(self, message: str, queue_depth: int | None = None,
+                 limit: int | None = None,
+                 oldest_age_s: float | None = None):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+        self.oldest_age_s = oldest_age_s
 
 
 class RequestAbandoned(RuntimeError):
@@ -89,12 +106,19 @@ class ServeFuture:
     layer tags re-drives with (None for plain submissions).
     """
 
-    __slots__ = ("done_at", "request_id", "_event", "_value", "_error",
-                 "_abandoned", "_callbacks", "_lock", "_abandon_hook")
+    __slots__ = ("done_at", "request_id", "deadline_at", "_event", "_value",
+                 "_error", "_abandoned", "_callbacks", "_lock",
+                 "_abandon_hook")
 
-    def __init__(self, request_id: int | None = None):
+    def __init__(self, request_id: int | None = None,
+                 deadline_at: float | None = None):
         self.done_at: float | None = None
         self.request_id = request_id
+        #: absolute deadline on the server's clock (None = no deadline);
+        #: set at admission, read by the dispatcher (to compute remaining
+        #: wire budgets) and the collector (to shed answers that landed
+        #: too late)
+        self.deadline_at = deadline_at
         self._event = threading.Event()
         self._value: tuple | None = None
         self._error: BaseException | None = None
@@ -179,11 +203,14 @@ class ServeFuture:
 
 
 class _Request:
-    __slots__ = ("x", "future")
+    __slots__ = ("x", "future", "enqueued_at")
 
-    def __init__(self, x: np.ndarray, request_id: int | None = None):
+    def __init__(self, x: np.ndarray, request_id: int | None = None,
+                 enqueued_at: float | None = None,
+                 deadline_at: float | None = None):
         self.x = x
-        self.future = ServeFuture(request_id)
+        self.enqueued_at = enqueued_at
+        self.future = ServeFuture(request_id, deadline_at=deadline_at)
 
 
 @dataclass
@@ -200,6 +227,15 @@ class ServerStats:
     batches: int = 0
     batched_rows: int = 0
     max_batch_requests: int = 0
+    #: requests shed at admission (queue full or AIMD limit reached);
+    #: every one is also counted in ``rejected``
+    shed_admission: int = 0
+    #: requests shed for deadline — at submit, while queued, or when the
+    #: answer landed past the deadline (those also bump ``stale_answers``)
+    shed_expired: int = 0
+    #: answers that arrived after their request's deadline: the gather
+    #: did the work but the client had already timed out
+    stale_answers: int = 0
 
     @property
     def mean_batch_requests(self) -> float:
@@ -233,11 +269,22 @@ class TeamNetServer:
     * ``coalesce`` — ``"exact"`` (bit-identical to sequential ``infer``,
       via per-request segment forwards) or ``"fused"`` (single fused
       forward per batch; see module docstring).
+    * ``overload`` — an :class:`~repro.distributed.overload.
+      OverloadConfig` turns on overload control: AIMD admission
+      (concurrency-limited by observed batch turnaround vs. the latency
+      target), LIFO ordering under pressure, and the brownout ladder
+      (hedging off → quorum floor 1 → linger off) driven by the
+      limiter's pressure signal.  ``None`` (default) is the legacy
+      static-``max_queue`` behaviour.  Deadlines (``submit``'s
+      ``deadline_s``) work either way.
+    * ``clock`` — monotonic time source shared with the master/workers;
+      inject the testkit's virtual clock for deterministic deadlines.
     """
 
     def __init__(self, master: TeamNetMaster, max_queue: int = 256,
                  max_batch: int = 16, max_inflight: int = 4,
-                 linger_s: float = 0.0, coalesce: str = "exact"):
+                 linger_s: float = 0.0, coalesce: str = "exact",
+                 overload: OverloadConfig | None = None, clock=None):
         if max_queue < 1 or max_batch < 1 or max_inflight < 1:
             raise ValueError("max_queue, max_batch and max_inflight "
                              "must be >= 1")
@@ -249,6 +296,12 @@ class TeamNetServer:
         self.max_batch = max_batch
         self.linger_s = linger_s
         self.coalesce = coalesce
+        self._clock = clock if clock is not None else time.monotonic
+        self.overload = overload
+        self._limiter = (AdmissionController(overload, clock=self._clock)
+                         if overload is not None else None)
+        self._brownout = (BrownoutController(overload, clock=self._clock)
+                          if overload is not None else None)
         self._cond = threading.Condition()
         self._queue: deque[_Request] = deque()
         self._inflight: queue.Queue = queue.Queue(maxsize=max_inflight)
@@ -316,27 +369,62 @@ class TeamNetServer:
         return False
 
     # ----------------------------------------------------------- admission
-    def submit(self, x: np.ndarray,
-               request_id: int | None = None) -> ServeFuture:
+    def submit(self, x: np.ndarray, request_id: int | None = None,
+               deadline_s: float | None = None) -> ServeFuture:
         """Admit one request (an ``(N, D)`` input batch) for inference.
 
         ``request_id`` is an optional caller-stable id carried on the
         future; the failover layer uses it to dedup re-driven requests.
+        ``deadline_s`` is the request's relative deadline budget: an
+        already-expired budget is shed right here (no dispatch), a live
+        one propagates through batching and the broadcast meta down to
+        the workers, which shed it too once it runs out.
         """
         x = np.asarray(x)
         if x.ndim != 2:
             raise ValueError(f"expected a 2-D input batch, got shape "
                              f"{x.shape}")
-        request = _Request(x, request_id)
+        now = self._clock()
+        deadline_at = (None if deadline_s is None
+                       else now + float(deadline_s))
+        if deadline_at is not None and deadline_at <= now:
+            with self._stats_lock:
+                self._stats.rejected += 1
+                self._stats.shed_expired += 1
+            raise DeadlineExpired(
+                f"deadline budget {deadline_s}s expired before admission")
+        request = _Request(x, request_id, enqueued_at=now,
+                           deadline_at=deadline_at)
         request.future._abandon_hook = self._note_abandoned
         with self._cond:
             if self._closed:
                 raise ServerClosed("server is closed")
-            if len(self._queue) >= self.max_queue:
+            depth = len(self._queue)
+            oldest_age = (now - self._queue[0].enqueued_at
+                          if depth and self._queue[0].enqueued_at is not None
+                          else None)
+            if depth >= self.max_queue:
                 with self._stats_lock:
                     self._stats.rejected += 1
+                    self._stats.shed_admission += 1
                 raise ServerOverloaded(
-                    f"admission queue is full ({self.max_queue})")
+                    f"admission queue is full ({self.max_queue})",
+                    queue_depth=depth, limit=self.max_queue,
+                    oldest_age_s=oldest_age)
+            if self._limiter is not None:
+                if not self._limiter.try_acquire():
+                    with self._stats_lock:
+                        self._stats.rejected += 1
+                        self._stats.shed_admission += 1
+                    raise ServerOverloaded(
+                        f"admission limit reached "
+                        f"({self._limiter.limit} outstanding)",
+                        queue_depth=depth, limit=self._limiter.limit,
+                        oldest_age_s=oldest_age)
+                # One release per admission, exactly once: _settle fires
+                # callbacks exactly once, on resolve and reject alike.
+                request.future.add_done_callback(
+                    lambda _f: self._limiter.release())
             self._queue.append(request)
             self._cond.notify_all()
         with self._stats_lock:
@@ -357,29 +445,96 @@ class TeamNetServer:
         with self._stats_lock:
             return ServerStats(**vars(self._stats))
 
+    def overload_snapshot(self) -> dict:
+        """Limiter, brownout and retry-budget state for dashboards
+        (``{"enabled": False}`` when overload control is off)."""
+        if self._limiter is None:
+            return {"enabled": False}
+        snapshot = {
+            "enabled": True,
+            "limiter": self._limiter.snapshot(),
+            "brownout": self._brownout.snapshot(),
+        }
+        budget = getattr(self.master, "retry_budget", None)
+        if budget is not None:
+            snapshot["retry_budget"] = budget.snapshot()
+        return snapshot
+
     @property
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._queue)
 
     # ---------------------------------------------------------- dispatcher
+    def _effective_linger_s(self) -> float:
+        """Brownout rung 3 turns batch linger off: under overload the
+        queue is never short of company, and lingering only ages
+        deadlines."""
+        if self._brownout is not None and self._brownout.level >= 3:
+            return 0.0
+        return self.linger_s
+
     def _next_batch(self) -> list[_Request] | None:
-        """Pop one coalescible run of requests; None when closed+drained."""
-        with self._cond:
-            while not self._queue:
-                if self._closed:
+        """Pop one coalescible run of requests; None when closed+drained.
+
+        Requests whose deadline already passed while queued are shed
+        here (rejected with :class:`~repro.distributed.overload.
+        DeadlineExpired`) — dispatching them would waste a broadcast on
+        work nobody is waiting for.  Under limiter pressure the pop
+        flips to LIFO: fresh requests with live deadlines win over
+        doomed stale ones (every request served FIFO from a saturated
+        queue is served dead)."""
+        while True:
+            expired: list[_Request] = []
+            batch: list[_Request] | None = None
+            with self._cond:
+                while not self._queue:
+                    if self._closed:
+                        break
+                    self._cond.wait()
+                linger = self._effective_linger_s()
+                if self._queue and linger > 0 \
+                        and len(self._queue) < self.max_batch \
+                        and not self._closed:
+                    self._cond.wait(linger)
+                now = self._clock()
+                keep: deque[_Request] = deque()
+                for request in self._queue:
+                    deadline_at = request.future.deadline_at
+                    if deadline_at is not None and now >= deadline_at:
+                        expired.append(request)
+                    else:
+                        keep.append(request)
+                self._queue = keep
+                if self._queue:
+                    lifo = (self._limiter is not None
+                            and self._limiter.pressure
+                            >= self.overload.lifo_pressure)
+                    pop = (self._queue.pop if lifo
+                           else self._queue.popleft)
+                    batch = [pop()]
+                    key = (batch[0].x.dtype, batch[0].x.shape[1:])
+                    peek = -1 if lifo else 0
+                    while (self._queue and len(batch) < self.max_batch
+                           and (self._queue[peek].x.dtype,
+                                self._queue[peek].x.shape[1:]) == key):
+                        batch.append(pop())
+                elif self._closed and not expired:
                     return None
-                self._cond.wait()
-            if self.linger_s > 0 and len(self._queue) < self.max_batch \
-                    and not self._closed:
-                self._cond.wait(self.linger_s)
-            batch = [self._queue.popleft()]
-            key = (batch[0].x.dtype, batch[0].x.shape[1:])
-            while (self._queue and len(batch) < self.max_batch
-                   and (self._queue[0].x.dtype,
-                        self._queue[0].x.shape[1:]) == key):
-                batch.append(self._queue.popleft())
-            return batch
+            if expired:
+                late = 0
+                for request in expired:
+                    late += bool(request.future._reject(DeadlineExpired(
+                        "deadline expired while queued")))
+                with self._stats_lock:
+                    self._stats.shed_expired += len(expired)
+                    self._stats.failed += len(expired)
+                    self._stats.late_resolutions += late
+            if batch is not None:
+                return batch
+            with self._cond:
+                if self._closed and not self._queue:
+                    return None
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -390,14 +545,35 @@ class TeamNetServer:
             segments = [len(request.x) for request in batch]
             batch_x = (batch[0].x if len(batch) == 1
                        else np.concatenate([r.x for r in batch], axis=0))
+            # Remaining deadline budgets at send time, one per request
+            # (None = no deadline).  A single-request batch rides the
+            # whole-request budget; a coalesced one carries per-segment
+            # budgets so workers can shed mid-batch.
+            now = self._clock()
+            budgets = [None if r.future.deadline_at is None
+                       else r.future.deadline_at - now for r in batch]
+            whole_budget: float | None = None
+            segment_budgets = None
+            if len(batch) == 1:
+                whole_budget = budgets[0]
+            elif self.coalesce == "exact":
+                segment_budgets = budgets
+            elif all(b is not None for b in budgets):
+                # Fused batches have no per-segment wire format; shed the
+                # whole forward only when *every* request is dead.
+                whole_budget = max(budgets)
             try:
                 if self.coalesce == "exact":
-                    pending = self.master._begin(batch_x, segments=segments)
+                    pending = self.master._begin(
+                        batch_x, segments=segments,
+                        deadline_budget_s=whole_budget,
+                        segment_budgets_s=segment_budgets)
                     local = expert_forward_segments(self.master.expert,
                                                     batch_x, segments,
                                                     engine=self.master.engine)
                 else:
-                    pending = self.master._begin(batch_x)
+                    pending = self.master._begin(
+                        batch_x, deadline_budget_s=whole_budget)
                     local = expert_forward(self.master.expert, batch_x,
                                            engine=self.master.engine)
             except Exception as exc:  # noqa: BLE001 - delivered via futures
@@ -418,6 +594,24 @@ class TeamNetServer:
             self._inflight.put((batch, pending, local))
 
     # ----------------------------------------------------------- collector
+    def _observe_turnaround(self, batch: list[_Request], now: float) -> None:
+        """Feed the limiter one enqueue-to-answer sample (the *oldest*
+        request's, so queue wait is charged — gather time alone stays
+        flat while the queue grows, which is exactly the overload the
+        sample must see) and drive the brownout ladder off the updated
+        pressure signal."""
+        if self._limiter is None:
+            return
+        enqueued = [r.enqueued_at for r in batch
+                    if r.enqueued_at is not None]
+        if enqueued:
+            self._limiter.on_sample(now - min(enqueued))
+        self._brownout.observe(self._limiter.pressure)
+        level = self._brownout.level
+        master = self.master
+        master.hedging_override = False if level >= 1 else None
+        master.min_quorum_override = 1 if level >= 2 else None
+
     def _collect_loop(self) -> None:
         while True:
             item = self._inflight.get()
@@ -433,16 +627,33 @@ class TeamNetServer:
                 with self._stats_lock:
                     self._stats.failed += len(batch)
                     self._stats.late_resolutions += late
+                self._observe_turnaround(batch, self._clock())
                 continue
+            now = self._clock()
             offset = 0
             late = 0
+            completed = stale = 0
             for request in batch:
                 rows = len(request.x)
-                late += bool(request.future._resolve(
-                    (preds[offset:offset + rows],
-                     winner[offset:offset + rows],
-                     stats)))
+                deadline_at = request.future.deadline_at
+                if deadline_at is not None and now > deadline_at:
+                    # The answer exists but landed past the deadline: the
+                    # client is gone.  Resolve expired exactly once; the
+                    # computed answer is booked stale, never delivered.
+                    late += bool(request.future._reject(DeadlineExpired(
+                        "answer arrived after the deadline")))
+                    stale += 1
+                else:
+                    late += bool(request.future._resolve(
+                        (preds[offset:offset + rows],
+                         winner[offset:offset + rows],
+                         stats)))
+                    completed += 1
                 offset += rows
             with self._stats_lock:
-                self._stats.completed += len(batch)
+                self._stats.completed += completed
+                self._stats.failed += stale
+                self._stats.shed_expired += stale
+                self._stats.stale_answers += stale
                 self._stats.late_resolutions += late
+            self._observe_turnaround(batch, now)

@@ -50,6 +50,7 @@ from ..comm import protocol
 from ..comm.base import Transport
 from ..comm.demux import FRAME_OVERHEAD_BYTES, ReplyDemux, ReplySlot
 from ..comm.transport import (MeteredSocket, TcpTransport, TransportStats)
+from ..core.entropy import entropy_from_probs
 from ..core.inference import (ExpertOutput, argmin_select, expert_forward,
                               expert_forward_segments, validate_engine)
 from ..nn import (CorruptModelError, Module, model_from_bytes,
@@ -57,6 +58,7 @@ from ..nn import (CorruptModelError, Module, model_from_bytes,
 from .integrity import (CanaryProber, CanarySet, IntegrityConfig,
                         IntegrityViolation, QuarantineManager, ReplyValidator,
                         structural_reason)
+from .overload import RetryBudget, remaining_budget
 from .resilience import (CircuitBreaker, DegradationPolicy, LatencyTracker,
                          LeaderLease, PeerResilience, QuorumError,
                          ResilienceConfig, SuspicionTracker)
@@ -99,6 +101,12 @@ class InferenceStats:
     #: payload, broken simplex, inconsistent entropy, version mismatch);
     #: each is also counted in ``failures``
     invalid_replies: int = 0
+    #: workers that answered EXPIRED (whole request shed for deadline) —
+    #: booked as load shedding, never as failures
+    expired_replies: int = 0
+    #: coalesced segments a worker skipped mid-batch for deadline (their
+    #: rows come back as uniform max-entropy filler)
+    expired_segments: int = 0
 
     @classmethod
     def from_transport(cls, stats: TransportStats) -> "InferenceStats":
@@ -123,6 +131,8 @@ class WorkerHealth:
     hedges: int = 0
     redeployments: int = 0
     invalid_replies: int = 0
+    expired_replies: int = 0
+    expired_segments: int = 0
     last_reply_latency_s: float | None = None
     total_reply_latency_s: float = 0.0
     detector: SuspicionTracker = field(default_factory=SuspicionTracker)
@@ -165,10 +175,16 @@ class _Peer:
                 alpha=resilience.ewma_alpha,
                 decay=resilience.success_decay,
                 threshold=resilience.suspicion_threshold))
+        # Seeded per-peer jitter desynchronizes the open windows of
+        # breakers that tripped together — without it every peer that
+        # died in the same event retries in lockstep, a reconnect storm
+        # landing at exactly the wrong moment.
         self.breaker = CircuitBreaker(
             failure_threshold=resilience.failure_threshold,
             reset_timeout=resilience.reset_timeout,
-            reset_timeout_max=resilience.reset_timeout_max)
+            reset_timeout_max=resilience.reset_timeout_max,
+            jitter=resilience.backoff_jitter,
+            rng=resilience.breaker_rng(index))
 
     @property
     def alive(self) -> bool:
@@ -235,6 +251,11 @@ class ExpertWorker:
         # is injectable so lease ages are deterministic on the testkit's
         # virtual clock (the failover protocol's whole point).
         self._clock = clock if clock is not None else time.monotonic
+        # Overload-control counters (plain ints; serve threads bump them
+        # under the GIL and tests read them after quiescence).
+        self.forwards = 0        #: expert forwards actually executed
+        self.shed_expired = 0    #: whole requests shed for deadline
+        self.shed_segments = 0   #: coalesced segments shed mid-batch
         self.lease = LeaderLease()
         self._lease_lock = threading.Lock()
         self._transport = transport if transport is not None else TcpTransport()
@@ -383,6 +404,91 @@ class ExpertWorker:
         except (ConnectionError, OSError):
             return False
 
+    # ------------------------------------------------------ deadline shed
+    def _shed_rows(self, msg: protocol.Message) -> int | None:
+        """Row count to shed when the *whole* request's deadline budget
+        is spent, else None.  Per-segment budgets defer the decision to
+        :meth:`_forward_shedding`, which can still salvage live segments
+        of a coalesced batch."""
+        meta = msg.meta
+        if meta.get("segment_budgets_s") is not None:
+            return None
+        left = remaining_budget(meta.get("deadline_budget_s"),
+                                meta.get("sent_at"), self._clock())
+        if left is None or left > 0.0:
+            return None
+        x = msg.arrays.get("x")
+        return 0 if x is None else int(np.asarray(x).shape[0])
+
+    def _forward_shedding(
+            self, msg: protocol.Message) -> tuple[ExpertOutput | None, list]:
+        """Forward honoring per-segment deadline budgets.
+
+        Returns ``(output, expired_segment_indices)``.  The clock is
+        re-read before *each* segment's forward, so a budget that runs
+        out mid-batch sheds the remaining doomed segments instead of
+        computing them.  Skipped segments come back as uniform
+        max-entropy filler rows: :func:`entropy_from_probs` on exactly
+        uniform probabilities satisfies the integrity validator's
+        recompute, and maximal entropy can never win the arg-min gate.
+        ``output`` is None when every segment expired (caller sends one
+        whole-request EXPIRED instead).
+        """
+        x = np.asarray(msg.arrays["x"])
+        segments = msg.meta.get("segments")
+        budgets = msg.meta.get("segment_budgets_s")
+        if (msg.kind != protocol.INFER or budgets is None
+                or segments is None):
+            output = expert_forward_segments(self.expert, x, segments,
+                                             engine=self.engine)
+            self.forwards += (len(segments)
+                              if segments and len(segments) > 1 else 1)
+            return output, []
+        if len(budgets) != len(segments):
+            raise ValueError(f"{len(budgets)} segment budgets for "
+                             f"{len(segments)} segments")
+        if sum(segments) != len(x):
+            raise ValueError(f"segments {segments} do not cover "
+                             f"{len(x)} rows")
+        sent_at = msg.meta.get("sent_at")
+        pieces: list[ExpertOutput | None] = [None] * len(segments)
+        expired: list[int] = []
+        offset = 0
+        for i, rows in enumerate(segments):
+            left = remaining_budget(budgets[i], sent_at, self._clock())
+            if left is not None and left <= 0.0:
+                expired.append(i)
+            else:
+                pieces[i] = expert_forward(self.expert,
+                                           x[offset:offset + rows],
+                                           engine=self.engine)
+                self.forwards += 1
+            offset += rows
+        live = next((p for p in pieces if p is not None), None)
+        if live is None:
+            return None, expired
+        if not expired:
+            return ExpertOutput(
+                probs=np.concatenate([p.probs for p in pieces], axis=0),
+                entropy=np.concatenate([p.entropy for p in pieces],
+                                       axis=0)), []
+        n_classes = int(live.probs.shape[-1])
+        probs_parts, ent_parts = [], []
+        for i, rows in enumerate(segments):
+            piece = pieces[i]
+            if piece is None:
+                filler = np.full((rows, n_classes), 1.0 / n_classes,
+                                 dtype=live.probs.dtype)
+                probs_parts.append(filler)
+                ent_parts.append(entropy_from_probs(filler).astype(
+                    live.entropy.dtype, copy=False))
+            else:
+                probs_parts.append(piece.probs)
+                ent_parts.append(piece.entropy)
+        return ExpertOutput(
+            probs=np.concatenate(probs_parts, axis=0),
+            entropy=np.concatenate(ent_parts, axis=0)), expired
+
     def _serve(self, sock) -> None:
         try:
             with sock:
@@ -443,6 +549,19 @@ class ExpertWorker:
                                     if not self._safe_send(sock, reply):
                                         return
                                     continue
+                        # Deadline shedding: a request whose budget is
+                        # already spent gets a typed EXPIRED reply instead
+                        # of a wasted forward — the master books it as
+                        # shed, never as a failure.
+                        shed_rows = (self._shed_rows(msg)
+                                     if msg.kind == protocol.INFER else None)
+                        if shed_rows is not None:
+                            self.shed_expired += 1
+                            if not self._safe_send(sock, protocol.encode(
+                                    protocol.EXPIRED,
+                                    {"seq": seq, "rows": shed_rows})):
+                                return
+                            continue
                         try:
                             # ``segments`` marks a coalesced micro-batch
                             # whose per-request row runs must be forwarded
@@ -451,10 +570,7 @@ class ExpertWorker:
                             # an ordinary forward on the known-answer
                             # batch — an honest worker cannot tell probes
                             # from traffic, which is the point.
-                            output = expert_forward_segments(
-                                self.expert, msg.arrays["x"],
-                                msg.meta.get("segments"),
-                                engine=self.engine)
+                            output, expired = self._forward_shedding(msg)
                         except Exception as exc:  # noqa: BLE001 - reply, don't die
                             # A bad input (wrong shape, missing array) must
                             # cost the sender an error reply, not this serve
@@ -463,11 +579,23 @@ class ExpertWorker:
                                 protocol.ERROR,
                                 {"error": f"inference: {exc}", "seq": seq}))
                             continue
+                        if output is None:
+                            # Every segment's budget expired mid-batch.
+                            self.shed_expired += 1
+                            self.shed_segments += len(expired)
+                            rows = int(np.asarray(msg.arrays["x"]).shape[0])
+                            if not self._safe_send(sock, protocol.encode(
+                                    protocol.EXPIRED,
+                                    {"seq": seq, "rows": rows})):
+                                return
+                            continue
+                        reply_meta = {"seq": seq,
+                                      "model_version": self._fingerprint}
+                        if expired:
+                            self.shed_segments += len(expired)
+                            reply_meta["expired_segments"] = expired
                         sock.send(protocol.encode(
-                            protocol.RESULT, {
-                                "seq": seq,
-                                "model_version": self._fingerprint,
-                            }, {
+                            protocol.RESULT, reply_meta, {
                                 "probs": output.probs,
                                 "entropy": output.entropy,
                             }))
@@ -568,7 +696,9 @@ class TeamNetMaster:
                  epoch: int | None = None, leader_id: str | None = None,
                  integrity: IntegrityConfig | None = None,
                  canaries: CanarySet | None = None,
-                 expected_versions: dict[int, str] | None = None):
+                 expected_versions: dict[int, str] | None = None,
+                 retry_budget: RetryBudget | None = None,
+                 clock=None):
         self.expert = expert
         self.engine = validate_engine(engine)
         self.store = store
@@ -588,6 +718,20 @@ class TeamNetMaster:
         self.degrade_on_failure = degrade_on_failure
         self.reply_timeout = reply_timeout
         self.connect_timeout = connect_timeout
+        # ``clock`` stamps outgoing deadline meta (``sent_at``); inject
+        # the testkit's virtual clock so budgets age deterministically on
+        # the sim fabric.  It must be the same clock the workers read.
+        self._clock = clock if clock is not None else time.monotonic
+        # Overload control (repro.distributed.overload).  ``retry_budget``
+        # is the shared token bucket gating every load-amplifying retry:
+        # reconnect dials, auto-redeploy pushes, hedged gathers, and (via
+        # the failover layer) request re-drives.  None = unlimited.
+        self.retry_budget = retry_budget
+        #: brownout overrides, set by the serving layer's ladder: force
+        #: hedging off (False) and/or lower the quorum floor (int).  None
+        #: defers to ``resilience.hedging`` / ``degradation.min_quorum``.
+        self.hedging_override: bool | None = None
+        self.min_quorum_override: int | None = None
         self.resilience = resilience if resilience is not None else \
             ResilienceConfig(reset_timeout=reconnect_backoff,
                              reset_timeout_max=reconnect_backoff_max)
@@ -685,8 +829,18 @@ class TeamNetMaster:
                 quarantines=record.quarantines if record else 0,
                 quarantine_reason=record.reason if record else None,
                 canary_failures=record.canary_failures if record else 0,
-                readmissions=record.readmissions if record else 0)
+                readmissions=record.readmissions if record else 0,
+                expired_replies=peer.health.expired_replies,
+                expired_segments=peer.health.expired_segments)
         return snapshot
+
+    @property
+    def effective_min_quorum(self) -> int:
+        """The quorum floor in force: the brownout override when the
+        serving layer lowered it, the degradation policy's otherwise."""
+        if self.min_quorum_override is not None:
+            return self.min_quorum_override
+        return self.degradation.min_quorum
 
     # ------------------------------------------------------------ recovery
     def _maybe_reconnect(self) -> None:
@@ -695,6 +849,13 @@ class TeamNetMaster:
         Caller holds ``_lock``."""
         for peer in self._peers:
             if peer.alive or not peer.breaker.allow():
+                continue
+            # Reconnect dials draw on the shared retry budget: under
+            # overload a fleet of down peers must not amplify load with
+            # synchronized dial storms.  A denied token skips this round
+            # — the breaker window, not the budget, schedules the next.
+            if (self.retry_budget is not None
+                    and not self.retry_budget.try_spend()):
                 continue
             try:
                 sock = self._transport.connect(
@@ -801,7 +962,9 @@ class TeamNetMaster:
             peer.breaker = CircuitBreaker(
                 failure_threshold=self.resilience.failure_threshold,
                 reset_timeout=self.resilience.reset_timeout,
-                reset_timeout_max=self.resilience.reset_timeout_max)
+                reset_timeout_max=self.resilience.reset_timeout_max,
+                jitter=self.resilience.backoff_jitter,
+                rng=self.resilience.breaker_rng(index))
             if self._validator is not None:
                 # The pushed archive defines the slot's new expected
                 # version: replies from here on must stamp it, and a
@@ -825,6 +988,11 @@ class TeamNetMaster:
                 or self.store is None):
             return False
         from ..store import NoValidGenerationError  # local: optional dep
+        # An auto-redeploy is a retry in the budget's sense: it pushes a
+        # whole model archive at a cluster that may already be drowning.
+        if (self.retry_budget is not None
+                and not self.retry_budget.try_spend()):
+            return False
         try:
             blob = self.store.expert_bytes(peer.index)
         except (NoValidGenerationError, OSError, KeyError):
@@ -895,7 +1063,17 @@ class TeamNetMaster:
         the deadline than to refuse an answer we could have had.
         """
         cfg = self.resilience
+        if self.hedging_override is False:
+            # Brownout ladder rung 1: hedging off under sustained
+            # pressure — hedge deadlines convert slowness into failures
+            # and reconnects, the opposite of what overload needs.
+            return None, set()
         if not cfg.hedging or len(self._latencies) < cfg.hedge_min_samples:
+            return None, set()
+        if (self.retry_budget is not None
+                and self.retry_budget.available() < 1.0):
+            # A hedge that fires becomes a failure + reconnect; with the
+            # retry budget drained those amplify load, so pause hedging.
             return None, set()
         delay = max(cfg.hedge_multiplier
                     * self._latencies.quantile(cfg.hedge_quantile),
@@ -909,14 +1087,24 @@ class TeamNetMaster:
                 and peer.health.ewma_reply_latency_s > delay)}
         if not suspects:
             return None, set()
-        if 1 + len(sent) - len(suspects) < self.degradation.min_quorum:
+        if 1 + len(sent) - len(suspects) < self.effective_min_quorum:
             return None, set()
         return delay, suspects
 
     # ----------------------------------------------------------- broadcast
     def _begin(self, x: np.ndarray,
-               segments: list[int] | None = None) -> _Pending:
+               segments: list[int] | None = None,
+               deadline_budget_s: float | None = None,
+               segment_budgets_s: list[float | None] | None = None
+               ) -> _Pending:
         """Step 2: broadcast ``x`` to every admissible peer.
+
+        ``deadline_budget_s`` is the request's remaining relative budget
+        at send time; ``segment_budgets_s`` carries per-request budgets
+        for a coalesced batch (parallel to ``segments``, None entries =
+        no deadline).  Either stamps ``sent_at`` from the master's clock
+        so workers sharing a comparable clock can charge transit time
+        and shed expired work before the forward.
 
         Registers one reply slot per peer (armed with the hedge delay for
         suspects, ``reply_timeout`` otherwise) *before* sending, so a
@@ -952,6 +1140,23 @@ class TeamNetMaster:
                 meta["epoch"] = self.epoch
             if segments is not None and len(segments) > 1:
                 meta["segments"] = [int(s) for s in segments]
+            if deadline_budget_s is not None:
+                meta["deadline_budget_s"] = float(deadline_budget_s)
+            # Segment budgets only make sense alongside the "segments"
+            # meta (len > 1); a single-request batch rides the
+            # whole-request ``deadline_budget_s`` instead.
+            if (segment_budgets_s is not None and segments is not None
+                    and len(segments) > 1
+                    and any(b is not None for b in segment_budgets_s)):
+                if len(segment_budgets_s) != len(segments):
+                    raise ValueError(
+                        f"{len(segment_budgets_s)} segment budgets for "
+                        f"{len(segments)} segments")
+                meta["segment_budgets_s"] = [
+                    None if b is None else float(b)
+                    for b in segment_budgets_s]
+            if "deadline_budget_s" in meta or "segment_budgets_s" in meta:
+                meta["sent_at"] = float(self._clock())
             request = protocol.encode(protocol.INFER, meta, {"x": x})
             # A quarantined slot gets no broadcast: its answers are
             # untrustworthy, so it earns no gate entry and no quorum
@@ -1006,6 +1211,18 @@ class TeamNetMaster:
                 message, latency, nbytes = slot.wait()
                 inference.messages_received += 1
                 inference.bytes_received += nbytes
+                if message.kind == protocol.EXPIRED:
+                    # The worker shed this request for deadline: load
+                    # shedding, not a fault.  The reply proves liveness
+                    # (decay suspicion, close a half-open breaker) but
+                    # carries no compute latency and no gate entry.
+                    with self._lock:
+                        inference.expired_replies += 1
+                        peer.health.expired_replies += 1
+                        peer.health.detector.observe()
+                        peer.breaker.record_success()
+                    results[peer.index] = None
+                    continue
                 if message.kind != protocol.RESULT:
                     if message.meta.get("stale_epoch"):
                         fenced_epoch = message.meta.get("epoch")
@@ -1042,8 +1259,16 @@ class TeamNetMaster:
                         f"worker {peer.index}: {reason}")
                 outcome: ExpertOutput | Exception = ExpertOutput(
                     probs=probs, entropy=entropy)
+                shed_segments = message.meta.get("expired_segments")
                 with self._lock:
                     self._record_reply(peer, latency, inference)
+                    if shed_segments:
+                        # Mid-batch deadline sheds: the reply is live and
+                        # valid (filler rows are uniform max-entropy and
+                        # cannot win the gate), but the shed work must be
+                        # booked so benches see it.
+                        inference.expired_segments += len(shed_segments)
+                        peer.health.expired_segments += len(shed_segments)
             except Exception as exc:  # noqa: BLE001 - booked as a failure
                 outcome = exc
             results[peer.index] = outcome
@@ -1061,6 +1286,10 @@ class TeamNetMaster:
         with self._lock:
             for peer, _ in pending.waits:
                 outcome = results[peer.index]
+                if outcome is None:
+                    # EXPIRED reply: already booked as shed in the wait
+                    # loop — no gate entry, no quorum credit, no failure.
+                    continue
                 if isinstance(outcome, ExpertOutput):
                     outputs.append(outcome)
                     indices.append(peer.index)
@@ -1125,24 +1354,32 @@ class TeamNetMaster:
         winner_entropy = entropies.min(axis=1)
         max_winner_entropy = (float(winner_entropy.max())
                               if winner_entropy.size else None)
-        violations = self.degradation.violations(len(indices),
-                                                 max_winner_entropy)
+        violations = self.degradation.violations(
+            len(indices), max_winner_entropy,
+            min_quorum=self.min_quorum_override)
         if violations and self.degradation.on_violation == "raise":
             raise QuorumError("; ".join(violations))
         inference.violations = violations
         return preds, winner, inference
 
     # --------------------------------------------------------------- infer
-    def infer(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray,
-                                            InferenceStats]:
+    def infer(self, x: np.ndarray,
+              deadline_budget_s: float | None = None
+              ) -> tuple[np.ndarray, np.ndarray, InferenceStats]:
         """One collaborative inference over the team.
 
         Returns (predictions, winning expert index, traffic stats).  The
         master's own expert is index 0; workers follow in connection
         order.  Winning indices refer to the *original* team numbering
         even after degradation.
+
+        ``deadline_budget_s`` propagates a per-request latency budget to
+        the workers: a worker whose copy arrives with the budget already
+        spent sheds the forward and replies ``EXPIRED`` (booked as a
+        shed, not a failure).  The master still computes its local
+        expert — the caller asked it directly, so it always answers.
         """
-        pending = self._begin(x)
+        pending = self._begin(x, deadline_budget_s=deadline_budget_s)
         # Step 3: run the local expert while the workers compute.
         local_output = expert_forward(self.expert, pending.x,
                                       engine=self.engine)

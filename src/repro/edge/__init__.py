@@ -17,7 +17,7 @@ from .metrics import (Metrics, RESULT_BYTES, baseline_metrics,
                       mpi_matrix_metrics, teamnet_metrics,
                       teamnet_straggler_metrics)
 from .monitor import (LatencySummary, measure_latency, measure_peak_memory,
-                      resilience_table)
+                      overload_table, resilience_table)
 from .network import ETHERNET, WIFI, NetworkProfile
 
 __all__ = [
@@ -28,7 +28,8 @@ __all__ = [
     "gather_stall_time", "mpi_matrix_metrics",
     "mpi_kernel_metrics", "mpi_branch_metrics", "moe_grpc_metrics",
     "moe_mpi_metrics", "LatencySummary", "measure_latency",
-    "measure_peak_memory", "resilience_table", "LoadReport",
+    "measure_peak_memory", "resilience_table", "overload_table",
+    "LoadReport",
     "poisson_arrivals",
     "uniform_arrivals", "simulate_queue", "sustainable_rate",
     "capacity_sweep", "OpenLoopReport", "drive_open_loop",

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["LatencySummary", "measure_latency", "measure_peak_memory",
-           "resilience_table"]
+           "resilience_table", "overload_table"]
 
 
 @dataclass(frozen=True)
@@ -83,7 +83,7 @@ def resilience_table(snapshot) -> str:
     """
     header = ["worker", "addr", "state", "breaker", "suspicion",
               "ewma (ms)", "replies", "failures", "invalid", "quar",
-              "hedges", "reconnects"]
+              "shed", "hedges", "reconnects"]
     rows = [header]
     for index in sorted(snapshot):
         peer = snapshot[index]
@@ -96,6 +96,10 @@ def resilience_table(snapshot) -> str:
             quar = f"{quarantines}x"
         else:
             quar = "-"
+        # Deadline sheds: whole-request EXPIRED replies plus partially
+        # expired segments the worker dropped mid-batch.
+        shed = (getattr(peer, "expired_replies", 0)
+                + getattr(peer, "expired_segments", 0))
         rows.append([
             str(peer.index),
             f"{peer.address[0]}:{peer.address[1]}",
@@ -107,6 +111,7 @@ def resilience_table(snapshot) -> str:
             str(peer.failures),
             str(getattr(peer, "invalid_replies", 0)),
             quar,
+            str(shed) if shed else "-",
             str(peer.hedges),
             str(peer.reconnects),
         ])
@@ -116,4 +121,38 @@ def resilience_table(snapshot) -> str:
                        for cell, width in zip(row, widths)).rstrip()
              for row in rows]
     lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def overload_table(snapshot: dict) -> str:
+    """Render ``TeamNetServer.overload_snapshot()`` for an operator.
+
+    One line per control: the AIMD limiter (current limit, outstanding,
+    smoothed pressure, admit/shed counts), the brownout ladder (level
+    name plus escalation/recovery counts), and — when the master carries
+    one — the retry budget (tokens left, spent/denied).  With overload
+    control off, says so in one line.
+    """
+    if not snapshot.get("enabled"):
+        return "overload control: disabled"
+    limiter = snapshot["limiter"]
+    lines = [
+        "overload control: enabled",
+        (f"  limiter   limit={limiter['limit']}"
+         f" outstanding={limiter['outstanding']}"
+         f" pressure={limiter['pressure']:.2f}"
+         f" admitted={limiter['admitted']} shed={limiter['shed']}"),
+    ]
+    brownout = snapshot.get("brownout")
+    if brownout is not None:
+        lines.append(
+            f"  brownout  level={brownout['level_name']}"
+            f" escalations={brownout['escalations']}"
+            f" recoveries={brownout['recoveries']}")
+    budget = snapshot.get("retry_budget")
+    if budget is not None:
+        lines.append(
+            f"  retries   tokens={budget['tokens']:.1f}"
+            f"/{budget['capacity']:.1f}"
+            f" spent={budget['spent']} denied={budget['denied']}")
     return "\n".join(lines)

@@ -39,6 +39,12 @@ cheap to check thousands of times:
   workers rejoining after a redeploy, tampered wire payloads) plus a
   soak asserting the data-plane integrity layer detects, quarantines,
   auto-repairs, and converges back to byte-identical answers.
+* :mod:`~repro.testkit.overload` — seeded open-loop overload soak: one
+  Poisson warm/burst/recover schedule run through a virtual-time
+  occupancy model twice — once with the real admission/brownout
+  controllers, once unprotected — asserting the protected run keeps
+  ≥ 70% of warm goodput through a 10× burst while the baseline
+  queue-collapses on the identical arrivals.
 """
 
 from .clock import SimClock
@@ -54,6 +60,8 @@ from .faults import FaultSchedule, LinkFaults
 from .guards import forbid_sockets
 from .integrity import (flip_weight_bits, integrity_round, integrity_soak,
                         sharpen_expert)
+from .overload import (OverloadSoakConfig, OverloadSoakReport, PhaseStats,
+                       arrival_schedule, overload_round, overload_soak)
 from .sim_transport import SimNetwork, SimTransport
 
 __all__ = [
@@ -67,4 +75,6 @@ __all__ = [
     "failover_round", "failover_soak",
     "integrity_round", "integrity_soak", "flip_weight_bits",
     "sharpen_expert",
+    "OverloadSoakConfig", "OverloadSoakReport", "PhaseStats",
+    "arrival_schedule", "overload_round", "overload_soak",
 ]

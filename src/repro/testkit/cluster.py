@@ -47,11 +47,18 @@ class SimCluster:
                  reconnect_backoff: float = 0.0,
                  resilience=None, degradation=None,
                  host: str = "sim", engine: str = "tape",
-                 integrity=None, canaries=None, store=None):
+                 integrity=None, canaries=None, store=None,
+                 retry_budget=None):
         if len(experts) < 2:
             raise ValueError("a team needs >= 2 experts")
         self.experts = list(experts)
         self.network = SimNetwork(schedule)
+        # Workers and master share the fabric's virtual clock: deadline
+        # budgets (``sent_at`` charging in repro.distributed.overload)
+        # only make sense when both ends read comparable clocks, and on
+        # the sim fabric that clock must be the scripted one.
+        clock = lambda: self.network.clock.now  # noqa: E731
+        self._clock_fn = clock
         self.workers: list[ExpertWorker] = []
         self._listeners = []
         expected_versions = None
@@ -66,7 +73,7 @@ class SimCluster:
             for expert in self.experts[1:]:
                 worker = ExpertWorker(expert, host=host,
                                       transport=self.network.transport,
-                                      engine=engine)
+                                      engine=engine, clock=clock)
                 worker.start()
                 self.workers.append(worker)
             self.master = TeamNetMaster(
@@ -77,15 +84,16 @@ class SimCluster:
                 transport=self.network.transport,
                 resilience=resilience, degradation=degradation,
                 engine=engine, integrity=integrity, canaries=canaries,
-                expected_versions=expected_versions, store=store)
+                expected_versions=expected_versions, store=store,
+                retry_budget=retry_budget, clock=clock)
         except BaseException:
             self.close()
             raise
 
     # ------------------------------------------------------------ inference
-    def infer(self, x: np.ndarray):
+    def infer(self, x: np.ndarray, deadline_budget_s: float | None = None):
         """One collaborative inference; see ``TeamNetMaster.infer``."""
-        return self.master.infer(x)
+        return self.master.infer(x, deadline_budget_s=deadline_budget_s)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return self.master.predict(x)

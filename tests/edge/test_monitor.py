@@ -45,3 +45,109 @@ class TestMeasurePeakMemory:
         with pytest.raises(RuntimeError):
             measure_peak_memory(boom)
         assert not tracemalloc.is_tracing()
+
+
+class FakePeer:
+    """The PeerResilience surface the tables duck-type against."""
+
+    def __init__(self, index=1, **overrides):
+        self.index = index
+        self.address = ("host", 9000 + index)
+        self.alive = True
+        self.breaker_state = "closed"
+        self.suspicion_score = 0.0
+        self.suspect = False
+        self.ewma_reply_latency_s = None
+        self.replies = 0
+        self.failures = 0
+        self.invalid_replies = 0
+        self.hedges = 0
+        self.reconnects = 0
+        self.expired_replies = 0
+        self.expired_segments = 0
+        for name, value in overrides.items():
+            setattr(self, name, value)
+
+
+class TestResilienceTableShedColumn:
+    def test_shed_column_sums_expired_replies_and_segments(self):
+        from repro.edge import resilience_table
+        table = resilience_table({
+            1: FakePeer(1, expired_replies=3, expired_segments=2),
+            2: FakePeer(2),
+        })
+        lines = table.splitlines()
+        assert "shed" in lines[0]
+        # "ewma (ms)" splits into two tokens in the header but one value
+        # in the rows, so the row column index is one less.
+        shed_col = lines[0].split().index("shed") - 1
+        assert lines[2].split()[shed_col] == "5"
+        assert lines[3].split()[shed_col] == "-"
+
+    def test_snapshots_without_shed_counters_still_render(self):
+        from repro.edge import resilience_table
+
+        peer = FakePeer(1)
+        del peer.expired_replies, peer.expired_segments
+        table = resilience_table({1: peer})
+        assert "shed" in table
+
+
+class TestOverloadTable:
+    def test_disabled_snapshot_is_one_line(self):
+        from repro.edge import overload_table
+        assert overload_table({"enabled": False}) \
+            == "overload control: disabled"
+
+    def test_enabled_snapshot_shows_all_three_controls(self):
+        from repro.edge import overload_table
+        text = overload_table({
+            "enabled": True,
+            "limiter": {"limit": 9, "outstanding": 4, "pressure": 0.82,
+                        "admitted": 120, "shed": 33, "samples": 40,
+                        "increases": 10, "decreases": 6},
+            "brownout": {"level": 1, "level_name": "hedge-off",
+                         "escalations": 2, "recoveries": 1,
+                         "transitions": []},
+            "retry_budget": {"tokens": 1.5, "capacity": 8.0,
+                             "refill_rate": 0.5, "spent": 7, "denied": 2},
+        })
+        assert "limit=9" in text
+        assert "pressure=0.82" in text
+        assert "level=hedge-off" in text
+        assert "tokens=1.5/8.0" in text
+        assert "denied=2" in text
+
+    def test_budgetless_snapshot_omits_the_retries_line(self):
+        from repro.edge import overload_table
+        text = overload_table({
+            "enabled": True,
+            "limiter": {"limit": 16, "outstanding": 0, "pressure": 0.0,
+                        "admitted": 0, "shed": 0, "samples": 0,
+                        "increases": 0, "decreases": 0},
+            "brownout": {"level": 0, "level_name": "normal",
+                         "escalations": 0, "recoveries": 0,
+                         "transitions": []},
+        })
+        assert "retries" not in text
+
+    def test_real_server_snapshot_renders(self):
+        """End to end against the real serving snapshot shape."""
+        import numpy as np
+        from repro.distributed import OverloadConfig
+        from repro.edge import overload_table
+        from repro.nn import MLP
+        from repro.testkit import SimCluster, forbid_sockets
+
+        experts = [MLP(4, 3, depth=1, width=4,
+                       rng=np.random.default_rng(i)) for i in range(2)]
+        with forbid_sockets(), SimCluster(experts) as cluster:
+            server = cluster.serve(overload=OverloadConfig())
+            try:
+                server.submit(np.zeros((1, 4))).result(timeout=30.0)
+            finally:
+                server.close()
+            text = overload_table(server.overload_snapshot())
+        assert text.startswith("overload control: enabled")
+        assert "admitted=1" in text
+        assert "level=normal" in text
